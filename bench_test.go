@@ -1,0 +1,438 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (see DESIGN.md §4 for the experiment index) plus micro-benchmarks of the
+// substrates and the ablation comparisons. Run:
+//
+//	go test -bench=. -benchmem
+package netpart_test
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"netpart"
+	"netpart/internal/commbench"
+	"netpart/internal/core"
+	"netpart/internal/experiments"
+	"netpart/internal/gauss"
+	"netpart/internal/model"
+	"netpart/internal/stencil"
+	"netpart/internal/stencil2d"
+	"netpart/internal/topo"
+)
+
+var (
+	envOnce sync.Once
+	envVal  *experiments.Env
+	envErr  error
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	envOnce.Do(func() { envVal, envErr = experiments.NewEnv() })
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return envVal
+}
+
+// BenchmarkTable1Partition regenerates Table 1 (E1): the partitioning
+// algorithm's choices for all problem sizes and both variants.
+func BenchmarkTable1Partition(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(e, e.Paper); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Elapsed regenerates Table 2 (E2): 56 full simulated
+// stencil executions plus the partitioner's predictions.
+func BenchmarkTable2Elapsed(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3Curve regenerates Fig. 3 (E3): the T_c-vs-processors curve
+// at N=600 (estimates plus simulated executions at every point).
+func BenchmarkFig3Curve(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(e, 600, stencil.STEN1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCostFit regenerates the Section 6.0 cost-constant table (E4):
+// the full offline benchmarking sweep plus least-squares fits.
+func BenchmarkCostFit(b *testing.B) {
+	net := model.PaperTestbed()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := commbench.Run(net, []topo.Topology{topo.OneD{}}, commbench.DefaultGrid()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2Decompose regenerates the Fig. 2 example (E5): the Eq. 3
+// partition vector of a 20×20 matrix over four processors.
+func BenchmarkFig2Decompose(b *testing.B) {
+	net := model.PaperTestbed()
+	cfg := experiments.PaperConfig(4, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Decompose(net, cfg, 20, model.OpFloat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig1Validate regenerates the Fig. 1 network (E6): model
+// construction and validation of the three-cluster example.
+func BenchmarkFig1Validate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net := model.Figure1Network()
+		if err := net.Validate(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionOverhead measures the claimed O(K·log2 P) runtime
+// overhead of one partitioning decision (E7) — the cost the paper argues
+// is easily amortized.
+func BenchmarkPartitionOverhead(b *testing.B) {
+	e := benchEnv(b)
+	ann := stencil.Annotations(1200, stencil.STEN1, 10)
+	est, err := core.NewEstimator(e.Net, e.Fitted, ann)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Partition(est); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGaussSolve regenerates E8: partitioning plus distributed
+// Gaussian elimination with partial pivoting at N=64.
+func BenchmarkGaussSolve(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Gauss(e, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations runs the A1-A5 design-choice studies of DESIGN.md.
+func BenchmarkAblations(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Ablations(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationSearch compares the three search strategies (ablations
+// A1/A2) on the N=1200 STEN-1 instance.
+func BenchmarkAblationSearch(b *testing.B) {
+	e := benchEnv(b)
+	ann := stencil.Annotations(1200, stencil.STEN1, 10)
+	for _, tc := range []struct {
+		name string
+		run  func(*core.Estimator) (core.Result, error)
+	}{
+		{"bisect", core.Partition},
+		{"scan", core.PartitionLinear},
+		{"exhaustive", core.PartitionExhaustive},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			est, err := core.NewEstimator(e.Net, e.Fitted, ann)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := tc.run(est); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkStencilSim measures one full simulated STEN-2 execution at
+// N=600 on the partitioner-chosen configuration.
+func BenchmarkStencilSim(b *testing.B) {
+	e := benchEnv(b)
+	ann := stencil.Annotations(600, stencil.STEN2, 10)
+	est, err := core.NewEstimator(e.Net, e.Fitted, ann)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := core.Partition(est)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stencil.RunSim(e.Net, res.Config, res.Vector, stencil.STEN2, 600, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStencilLiveLocal measures a real concurrent execution (6
+// goroutine tasks over the in-memory transport) at N=240.
+func BenchmarkStencilLiveLocal(b *testing.B) {
+	net := model.PaperTestbed()
+	cfg := experiments.PaperConfig(4, 2)
+	vec, err := core.Decompose(net, cfg, 240, model.OpFloat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		world, err := netpart.NewLocalWorld(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := stencil.RunLive(world, vec, stencil.STEN2, 240, 10, nil); err != nil {
+			b.Fatal(err)
+		}
+		for _, tr := range world {
+			tr.Close()
+		}
+	}
+}
+
+// BenchmarkMMPSRoundTripUDP measures the reliable-UDP substrate's
+// request/response latency.
+func BenchmarkMMPSRoundTripUDP(b *testing.B) {
+	world, err := netpart.NewUDPWorld(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		for _, tr := range world {
+			tr.Close()
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			buf, err := world[1].Recv(0)
+			if err != nil {
+				return
+			}
+			if err := world[1].Send(0, buf); err != nil {
+				return
+			}
+		}
+	}()
+	payload := make([]byte, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := world[0].Send(1, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := world[0].Recv(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	world[1].Close()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+	}
+}
+
+// BenchmarkSequentialStencil is the single-processor reference kernel.
+func BenchmarkSequentialStencil(b *testing.B) {
+	grid := stencil.NewGrid(600)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		stencil.Sequential(grid, 1)
+	}
+}
+
+// BenchmarkSequentialGauss is the reference elimination kernel.
+func BenchmarkSequentialGauss(b *testing.B) {
+	s := gauss.NewSystem(128, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gauss.Sequential(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAdaptiveRepartition regenerates E9: dynamic repartitioning with
+// real row migration under injected load.
+func BenchmarkAdaptiveRepartition(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Adaptive(e, 200, 40); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMetasystem regenerates E10: partitioning on the metasystem
+// testbed (includes its own commbench run).
+func BenchmarkMetasystem(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Metasystem(1200); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStartup regenerates E11: measured and estimated initial
+// distribution costs.
+func BenchmarkStartup(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Startup(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPartitionGlobal measures the general-case search (ablation A7).
+func BenchmarkPartitionGlobal(b *testing.B) {
+	e := benchEnv(b)
+	ann := stencil.Annotations(300, stencil.STEN2, 10)
+	est, err := core.NewEstimator(e.Net, e.Paper, ann)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.PartitionGlobal(est); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnnotationCompile measures the annotation-spec compiler.
+func BenchmarkAnnotationCompile(b *testing.B) {
+	spec := `{
+	  "name": "STEN-2", "params": {"N": 600}, "num_pdus": "N", "cycles": 10,
+	  "compute": [{"name": "grid-update", "complexity_per_pdu": "5*N"}],
+	  "comm": [{"name": "border", "topology": "1-D",
+	            "bytes_per_message": "4*N", "overlap": "grid-update"}]
+	}`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := netpart.CompileAnnotations(strings.NewReader(spec)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkImplSelect regenerates E12: implementation selection between
+// the 1-D and 2-D decompositions across all problem sizes.
+func BenchmarkImplSelect(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ImplSelect(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStencil2DSim measures one simulated 2-D execution at N=600 on
+// the full 3×4 mesh.
+func BenchmarkStencil2DSim(b *testing.B) {
+	net := model.PaperTestbed()
+	cfg := experiments.PaperConfig(6, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := stencil2d.RunSim(net, cfg, 600, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkParticles regenerates E13: the particle simulation with uniform
+// versus density-weighted decomposition.
+func BenchmarkParticles(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Particles(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSelectionCost regenerates E14: runtime partitioning versus
+// Reeves-style benchmarked selection.
+func BenchmarkSelectionCost(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.SelectionCost(e, 300); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGaussCyclic measures the block-cyclic elimination against the
+// contiguous assignment at a compute-bound size.
+func BenchmarkGaussCyclic(b *testing.B) {
+	net := model.PaperTestbed()
+	cfg := experiments.PaperConfig(2, 0)
+	s := gauss.NewSystem(128, 7)
+	vec, err := core.Decompose(net, cfg, 128, model.OpFloat)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		blocks int
+	}{{"contiguous", 1}, {"cyclic8", 8}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := gauss.RunSimCyclic(net, cfg, vec, tc.blocks, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkNoise regenerates E15: cost-model fitting and partitioning
+// across channel-jitter levels.
+func BenchmarkNoise(b *testing.B) {
+	e := benchEnv(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Noise(e); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

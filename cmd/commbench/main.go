@@ -1,0 +1,94 @@
+// Command commbench runs the paper's offline communication benchmarking
+// step on the simulated network: topology-specific communication programs
+// are executed over a grid of message sizes and processor counts, Eq. 1
+// cost functions are fitted per (cluster, topology), and the resulting
+// constants are printed next to the paper's published ones.
+//
+// Usage:
+//
+//	commbench [-spec network.json] [-topologies 1-D,broadcast] [-cycles 10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"netpart/internal/commbench"
+	"netpart/internal/cost"
+	"netpart/internal/model"
+	"netpart/internal/topo"
+)
+
+func main() {
+	spec := flag.String("spec", "", "network spec JSON (default: the paper's Sparc2+IPC testbed)")
+	topoList := flag.String("topologies", "1-D,ring,broadcast", "comma-separated topology names")
+	cycles := flag.Int("cycles", 10, "communication cycles per measurement")
+	out := flag.String("o", "", "write the fitted cost table as JSON to this file (readable by partition -costs)")
+	flag.Parse()
+
+	if err := run(*spec, *topoList, *cycles, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "commbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec, topoList string, cycles int, out string) error {
+	net := model.PaperTestbed()
+	if spec != "" {
+		f, err := os.Open(spec)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		net, err = model.ReadSpec(f)
+		if err != nil {
+			return err
+		}
+	}
+	var tops []topo.Topology
+	for _, name := range strings.Split(topoList, ",") {
+		tp, err := topo.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		tops = append(tops, tp)
+	}
+	grid := commbench.DefaultGrid()
+	grid.Cycles = cycles
+	res, err := commbench.Run(net, tops, grid)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println("Fitted Eq. 1 constants: T = c1 + c2·p + b·(c3 + c4·p)  (ms, bytes)")
+	fmt.Println()
+	paper := cost.PaperTable()
+	for _, f := range res.Fits {
+		fmt.Printf("  T_comm[%s, %s](b,p) = %s   (R²=%.4f, %d samples)\n",
+			f.Cluster, f.Topology, f.Params, f.Quality.R2, f.Samples)
+		if p, err := paper.Comm(f.Cluster, f.Topology); err == nil {
+			fmt.Printf("      paper §6:            %s\n", p)
+		}
+	}
+	fmt.Println()
+	for pair, r := range res.Router {
+		fmt.Printf("  T_router[%s, %s](b) = %.6f·b ms   (paper §6: 0.0006·b)\n", pair[0], pair[1], r.Ms)
+	}
+	for pair, c := range res.Coerce {
+		fmt.Printf("  T_coerce[%s, %s](b) = %.6f·b ms\n", pair[0], pair[1], c.Ms)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := cost.WriteTable(f, res.Table); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote fitted cost table to %s\n", out)
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunDefaultTestbed(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "table.json")
+	if err := run("", "1-D", 3, out); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Errorf("table not written: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "starcube", 3, ""); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if err := run("missing.json", "1-D", 3, ""); err == nil {
+		t.Error("missing spec accepted")
+	}
+}

@@ -1,0 +1,171 @@
+// Command partition runs the runtime partitioning method: given a network
+// model (the built-in paper testbed or a JSON spec) and an application's
+// annotations, it prints the chosen processor configuration, the partition
+// vector, and the cost estimate.
+//
+// Usage:
+//
+//	partition [-spec network.json] [-app sten1|sten2|gauss] [-n 600]
+//	          [-constants paper|fitted] [-search bisect|scan|exhaustive]
+//	          [-available sparc2=4,ipc=6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"netpart/internal/annspec"
+	"netpart/internal/commbench"
+	"netpart/internal/core"
+	"netpart/internal/cost"
+	"netpart/internal/gauss"
+	"netpart/internal/model"
+	"netpart/internal/stencil"
+	"netpart/internal/topo"
+)
+
+func main() {
+	spec := flag.String("spec", "", "network spec JSON (default: the paper's Sparc2+IPC testbed)")
+	app := flag.String("app", "sten1", "application: sten1, sten2, or gauss")
+	annFile := flag.String("annspec", "", "compile annotations from a JSON spec file instead of -app (see specs/)")
+	n := flag.Int("n", 600, "problem size N")
+	iters := flag.Int("iters", 10, "iteration count (stencil)")
+	constants := flag.String("constants", "fitted", "cost table: 'fitted' (benchmark the simulated network) or 'paper' (published constants; paper testbed only)")
+	costFile := flag.String("costs", "", "load a fitted cost table from JSON (written by commbench -o) instead of -constants")
+	search := flag.String("search", "bisect", "search strategy: bisect, scan, or exhaustive")
+	available := flag.String("available", "", "override availability, e.g. sparc2=4,ipc=6")
+	flag.Parse()
+
+	if err := run(*spec, *app, *annFile, *n, *iters, *constants, *search, *available, *costFile); err != nil {
+		fmt.Fprintln(os.Stderr, "partition:", err)
+		os.Exit(1)
+	}
+}
+
+func run(spec, app, annFile string, n, iters int, constants, search, available, costFile string) error {
+	net := model.PaperTestbed()
+	if spec != "" {
+		f, err := os.Open(spec)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		net, err = model.ReadSpec(f)
+		if err != nil {
+			return err
+		}
+	}
+	if available != "" {
+		for _, kv := range strings.Split(available, ",") {
+			parts := strings.SplitN(kv, "=", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad -available entry %q", kv)
+			}
+			c := net.Cluster(parts[0])
+			if c == nil {
+				return fmt.Errorf("unknown cluster %q", parts[0])
+			}
+			v, err := strconv.Atoi(parts[1])
+			if err != nil {
+				return err
+			}
+			c.Available = v
+		}
+		if err := net.Validate(); err != nil {
+			return err
+		}
+	}
+
+	var ann *core.Annotations
+	if annFile != "" {
+		f, err := os.Open(annFile)
+		if err != nil {
+			return err
+		}
+		compiled, err := annspec.CompileReader(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		ann = compiled
+		n = ann.NumPDUs()
+	}
+	switch {
+	case ann != nil:
+		// compiled from -annspec
+	default:
+		switch app {
+		case "sten1":
+			ann = stencil.Annotations(n, stencil.STEN1, iters)
+		case "sten2":
+			ann = stencil.Annotations(n, stencil.STEN2, iters)
+		case "gauss":
+			ann = gauss.Annotations(n)
+		default:
+			return fmt.Errorf("unknown app %q", app)
+		}
+	}
+
+	var tbl *cost.Table
+	if costFile != "" {
+		f, err := os.Open(costFile)
+		if err != nil {
+			return err
+		}
+		loaded, err := cost.ReadTable(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		tbl = loaded
+		constants = "file"
+	}
+	switch constants {
+	case "file":
+		// loaded above
+	case "paper":
+		tbl = cost.PaperTable()
+	case "fitted":
+		fmt.Println("benchmarking communication on the simulated network...")
+		res, err := commbench.Run(net, []topo.Topology{topo.OneD{}, topo.Broadcast{}}, commbench.DefaultGrid())
+		if err != nil {
+			return err
+		}
+		tbl = res.Table
+	default:
+		return fmt.Errorf("unknown constants %q", constants)
+	}
+
+	est, err := core.NewEstimator(net, tbl, ann)
+	if err != nil {
+		return err
+	}
+	var res core.Result
+	switch search {
+	case "bisect":
+		res, err = core.Partition(est)
+	case "scan":
+		res, err = core.PartitionLinear(est)
+	case "exhaustive":
+		res, err = core.PartitionExhaustive(est)
+	default:
+		return fmt.Errorf("unknown search %q", search)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("application        : %s (N=%d, %d PDUs)\n", ann.Name, n, ann.NumPDUs())
+	fmt.Printf("configuration      : %v  (%d processors)\n", res.Config, res.Config.Total())
+	fmt.Printf("partition vector   : %v\n", res.Vector)
+	fmt.Printf("estimated T_c      : %.3f ms/cycle\n", res.TcMs)
+	fmt.Printf("  T_comp %.3f + T_comm %.3f - T_overlap %.3f\n", res.TcompMs, res.TcommMs, res.ToverlapMs)
+	if ann.Cycles > 0 {
+		fmt.Printf("estimated elapsed  : %.1f ms (%d cycles)\n", res.ElapsedMs(ann.Cycles), ann.Cycles)
+	}
+	fmt.Printf("search evaluations : %d (Eq. 3/6 recomputations)\n", res.Evaluations)
+	return nil
+}

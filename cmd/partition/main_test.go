@@ -1,0 +1,54 @@
+package main
+
+import "testing"
+
+func TestRunPaperConstants(t *testing.T) {
+	if err := run("", "sten2", "", 300, 10, "paper", "bisect", "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFittedGauss(t *testing.T) {
+	if err := run("", "gauss", "", 100, 10, "fitted", "scan", "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunExhaustiveWithAvailability(t *testing.T) {
+	if err := run("", "sten1", "", 300, 10, "paper", "exhaustive", "sparc2=3,ipc=2", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAnnspecFile(t *testing.T) {
+	if err := run("", "", "../../specs/sten2.json", 0, 10, "paper", "bisect", "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCostFile(t *testing.T) {
+	if err := run("", "sten1", "", 100, 10, "fitted", "bisect", "", "missing.json"); err == nil {
+		t.Error("missing cost file accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "bogus", "", 100, 10, "paper", "bisect", "", ""); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if err := run("", "sten1", "", 100, 10, "bogus", "bisect", "", ""); err == nil {
+		t.Error("unknown constants accepted")
+	}
+	if err := run("", "sten1", "", 100, 10, "paper", "bogus", "", ""); err == nil {
+		t.Error("unknown search accepted")
+	}
+	if err := run("", "sten1", "", 100, 10, "paper", "bisect", "nope=1", ""); err == nil {
+		t.Error("unknown cluster accepted")
+	}
+	if err := run("", "sten1", "", 100, 10, "paper", "bisect", "garbage", ""); err == nil {
+		t.Error("malformed availability accepted")
+	}
+	if err := run("nonexistent.json", "sten1", "", 100, 10, "paper", "bisect", "", ""); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}

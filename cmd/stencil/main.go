@@ -1,0 +1,209 @@
+// Command stencil runs the paper's evaluation application end to end:
+// partition (or take an explicit configuration), execute STEN-1/STEN-2 on
+// the simulated network or over real UDP message passing, verify the
+// result against the sequential reference, and report elapsed time.
+//
+// Usage:
+//
+//	stencil [-n 600] [-variant sten1|sten2] [-iters 10]
+//	        [-p1 -1] [-p2 -1]            explicit configuration (-1 = auto-partition)
+//	        [-runtime sim|live]          simulated network or real goroutines+UDP
+//	        [-verify]                    check against the sequential solver
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"netpart/internal/commbench"
+	"netpart/internal/core"
+	"netpart/internal/cost"
+	"netpart/internal/mmps"
+	"netpart/internal/model"
+	"netpart/internal/spmd"
+	"netpart/internal/stencil"
+	"netpart/internal/topo"
+)
+
+// spmdReport aliases the report type shared by the sim modes.
+type spmdReport = spmd.Report
+
+func main() {
+	n := flag.Int("n", 600, "grid size N (N×N grid, N row PDUs)")
+	variantName := flag.String("variant", "sten2", "sten1 (no overlap) or sten2 (overlapped)")
+	iters := flag.Int("iters", 10, "Jacobi iterations")
+	p1 := flag.Int("p1", -1, "Sparc2 processors (-1 = choose via the partitioning method)")
+	p2 := flag.Int("p2", -1, "IPC processors (-1 = choose via the partitioning method)")
+	runtime := flag.String("runtime", "sim", "sim (virtual time) or live (goroutines + UDP)")
+	verify := flag.Bool("verify", true, "verify against the sequential reference")
+	mode := flag.String("mode", "fixed", "sim modes: fixed iterations, converge (run to -tol), adaptive (dynamic repartitioning under -slowrank load)")
+	tol := flag.Float64("tol", 0.01, "convergence tolerance for -mode converge")
+	slowRank := flag.Int("slowrank", 1, "rank slowed in -mode adaptive")
+	slowFactor := flag.Float64("slowfactor", 4, "slowdown factor in -mode adaptive")
+	flag.Parse()
+
+	if err := run(*n, *variantName, *iters, *p1, *p2, *runtime, *verify, *mode, *tol, *slowRank, *slowFactor); err != nil {
+		fmt.Fprintln(os.Stderr, "stencil:", err)
+		os.Exit(1)
+	}
+}
+
+func run(n int, variantName string, iters, p1, p2 int, runtime string, verify bool, mode string, tol float64, slowRank int, slowFactor float64) error {
+	var variant stencil.Variant
+	switch variantName {
+	case "sten1":
+		variant = stencil.STEN1
+	case "sten2":
+		variant = stencil.STEN2
+	default:
+		return fmt.Errorf("unknown variant %q", variantName)
+	}
+	net := model.PaperTestbed()
+
+	var vec core.Vector
+	var chosen = struct{ p1, p2 int }{p1, p2}
+	if p1 < 0 || p2 < 0 {
+		fmt.Println("partitioning: benchmarking communication and searching configurations...")
+		bench, err := commbench.Run(net, []topo.Topology{topo.OneD{}}, commbench.DefaultGrid())
+		if err != nil {
+			return err
+		}
+		est, err := core.NewEstimator(net, bench.Table, stencil.Annotations(n, variant, iters))
+		if err != nil {
+			return err
+		}
+		res, err := core.Partition(est)
+		if err != nil {
+			return err
+		}
+		chosen.p1, chosen.p2 = res.Config.Counts[0], res.Config.Counts[1]
+		vec = res.Vector
+		fmt.Printf("partitioning: chose %v, predicted T_c %.3f ms/cycle (%d evaluations)\n",
+			res.Config, res.TcMs, res.Evaluations)
+	}
+	cfgCost := cost.Config{
+		Clusters: []string{model.Sparc2Cluster, model.IPCCluster},
+		Counts:   []int{chosen.p1, chosen.p2},
+	}
+	if vec == nil {
+		var err error
+		vec, err = core.Decompose(net, cfgCost, n, model.OpFloat)
+		if err != nil {
+			return err
+		}
+	}
+	fmt.Printf("configuration  : sparc2:%d ipc:%d\n", chosen.p1, chosen.p2)
+	fmt.Printf("partition vec  : %v\n", vec)
+
+	var grid [][]float64
+	switch runtime {
+	case "sim":
+		var rep spmdReport
+		switch mode {
+		case "fixed":
+			res, err := stencil.RunSim(net, cfgCost, vec, variant, n, iters)
+			if err != nil {
+				return err
+			}
+			grid = res.Grid
+			rep = res.Report
+			fmt.Printf("simulated time : %.1f ms (%d iterations, %s)\n", res.ElapsedMs, iters, variant)
+		case "converge":
+			res, err := stencil.RunSimUntil(net, cfgCost, vec, variant, n, tol, iters*100)
+			if err != nil {
+				return err
+			}
+			grid = res.Grid
+			rep = res.Report
+			verify = false // iteration count is tolerance driven
+			fmt.Printf("simulated time : %.1f ms (converged to Δ≤%g in %d iterations, %s)\n",
+				res.ElapsedMs, tol, res.Iterations, variant)
+			wantGrid, wantIters, _ := stencil.SequentialUntil(stencil.NewGrid(n), tol, iters*100)
+			if res.Iterations != wantIters {
+				return fmt.Errorf("converged in %d iterations, sequential needs %d", res.Iterations, wantIters)
+			}
+			for i := range wantGrid {
+				for j := range wantGrid[i] {
+					if grid[i][j] != wantGrid[i][j] {
+						return fmt.Errorf("verification FAILED at (%d,%d)", i, j)
+					}
+				}
+			}
+			fmt.Println("verification   : converged grid matches the sequential reference exactly")
+		case "adaptive":
+			slow := func(rank, iter int) float64 {
+				if rank == slowRank && iter >= iters/8 {
+					return slowFactor
+				}
+				return 1
+			}
+			static, err := stencil.RunSimAdaptive(net, cfgCost, vec, variant, n, iters,
+				stencil.AdaptiveOptions{Slowdown: slow})
+			if err != nil {
+				return err
+			}
+			res, err := stencil.RunSimAdaptive(net, cfgCost, vec, variant, n, iters,
+				stencil.AdaptiveOptions{Slowdown: slow, RebalanceEvery: iters / 8})
+			if err != nil {
+				return err
+			}
+			grid = res.Grid
+			rep = res.Report
+			fmt.Printf("simulated time : static %.1f ms vs adaptive %.1f ms (%.2fx; %d rebalances, %d rows migrated)\n",
+				static.ElapsedMs, res.ElapsedMs, static.ElapsedMs/res.ElapsedMs, res.Rebalances, res.MigratedRows)
+			fmt.Printf("final vector   : %v\n", res.FinalVector)
+		default:
+			return fmt.Errorf("unknown mode %q", mode)
+		}
+		for _, s := range rep.Segments {
+			fmt.Printf("  segment %-8s %6d msgs  %8d bytes  busy %.1f ms\n", s.Name, s.Messages, s.Bytes, s.BusyMs)
+		}
+	case "live":
+		tasks := chosen.p1 + chosen.p2
+		eps, err := mmps.NewUDPWorld(tasks, mmps.WithRecvTimeout(60*time.Second))
+		if err != nil {
+			return err
+		}
+		world := make([]mmps.Transport, tasks)
+		for i, ep := range eps {
+			world[i] = ep
+		}
+		defer func() {
+			for _, ep := range eps {
+				ep.Close()
+			}
+		}()
+		// Emulate the 2x slower IPCs by doubling their row work.
+		factors := make([]int, tasks)
+		for i := range factors {
+			factors[i] = 1
+			if i >= chosen.p1 {
+				factors[i] = 2
+			}
+		}
+		res, err := stencil.RunLive(world, vec, variant, n, iters, factors)
+		if err != nil {
+			return err
+		}
+		grid = res.Grid
+		fmt.Printf("wall-clock time: %v (%d iterations, %s, %d tasks over UDP)\n",
+			res.Elapsed, iters, variant, tasks)
+	default:
+		return fmt.Errorf("unknown runtime %q", runtime)
+	}
+
+	if verify {
+		want := stencil.Sequential(stencil.NewGrid(n), iters)
+		for i := range want {
+			for j := range want[i] {
+				if grid[i][j] != want[i][j] {
+					return fmt.Errorf("verification FAILED at (%d,%d): %v != %v", i, j, grid[i][j], want[i][j])
+				}
+			}
+		}
+		fmt.Println("verification   : distributed grid matches the sequential reference exactly")
+	}
+	return nil
+}

@@ -1,0 +1,39 @@
+package main
+
+import "testing"
+
+func TestRunSimFixed(t *testing.T) {
+	if err := run(48, "sten1", 3, 2, 1, "sim", true, "fixed", 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimConverge(t *testing.T) {
+	if err := run(32, "sten2", 10, 2, 0, "sim", true, "converge", 0.05, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSimAdaptive(t *testing.T) {
+	if err := run(64, "sten1", 16, 3, 0, "sim", false, "adaptive", 0, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLiveSmall(t *testing.T) {
+	if err := run(24, "sten2", 2, 2, 1, "live", true, "fixed", 0, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(24, "bogus", 2, 1, 0, "sim", false, "fixed", 0, 0, 1); err == nil {
+		t.Error("unknown variant accepted")
+	}
+	if err := run(24, "sten1", 2, 1, 0, "bogus", false, "fixed", 0, 0, 1); err == nil {
+		t.Error("unknown runtime accepted")
+	}
+	if err := run(24, "sten1", 2, 1, 0, "sim", false, "bogus", 0, 0, 1); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

@@ -1,0 +1,301 @@
+package annspec
+
+import (
+	"errors"
+	"math"
+	"os"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"netpart/internal/core"
+	"netpart/internal/cost"
+	"netpart/internal/model"
+	"netpart/internal/particles"
+	"netpart/internal/stencil"
+)
+
+func evalOK(t *testing.T, src string, vars map[string]float64) float64 {
+	t.Helper()
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	v, err := e.Eval(vars)
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestExprArithmetic(t *testing.T) {
+	cases := []struct {
+		src  string
+		vars map[string]float64
+		want float64
+	}{
+		{"1+2*3", nil, 7},
+		{"(1+2)*3", nil, 9},
+		{"10-4-3", nil, 3},  // left associative
+		{"2^3^2", nil, 512}, // right associative
+		{"-2^2", nil, -4},   // unary binds outside power
+		{"7%4", nil, 3},
+		{"8/4/2", nil, 1},
+		{"5*N", map[string]float64{"N": 600}, 3000},
+		{"4*N", map[string]float64{"N": 1200}, 4800},
+		{"8*(N+2)", map[string]float64{"N": 100}, 816},
+		{"sqrt(16)+log2(8)", nil, 7},
+		{"min(3, 5) + max(3, 5)", nil, 8},
+		{"ceil(1.2)+floor(1.8)+abs(-2)", nil, 5},
+		{"pow(2, 10)", nil, 1024},
+		{"ln(1)", nil, 0},
+		{"2e3 + 1.5e-1", nil, 2000.15},
+		{"A*N", map[string]float64{"A": 2, "N": 3}, 6},
+	}
+	for _, c := range cases {
+		if got := evalOK(t, c.src, c.vars); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%q = %v, want %v", c.src, got, c.want)
+		}
+	}
+}
+
+func TestExprErrors(t *testing.T) {
+	parseErrs := []string{"", "1+", "(1", "1 2", "foo(", "@", "min(1,)", "1..2"}
+	for _, src := range parseErrs {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+	e := MustParse("N+M")
+	if _, err := e.Eval(map[string]float64{"N": 1}); !errors.Is(err, ErrUnbound) {
+		t.Errorf("unbound: %v", err)
+	}
+	if _, err := MustParse("1/0").Eval(nil); err == nil {
+		t.Error("division by zero accepted")
+	}
+	if _, err := MustParse("1%0").Eval(nil); err == nil {
+		t.Error("modulo by zero accepted")
+	}
+	if _, err := MustParse("frob(1)").Eval(nil); !errors.Is(err, ErrBadCall) {
+		t.Error("unknown function accepted")
+	}
+	if _, err := MustParse("sqrt(1,2)").Eval(nil); !errors.Is(err, ErrBadCall) {
+		t.Error("wrong arity accepted")
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("((")
+}
+
+func TestVars(t *testing.T) {
+	e := MustParse("5*N + A*min(N, M) - sqrt(N)")
+	got := e.Vars()
+	want := []string{"A", "M", "N"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+	if e.String() != "5*N + A*min(N, M) - sqrt(N)" {
+		t.Errorf("String = %q", e.String())
+	}
+}
+
+// Property: integer arithmetic expressions built from + - * evaluate the
+// same as direct computation.
+func TestExprMatchesGoProperty(t *testing.T) {
+	f := func(a, b, c int16) bool {
+		vars := map[string]float64{"a": float64(a), "b": float64(b), "c": float64(c)}
+		got := evalT(t, "a*b + c - a", vars)
+		want := float64(a)*float64(b) + float64(c) - float64(a)
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func evalT(t *testing.T, src string, vars map[string]float64) float64 {
+	e, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Eval(vars)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+const stenSpec = `{
+  "name": "STEN-2",
+  "params": {"N": 600},
+  "num_pdus": "N",
+  "cycles": 10,
+  "compute": [
+    {"name": "grid-update", "complexity_per_pdu": "5*N", "class": "float"}
+  ],
+  "comm": [
+    {"name": "border-exchange", "topology": "1-D",
+     "bytes_per_message": "4*N", "overlap": "grid-update"}
+  ]
+}`
+
+func TestCompileStencilSpecMatchesHandWritten(t *testing.T) {
+	ann, err := CompileReader(strings.NewReader(stenSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand := stencil.Annotations(600, stencil.STEN2, 10)
+	if ann.NumPDUs() != hand.NumPDUs() {
+		t.Errorf("NumPDUs %d vs %d", ann.NumPDUs(), hand.NumPDUs())
+	}
+	if got, want := ann.Compute[0].ComplexityPerPDU(), hand.Compute[0].ComplexityPerPDU(); got != want {
+		t.Errorf("complexity %v vs %v", got, want)
+	}
+	if got, want := ann.Comm[0].BytesPerMessage(50), hand.Comm[0].BytesPerMessage(50); got != want {
+		t.Errorf("bytes %v vs %v", got, want)
+	}
+	if ann.Comm[0].Overlap != "grid-update" {
+		t.Errorf("overlap %q", ann.Comm[0].Overlap)
+	}
+
+	// The compiled annotations must drive the partitioner to the same
+	// decision as the hand-written ones.
+	net := model.PaperTestbed()
+	tbl := cost.PaperTable()
+	e1, err := core.NewEstimator(net, tbl, ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := core.Partition(e1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := core.NewEstimator(net, tbl, hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.Partition(e2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Config.String() != r2.Config.String() || r1.TcMs != r2.TcMs {
+		t.Errorf("compiled spec partitioned differently: %v (%v) vs %v (%v)",
+			r1.Config, r1.TcMs, r2.Config, r2.TcMs)
+	}
+}
+
+func TestCompileNonLinearTotalOps(t *testing.T) {
+	spec := `{
+	  "name": "quad",
+	  "params": {"N": 100},
+	  "num_pdus": "N",
+	  "compute": [
+	    {"name": "work", "complexity_per_pdu": "N",
+	     "total_ops": "A^2 * 2"}
+	  ],
+	  "comm": []
+	}`
+	ann, err := CompileReader(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ann.Compute[0].TotalOps == nil {
+		t.Fatal("TotalOps not compiled")
+	}
+	if got := ann.Compute[0].TotalOps(5); got != 50 {
+		t.Errorf("TotalOps(5) = %v, want 50", got)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"unknown field":    `{"bogus": 1}`,
+		"no num_pdus":      `{"name":"x","compute":[{"name":"c","complexity_per_pdu":"1"}]}`,
+		"bad num expr":     `{"name":"x","num_pdus":"(","compute":[{"name":"c","complexity_per_pdu":"1"}]}`,
+		"unbound param":    `{"name":"x","num_pdus":"Q","compute":[{"name":"c","complexity_per_pdu":"1"}]}`,
+		"A in num_pdus":    `{"name":"x","num_pdus":"A","compute":[{"name":"c","complexity_per_pdu":"1"}]}`,
+		"bad class":        `{"name":"x","num_pdus":"10","compute":[{"name":"c","complexity_per_pdu":"1","class":"quantum"}]}`,
+		"no complexity":    `{"name":"x","num_pdus":"10","compute":[{"name":"c"}]}`,
+		"bad topology":     `{"name":"x","num_pdus":"10","compute":[{"name":"c","complexity_per_pdu":"1"}],"comm":[{"name":"m","topology":"starcube","bytes_per_message":"1"}]}`,
+		"no bytes":         `{"name":"x","num_pdus":"10","compute":[{"name":"c","complexity_per_pdu":"1"}],"comm":[{"name":"m","topology":"1-D"}]}`,
+		"dangling overlap": `{"name":"x","num_pdus":"10","compute":[{"name":"c","complexity_per_pdu":"1"}],"comm":[{"name":"m","topology":"1-D","bytes_per_message":"1","overlap":"zzz"}]}`,
+	}
+	for name, in := range cases {
+		if _, err := CompileReader(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestGaussLikeSpec(t *testing.T) {
+	// Non-uniform app over broadcast, message size depending on N.
+	spec := `{
+	  "name": "gauss",
+	  "params": {"N": 200},
+	  "num_pdus": "N",
+	  "cycles": 200,
+	  "compute": [{"name": "eliminate", "complexity_per_pdu": "N"}],
+	  "comm": [{"name": "pivot", "topology": "broadcast",
+	            "bytes_per_message": "8*(N+2)"}]
+	}`
+	ann, err := CompileReader(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ann.Comm[0].BytesPerMessage(0); got != 8*202 {
+		t.Errorf("bytes = %v", got)
+	}
+	if ann.Cycles != 200 {
+		t.Errorf("cycles = %d", ann.Cycles)
+	}
+}
+
+func TestParticlesSpecMatchesHandWritten(t *testing.T) {
+	f, err := os.Open("../../specs/particles.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ann, err := CompileReader(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hand := particles.Annotations(48, 1200, 10)
+	if ann.NumPDUs() != hand.NumPDUs() {
+		t.Errorf("NumPDUs %d vs %d", ann.NumPDUs(), hand.NumPDUs())
+	}
+	if got, want := ann.Compute[0].ComplexityPerPDU(), hand.Compute[0].ComplexityPerPDU(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("complexity %v vs %v", got, want)
+	}
+	if got, want := ann.Comm[0].BytesPerMessage(1), hand.Comm[0].BytesPerMessage(1); math.Abs(got-want) > 1e-9 {
+		t.Errorf("bytes %v vs %v", got, want)
+	}
+}
+
+func TestShippedSpecsCompile(t *testing.T) {
+	for _, name := range []string{"sten1.json", "sten2.json", "gauss.json", "particles.json"} {
+		f, err := os.Open("../../specs/" + name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		ann, err := CompileReader(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := ann.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

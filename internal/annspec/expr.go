@@ -1,0 +1,421 @@
+// Package annspec compiles declarative annotation specifications into the
+// callback functions the partitioning method consumes — the paper's §7
+// future-work item of replacing programmer-written callbacks with
+// compiler-generated ones. A specification names the program's phases and
+// gives their complexities as arithmetic expressions over problem
+// parameters (e.g. "5*N"); the compiler parses the expressions once and
+// emits closures evaluating them at partitioning time.
+package annspec
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Expr is a compiled arithmetic expression over named variables.
+type Expr struct {
+	root node
+	src  string
+}
+
+// node is one AST node.
+type node interface {
+	eval(vars map[string]float64) (float64, error)
+}
+
+// Parsing and evaluation errors.
+var (
+	ErrParse   = errors.New("annspec: parse error")
+	ErrUnbound = errors.New("annspec: unbound variable")
+	ErrBadCall = errors.New("annspec: bad function call")
+)
+
+// Parse compiles an expression. The grammar:
+//
+//	expr   := term (('+'|'-') term)*
+//	term   := unary (('*'|'/'|'%') unary)*
+//	unary  := '-' unary | power
+//	power  := atom ('^' unary)?          (right associative)
+//	atom   := number | ident | ident '(' expr (',' expr)* ')' | '(' expr ')'
+//
+// Functions: sqrt, log2, ln, ceil, floor, abs, min, max, pow.
+func Parse(src string) (*Expr, error) {
+	p := &parser{src: src, toks: nil}
+	if err := p.lex(); err != nil {
+		return nil, err
+	}
+	root, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, fmt.Errorf("%w: trailing input %q in %q", ErrParse, p.toks[p.pos].text, src)
+	}
+	return &Expr{root: root, src: src}, nil
+}
+
+// MustParse is Parse for expressions known valid at compile time.
+func MustParse(src string) *Expr {
+	e, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Eval evaluates the expression with the given variable bindings.
+func (e *Expr) Eval(vars map[string]float64) (float64, error) {
+	return e.root.eval(vars)
+}
+
+// String returns the original source.
+func (e *Expr) String() string { return e.src }
+
+// Vars returns the free variables of the expression, sorted and deduped.
+func (e *Expr) Vars() []string {
+	seen := map[string]bool{}
+	var walk func(n node)
+	walk = func(n node) {
+		switch v := n.(type) {
+		case varNode:
+			seen[string(v)] = true
+		case binNode:
+			walk(v.l)
+			walk(v.r)
+		case negNode:
+			walk(v.n)
+		case callNode:
+			for _, a := range v.args {
+				walk(a)
+			}
+		}
+	}
+	walk(e.root)
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// AST nodes.
+
+type numNode float64
+
+func (n numNode) eval(map[string]float64) (float64, error) { return float64(n), nil }
+
+type varNode string
+
+func (n varNode) eval(vars map[string]float64) (float64, error) {
+	v, ok := vars[string(n)]
+	if !ok {
+		return 0, fmt.Errorf("%w: %q", ErrUnbound, string(n))
+	}
+	return v, nil
+}
+
+type negNode struct{ n node }
+
+func (n negNode) eval(vars map[string]float64) (float64, error) {
+	v, err := n.n.eval(vars)
+	return -v, err
+}
+
+type binNode struct {
+	op   byte
+	l, r node
+}
+
+func (n binNode) eval(vars map[string]float64) (float64, error) {
+	l, err := n.l.eval(vars)
+	if err != nil {
+		return 0, err
+	}
+	r, err := n.r.eval(vars)
+	if err != nil {
+		return 0, err
+	}
+	switch n.op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("annspec: division by zero")
+		}
+		return l / r, nil
+	case '%':
+		if r == 0 {
+			return 0, fmt.Errorf("annspec: modulo by zero")
+		}
+		return math.Mod(l, r), nil
+	case '^':
+		return math.Pow(l, r), nil
+	}
+	return 0, fmt.Errorf("%w: operator %q", ErrParse, n.op)
+}
+
+type callNode struct {
+	name string
+	args []node
+}
+
+func (n callNode) eval(vars map[string]float64) (float64, error) {
+	args := make([]float64, len(n.args))
+	for i, a := range n.args {
+		v, err := a.eval(vars)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	need := func(k int) error {
+		if len(args) != k {
+			return fmt.Errorf("%w: %s takes %d argument(s), got %d", ErrBadCall, n.name, k, len(args))
+		}
+		return nil
+	}
+	switch n.name {
+	case "sqrt":
+		return math.Sqrt(args[0]), need(1)
+	case "log2":
+		return math.Log2(args[0]), need(1)
+	case "ln":
+		return math.Log(args[0]), need(1)
+	case "ceil":
+		return math.Ceil(args[0]), need(1)
+	case "floor":
+		return math.Floor(args[0]), need(1)
+	case "abs":
+		return math.Abs(args[0]), need(1)
+	case "min":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return math.Min(args[0], args[1]), nil
+	case "max":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return math.Max(args[0], args[1]), nil
+	case "pow":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return math.Pow(args[0], args[1]), nil
+	}
+	return 0, fmt.Errorf("%w: unknown function %q", ErrBadCall, n.name)
+}
+
+// Lexer and parser.
+
+type tokKind int
+
+const (
+	tokNum tokKind = iota
+	tokIdent
+	tokOp // + - * / % ^
+	tokLParen
+	tokRParen
+	tokComma
+)
+
+type token struct {
+	kind tokKind
+	text string
+	num  float64
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) lex() error {
+	s := p.src
+	i := 0
+	for i < len(s) {
+		c := rune(s[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c >= '0' && c <= '9' || c == '.':
+			j := i
+			for j < len(s) && (s[j] >= '0' && s[j] <= '9' || s[j] == '.' || s[j] == 'e' || s[j] == 'E' ||
+				((s[j] == '+' || s[j] == '-') && j > i && (s[j-1] == 'e' || s[j-1] == 'E'))) {
+				j++
+			}
+			v, err := strconv.ParseFloat(s[i:j], 64)
+			if err != nil {
+				return fmt.Errorf("%w: bad number %q", ErrParse, s[i:j])
+			}
+			p.toks = append(p.toks, token{kind: tokNum, text: s[i:j], num: v})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i
+			for j < len(s) && (unicode.IsLetter(rune(s[j])) || unicode.IsDigit(rune(s[j])) || s[j] == '_') {
+				j++
+			}
+			p.toks = append(p.toks, token{kind: tokIdent, text: s[i:j]})
+			i = j
+		case strings.ContainsRune("+-*/%^", c):
+			p.toks = append(p.toks, token{kind: tokOp, text: string(c)})
+			i++
+		case c == '(':
+			p.toks = append(p.toks, token{kind: tokLParen, text: "("})
+			i++
+		case c == ')':
+			p.toks = append(p.toks, token{kind: tokRParen, text: ")"})
+			i++
+		case c == ',':
+			p.toks = append(p.toks, token{kind: tokComma, text: ","})
+			i++
+		default:
+			return fmt.Errorf("%w: unexpected character %q in %q", ErrParse, c, p.src)
+		}
+	}
+	return nil
+}
+
+func (p *parser) peek() *token {
+	if p.pos < len(p.toks) {
+		return &p.toks[p.pos]
+	}
+	return nil
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	t := p.peek()
+	if t == nil || t.kind != kind || (text != "" && t.text != text) {
+		return false
+	}
+	p.pos++
+	return true
+}
+
+func (p *parser) parseExpr() (node, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t == nil || t.kind != tokOp || (t.text != "+" && t.text != "-") {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: t.text[0], l: left, r: right}
+	}
+}
+
+func (p *parser) parseTerm() (node, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t == nil || t.kind != tokOp || (t.text != "*" && t.text != "/" && t.text != "%") {
+			return left, nil
+		}
+		p.pos++
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = binNode{op: t.text[0], l: left, r: right}
+	}
+}
+
+func (p *parser) parseUnary() (node, error) {
+	if p.accept(tokOp, "-") {
+		n, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return negNode{n: n}, nil
+	}
+	return p.parsePower()
+}
+
+func (p *parser) parsePower() (node, error) {
+	base, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	if p.accept(tokOp, "^") {
+		exp, err := p.parseUnary() // right associative
+		if err != nil {
+			return nil, err
+		}
+		return binNode{op: '^', l: base, r: exp}, nil
+	}
+	return base, nil
+}
+
+func (p *parser) parseAtom() (node, error) {
+	t := p.peek()
+	if t == nil {
+		return nil, fmt.Errorf("%w: unexpected end of %q", ErrParse, p.src)
+	}
+	switch t.kind {
+	case tokNum:
+		p.pos++
+		return numNode(t.num), nil
+	case tokIdent:
+		p.pos++
+		if !p.accept(tokLParen, "") {
+			return varNode(t.text), nil
+		}
+		var args []node
+		if !p.accept(tokRParen, "") {
+			for {
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.accept(tokComma, "") {
+					continue
+				}
+				if p.accept(tokRParen, "") {
+					break
+				}
+				return nil, fmt.Errorf("%w: expected ',' or ')' in call to %s", ErrParse, t.text)
+			}
+		}
+		return callNode{name: t.text, args: args}, nil
+	case tokLParen:
+		p.pos++
+		inner, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if !p.accept(tokRParen, "") {
+			return nil, fmt.Errorf("%w: missing ')' in %q", ErrParse, p.src)
+		}
+		return inner, nil
+	}
+	return nil, fmt.Errorf("%w: unexpected token %q in %q", ErrParse, t.text, p.src)
+}

@@ -1,0 +1,52 @@
+package annspec
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzParse hardens the expression parser: arbitrary input must never
+// panic, and anything that parses must evaluate (or return an error)
+// without panicking for any variable binding.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"5*N", "4*(N+2)", "sqrt(A)*4", "a*b+c-a", "min(1,2)^max(3,4)",
+		"((((", "1//2", "-", "N%M", "1e309", "pow(2,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		vars := map[string]float64{}
+		for _, v := range e.Vars() {
+			vars[v] = 3
+		}
+		got, err := e.Eval(vars)
+		if err != nil {
+			return
+		}
+		_ = math.IsNaN(got) // any float is acceptable; only panics are bugs
+	})
+}
+
+// FuzzCompile hardens the spec compiler against malformed JSON.
+func FuzzCompile(f *testing.F) {
+	f.Add(`{"name":"x","num_pdus":"10","compute":[{"name":"c","complexity_per_pdu":"1"}]}`)
+	f.Add(`{`)
+	f.Add(`[]`)
+	f.Fuzz(func(t *testing.T, src string) {
+		ann, err := CompileReader(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		// A compiled spec must have working callbacks.
+		_ = ann.NumPDUs()
+		for i := range ann.Compute {
+			_ = ann.Compute[i].ComplexityPerPDU()
+		}
+	})
+}

@@ -1,0 +1,217 @@
+package annspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"netpart/internal/core"
+	"netpart/internal/model"
+)
+
+// Spec is the declarative annotation format. Expressions may reference the
+// problem parameters declared in Params; inside "bytes_per_message" and
+// "total_ops" the variable A additionally binds to the task's PDU count.
+//
+// Example (the paper's STEN-2 annotations for an N×N stencil):
+//
+//	{
+//	  "name": "STEN-2",
+//	  "params": {"N": 600},
+//	  "num_pdus": "N",
+//	  "cycles": 10,
+//	  "compute": [
+//	    {"name": "grid-update", "complexity_per_pdu": "5*N", "class": "float"}
+//	  ],
+//	  "comm": [
+//	    {"name": "border-exchange", "topology": "1-D",
+//	     "bytes_per_message": "4*N", "overlap": "grid-update"}
+//	  ]
+//	}
+type Spec struct {
+	Name    string             `json:"name"`
+	Params  map[string]float64 `json:"params"`
+	NumPDUs string             `json:"num_pdus"`
+	Cycles  int                `json:"cycles,omitempty"`
+	Compute []ComputeSpec      `json:"compute"`
+	Comm    []CommSpec         `json:"comm"`
+}
+
+// ComputeSpec declares one computation phase.
+type ComputeSpec struct {
+	Name             string `json:"name"`
+	ComplexityPerPDU string `json:"complexity_per_pdu"`
+	// TotalOps optionally declares a non-linear per-task cost as an
+	// expression over A (the task's PDU count) and the parameters.
+	TotalOps string `json:"total_ops,omitempty"`
+	// Class is "float" (default) or "int".
+	Class string `json:"class,omitempty"`
+}
+
+// CommSpec declares one communication phase.
+type CommSpec struct {
+	Name            string `json:"name"`
+	Topology        string `json:"topology"`
+	BytesPerMessage string `json:"bytes_per_message"`
+	Overlap         string `json:"overlap,omitempty"`
+}
+
+// Read parses a JSON specification.
+func Read(r io.Reader) (*Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("annspec: decoding spec: %w", err)
+	}
+	return &s, nil
+}
+
+// Compile turns the specification into the callback annotations the
+// partitioning method consumes. All expressions are parsed and checked
+// eagerly: unknown variables (other than A where permitted), bad topology
+// names, and dangling overlap references are reported here, not at
+// partitioning time.
+func (s *Spec) Compile() (*core.Annotations, error) {
+	params := make(map[string]float64, len(s.Params)+1)
+	for k, v := range s.Params {
+		params[k] = v
+	}
+	checkVars := func(e *Expr, allowA bool, where string) error {
+		for _, v := range e.Vars() {
+			if v == "A" && allowA {
+				continue
+			}
+			if _, ok := params[v]; !ok {
+				return fmt.Errorf("%w: %q in %s expression %q", ErrUnbound, v, where, e)
+			}
+		}
+		return nil
+	}
+
+	if s.NumPDUs == "" {
+		return nil, fmt.Errorf("annspec: spec %q has no num_pdus", s.Name)
+	}
+	numExpr, err := Parse(s.NumPDUs)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkVars(numExpr, false, "num_pdus"); err != nil {
+		return nil, err
+	}
+
+	ann := &core.Annotations{
+		Name:   s.Name,
+		Cycles: s.Cycles,
+		NumPDUs: func() int {
+			v, err := numExpr.Eval(params)
+			if err != nil {
+				return 0
+			}
+			return int(v)
+		},
+	}
+
+	for _, c := range s.Compute {
+		c := c
+		var class model.OpClass
+		switch c.Class {
+		case "", "float":
+			class = model.OpFloat
+		case "int":
+			class = model.OpInt
+		default:
+			return nil, fmt.Errorf("annspec: phase %q: unknown class %q", c.Name, c.Class)
+		}
+		if c.ComplexityPerPDU == "" {
+			return nil, fmt.Errorf("annspec: compute phase %q has no complexity_per_pdu", c.Name)
+		}
+		cplx, err := Parse(c.ComplexityPerPDU)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkVars(cplx, false, "complexity_per_pdu"); err != nil {
+			return nil, err
+		}
+		phase := core.ComputationPhase{
+			Name:  c.Name,
+			Class: class,
+			ComplexityPerPDU: func() float64 {
+				v, err := cplx.Eval(params)
+				if err != nil {
+					return 0
+				}
+				return v
+			},
+		}
+		if c.TotalOps != "" {
+			tot, err := Parse(c.TotalOps)
+			if err != nil {
+				return nil, err
+			}
+			if err := checkVars(tot, true, "total_ops"); err != nil {
+				return nil, err
+			}
+			phase.TotalOps = func(pdus float64) float64 {
+				vars := withA(params, pdus)
+				v, err := tot.Eval(vars)
+				if err != nil {
+					return 0
+				}
+				return v
+			}
+		}
+		ann.Compute = append(ann.Compute, phase)
+	}
+
+	for _, c := range s.Comm {
+		c := c
+		if c.BytesPerMessage == "" {
+			return nil, fmt.Errorf("annspec: comm phase %q has no bytes_per_message", c.Name)
+		}
+		bytes, err := Parse(c.BytesPerMessage)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkVars(bytes, true, "bytes_per_message"); err != nil {
+			return nil, err
+		}
+		ann.Comm = append(ann.Comm, core.CommunicationPhase{
+			Name:     c.Name,
+			Topology: c.Topology,
+			Overlap:  c.Overlap,
+			BytesPerMessage: func(pdus float64) float64 {
+				vars := withA(params, pdus)
+				v, err := bytes.Eval(vars)
+				if err != nil {
+					return 0
+				}
+				return v
+			},
+		})
+	}
+
+	if err := ann.Validate(); err != nil {
+		return nil, err
+	}
+	return ann, nil
+}
+
+// withA extends the parameter bindings with A = pdus.
+func withA(params map[string]float64, pdus float64) map[string]float64 {
+	vars := make(map[string]float64, len(params)+1)
+	for k, v := range params {
+		vars[k] = v
+	}
+	vars["A"] = pdus
+	return vars
+}
+
+// CompileReader reads and compiles a specification in one step.
+func CompileReader(r io.Reader) (*core.Annotations, error) {
+	s, err := Read(r)
+	if err != nil {
+		return nil, err
+	}
+	return s.Compile()
+}

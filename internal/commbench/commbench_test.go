@@ -1,0 +1,162 @@
+package commbench
+
+import (
+	"math"
+	"testing"
+
+	"netpart/internal/model"
+	"netpart/internal/topo"
+)
+
+func TestMeasureCycleGrowsWithPAndB(t *testing.T) {
+	net := model.PaperTestbed()
+	small, err := MeasureCycle(net, model.Sparc2Cluster, topo.OneD{}, 2, 240, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moreProcs, err := MeasureCycle(net, model.Sparc2Cluster, topo.OneD{}, 6, 240, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger, err := MeasureCycle(net, model.Sparc2Cluster, topo.OneD{}, 2, 4800, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moreProcs <= small {
+		t.Errorf("contention: p=6 (%v) not costlier than p=2 (%v)", moreProcs, small)
+	}
+	if bigger <= small {
+		t.Errorf("bandwidth: b=4800 (%v) not costlier than b=240 (%v)", bigger, small)
+	}
+	if _, err := MeasureCycle(net, model.Sparc2Cluster, topo.OneD{}, 1, 240, 5); err == nil {
+		t.Error("p=1 should error")
+	}
+}
+
+func TestMeasureDeliveryCrossSegmentCostsMore(t *testing.T) {
+	net := model.PaperTestbed()
+	local, err := MeasureDelivery(net, model.Sparc2Cluster, model.Sparc2Cluster, 2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cross, err := MeasureDelivery(net, model.Sparc2Cluster, model.IPCCluster, 2400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cross <= local {
+		t.Errorf("cross-segment %v not costlier than local %v", cross, local)
+	}
+}
+
+func TestMeasureSendCPUCoercion(t *testing.T) {
+	net := model.Figure1Network()
+	same, err := MeasureSendCPU(net, "sun4", "hp", 1000) // same format
+	if err != nil {
+		t.Fatal(err)
+	}
+	coerced, err := MeasureSendCPU(net, "sun4", "rs6000", 1000) // differs
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDelta := net.Coerce.PerByteMs * 1000
+	if math.Abs((coerced-same)-wantDelta) > 1e-9 {
+		t.Errorf("coercion delta = %v, want %v", coerced-same, wantDelta)
+	}
+}
+
+func TestRunRecoversCalibratedConstants(t *testing.T) {
+	// DESIGN.md §5: the testbed is calibrated so fitting the simulator
+	// recovers constants close to the paper's published ones. Check the
+	// dominant slopes.
+	net := model.PaperTestbed()
+	res, err := Run(net, []topo.Topology{topo.OneD{}}, DefaultGrid())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparc, err := res.Table.Comm(model.Sparc2Cluster, "1-D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: c4 ≈ 0.00283 ms/byte/proc, c2 ≈ 1.1 ms/proc.
+	if math.Abs(sparc.C4-0.00283)/0.00283 > 0.15 {
+		t.Errorf("sparc2 c4 = %v, want ≈ 0.00283", sparc.C4)
+	}
+	if math.Abs(sparc.C2-1.1)/1.1 > 0.25 {
+		t.Errorf("sparc2 c2 = %v, want ≈ 1.1", sparc.C2)
+	}
+	ipc, err := res.Table.Comm(model.IPCCluster, "1-D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ipc.C4-0.00457)/0.00457 > 0.15 {
+		t.Errorf("ipc c4 = %v, want ≈ 0.00457", ipc.C4)
+	}
+	if math.Abs(ipc.C2-1.9)/1.9 > 0.25 {
+		t.Errorf("ipc c2 = %v, want ≈ 1.9", ipc.C2)
+	}
+	// Router slope ≈ 0.0006 ms/byte.
+	router := res.Table.Router(model.Sparc2Cluster, model.IPCCluster)
+	if math.Abs(router.Ms-0.0006)/0.0006 > 0.10 {
+		t.Errorf("router slope = %v, want ≈ 0.0006", router.Ms)
+	}
+	// Fits over deterministic linear-cost data should be excellent.
+	for _, f := range res.Fits {
+		if f.Quality.R2 < 0.99 {
+			t.Errorf("%s/%s: R² = %v", f.Cluster, f.Topology, f.Quality.R2)
+		}
+		if f.Samples < 8 {
+			t.Errorf("%s/%s: only %d samples", f.Cluster, f.Topology, f.Samples)
+		}
+	}
+}
+
+func TestRunFitsCoercionWhenFormatsDiffer(t *testing.T) {
+	net := model.Figure1Network()
+	res, err := Run(net, []topo.Topology{topo.OneD{}}, Grid{Bytes: []int{240, 2400}, Cycles: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coerce := res.Table.Coerce("rs6000", "sun4")
+	if math.Abs(coerce.Ms-net.Coerce.PerByteMs)/net.Coerce.PerByteMs > 0.05 {
+		t.Errorf("coercion slope = %v, want ≈ %v", coerce.Ms, net.Coerce.PerByteMs)
+	}
+	// Same-format pair must have a router entry but no coercion entry.
+	if res.Table.Coerce("sun4", "hp").Ms != 0 {
+		t.Error("same-format pair should not fit a coercion cost")
+	}
+	if res.Table.Router("sun4", "hp").Ms <= 0 {
+		t.Error("cross-segment pair missing router cost")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	net := model.PaperTestbed()
+	if _, err := Run(net, []topo.Topology{topo.OneD{}}, Grid{Bytes: []int{100}}); err == nil {
+		t.Error("single byte size accepted")
+	}
+	small := model.PaperTestbed()
+	small.Clusters[0].Procs = 2
+	small.Clusters[0].Available = 2
+	if _, err := Run(small, []topo.Topology{topo.OneD{}}, DefaultGrid()); err == nil {
+		t.Error("2-processor cluster cannot vary p; should error")
+	}
+}
+
+func TestRunCoversAllTopologies(t *testing.T) {
+	net := model.PaperTestbed()
+	tops := []topo.Topology{topo.OneD{}, topo.Ring{}, topo.Broadcast{}}
+	res, err := Run(net, tops, Grid{Bytes: []int{240, 2400}, Cycles: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []string{model.Sparc2Cluster, model.IPCCluster} {
+		for _, tp := range tops {
+			if _, err := res.Table.Comm(c, tp.Name()); err != nil {
+				t.Errorf("missing model %s/%s", c, tp.Name())
+			}
+		}
+	}
+	if len(res.Fits) != 6 {
+		t.Errorf("fits = %d, want 6", len(res.Fits))
+	}
+}

@@ -1,0 +1,312 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"netpart/internal/cost"
+	"netpart/internal/model"
+	"netpart/internal/topo"
+)
+
+// Estimator computes the per-cycle elapsed-time estimate T_c (Eq. 4–6) for
+// candidate processor configurations, using the program's callbacks and the
+// benchmarked communication cost functions.
+type Estimator struct {
+	Net   *model.Network
+	Costs *cost.Table
+	Ann   *Annotations
+
+	// RouterStation selects whether clusters whose tasks communicate across
+	// the router are charged one extra contending station (p+1), as
+	// Section 3.0 specifies. Section 6.0's worked example composes costs
+	// without the extra station; the flag allows reproducing either reading
+	// (ablation A6 in DESIGN.md). Default true.
+	RouterStation bool
+
+	// evaluations counts Estimate calls, the paper's measure of partitioning
+	// overhead (each call recomputes Eq. 3 and Eq. 6 once).
+	evaluations int
+}
+
+// NewEstimator returns an estimator with the paper's Section 3.0 semantics
+// (router charged as an extra station).
+func NewEstimator(net *model.Network, costs *cost.Table, ann *Annotations) (*Estimator, error) {
+	if err := ann.Validate(); err != nil {
+		return nil, err
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return &Estimator{Net: net, Costs: costs, Ann: ann, RouterStation: true}, nil
+}
+
+// Estimate is the cost breakdown of one candidate configuration.
+type Estimate struct {
+	Config cost.Config
+	// Shares are the Eq. 3 real PDU shares per cluster (indexed like
+	// Config.Clusters).
+	Shares []float64
+	// TcompMs is the per-cycle computation time of the dominant computation
+	// phase (equal across processors by load balance).
+	TcompMs float64
+	// TcommMs is the per-cycle cost of the dominant communication phase
+	// (Eq. 2 composition across clusters).
+	TcommMs float64
+	// ToverlapMs is the overlappable portion (min(Tcomp, Tcomm) when the
+	// dominant communication phase overlaps the dominant computation
+	// phase).
+	ToverlapMs float64
+	// TcMs = TcompMs + TcommMs - ToverlapMs (Eq. 6).
+	TcMs float64
+	// BytesPerMsg is the message size the communication estimate used.
+	BytesPerMsg float64
+	// StartupMs estimates T_startup, the initial scatter of the data
+	// domain from the first processor (zero unless the annotations declare
+	// StartupBytesPerPDU).
+	StartupMs float64
+}
+
+// ElapsedMs extrapolates total elapsed time for the annotated cycle count:
+// T_elapsed = I·T_c (startup excluded, as in the paper's measurements).
+func (e Estimate) ElapsedMs(cycles int) float64 { return float64(cycles) * e.TcMs }
+
+// ElapsedWithStartupMs is T_elapsed = I·T_c + T_startup.
+func (e Estimate) ElapsedWithStartupMs(cycles int) float64 {
+	return float64(cycles)*e.TcMs + e.StartupMs
+}
+
+// AmortizesStartup reports whether the paper's amortization assumption
+// holds for this configuration: T_startup is at most the given fraction of
+// the extrapolated compute time I·T_c.
+func (e Estimate) AmortizesStartup(cycles int, fraction float64) bool {
+	return e.StartupMs <= fraction*e.ElapsedMs(cycles)
+}
+
+// Evaluations returns how many times Estimate has been invoked (the
+// O(K·log2 P) overhead quantity of Section 5.0).
+func (e *Estimator) Evaluations() int { return e.evaluations }
+
+// ResetEvaluations zeroes the evaluation counter.
+func (e *Estimator) ResetEvaluations() { e.evaluations = 0 }
+
+// Estimate computes T_c for the given configuration.
+//
+// Per Section 5.0: the partition vector follows from Eq. 3 (or the general
+// non-linear balance when the dominant computation phase declares TotalOps),
+// T_comp from Eq. 4 evaluated through the callbacks, T_comm from the
+// benchmarked cost function selected by the dominant communication phase's
+// topology, and T_overlap = min(T_comp, T_comm) if that phase is overlapped
+// with the dominant computation phase.
+func (e *Estimator) Estimate(cfg cost.Config) (Estimate, error) {
+	e.evaluations++
+	est := Estimate{Config: cfg}
+	if cfg.Total() <= 0 {
+		return est, ErrNoProcessors
+	}
+	comp := e.Ann.DominantCompute()
+	numPDUs := e.Ann.NumPDUs()
+
+	shares, err := RealShares(e.Net, cfg, numPDUs, comp.Class)
+	if err != nil {
+		return est, err
+	}
+	if comp.TotalOps != nil {
+		// Non-linear balance: recompute shares so S_i·ops(A_i) equalizes.
+		shares, err = generalShares(e.Net, cfg, numPDUs, comp.Class, comp.TotalOps)
+		if err != nil {
+			return est, err
+		}
+	}
+	est.Shares = shares
+
+	// Eq. 4: T_comp = S_i · complexity · A_i for any processor (equal for
+	// all by load balance); evaluate at the first active cluster.
+	for i, name := range cfg.Clusters {
+		if cfg.Counts[i] == 0 {
+			continue
+		}
+		c := e.Net.Cluster(name)
+		est.TcompMs = c.OpTime(comp.Class) * comp.Ops(shares[i])
+		break
+	}
+
+	comm := e.Ann.DominantComm()
+	if comm != nil {
+		tp, err := topo.ByName(comm.Topology)
+		if err != nil {
+			return est, err
+		}
+		// b may depend on the assignment; use the largest message any task
+		// sends (the synchronous cost is set by the worst processor).
+		b := 0.0
+		for i := range cfg.Clusters {
+			if cfg.Counts[i] == 0 {
+				continue
+			}
+			if v := comm.BytesPerMessage(shares[i]); v > b {
+				b = v
+			}
+		}
+		est.BytesPerMsg = b
+		tcomm, err := e.commCost(tp, b, cfg)
+		if err != nil {
+			return est, err
+		}
+		est.TcommMs = tcomm
+		if comm.Overlap != "" && comm.Overlap == comp.Name {
+			est.ToverlapMs = math.Min(est.TcompMs, est.TcommMs)
+		}
+	}
+	if e.Ann.StartupBytesPerPDU > 0 {
+		est.StartupMs = e.startupCost(cfg, shares)
+	}
+	if est.ToverlapMs > 0 {
+		// Algebraically Tcomp + Tcomm - min(Tcomp, Tcomm) = max(Tcomp,
+		// Tcomm); computing the max directly keeps plateaus of the T_c
+		// curve exactly flat (the subtraction form differs by an ulp,
+		// which would mislead the bisection search).
+		est.TcMs = math.Max(est.TcompMs, est.TcommMs)
+	} else {
+		est.TcMs = est.TcompMs + est.TcommMs
+	}
+	return est, nil
+}
+
+// startupCost estimates T_startup: the first processor scatters each other
+// task's PDU block in one message. Each transmission occupies the source
+// channel for roughly the per-station increment of the fitted 1-D model
+// (C2 + b·C4 of the source cluster) and pays the router penalty when the
+// destination is on another segment; the transmissions serialize through
+// the root's channel, so the costs sum.
+func (e *Estimator) startupCost(cfg cost.Config, shares []float64) float64 {
+	names, counts := cfg.Active()
+	if len(names) == 0 || cfg.Total() <= 1 {
+		return 0
+	}
+	root := names[0]
+	topology := "1-D"
+	if comm := e.Ann.DominantComm(); comm != nil {
+		topology = comm.Topology
+	}
+	params, err := e.Costs.Comm(root, topology)
+	if err != nil {
+		// No model for the dominant topology on the root cluster: fall
+		// back to any 1-D model, else report zero (startup is advisory).
+		params, err = e.Costs.Comm(root, "1-D")
+		if err != nil {
+			return 0
+		}
+	}
+	total := 0.0
+	shareOf := make(map[string]float64, len(cfg.Clusters))
+	for i, name := range cfg.Clusters {
+		shareOf[name] = shares[i]
+	}
+	for i, name := range names {
+		tasks := counts[i]
+		if i == 0 {
+			tasks-- // the root keeps its own block
+		}
+		if tasks <= 0 {
+			continue
+		}
+		b := shareOf[name] * e.Ann.StartupBytesPerPDU
+		// The fitted per-station increment (C2 + b·C4) covers one cycle's
+		// messages per station — two for the 1-D pattern the constants are
+		// fitted on — so one scatter message costs half of it.
+		per := (params.C2 + b*params.C4) / 2
+		if name != root && !e.Net.SameSegment(root, name) {
+			per += e.Costs.Router(root, name).Eval(b)
+			if e.Net.NeedsCoercion(root, name) {
+				per += e.Costs.Coerce(root, name).Eval(b)
+			}
+		}
+		total += float64(tasks) * per
+	}
+	return total
+}
+
+// commCost applies the Eq. 2 composition, honoring the RouterStation flag.
+func (e *Estimator) commCost(tp topo.Topology, b float64, cfg cost.Config) (float64, error) {
+	if e.RouterStation {
+		return e.Costs.CommCost(e.Net, tp, b, cfg)
+	}
+	// Section 6.0 composition: max over clusters at their own p, plus the
+	// router penalty when the configuration spans segments.
+	names, counts := cfg.Active()
+	if len(names) == 0 || (len(names) == 1 && counts[0] == 1) {
+		return 0, nil
+	}
+	pl, err := topo.Contiguous(names, counts)
+	if err != nil {
+		return 0, err
+	}
+	border := topo.BorderTasks(tp, pl)
+	total := cfg.Total()
+	worst := 0.0
+	for i, name := range names {
+		params, err := e.Costs.Comm(name, tp.Name())
+		if err != nil {
+			return 0, err
+		}
+		p := counts[i]
+		if tp.BandwidthLimited() {
+			p = total
+		}
+		c := params.Eval(b, p)
+		if border[name] > 0 {
+			c += e.crossPenalty(names, name, b)
+		}
+		if c > worst {
+			worst = c
+		}
+	}
+	return worst, nil
+}
+
+func (e *Estimator) crossPenalty(active []string, from string, b float64) float64 {
+	worst := 0.0
+	for _, other := range active {
+		if other == from || e.Net.SameSegment(from, other) {
+			continue
+		}
+		p := e.Costs.Router(from, other).Eval(b)
+		if e.Net.NeedsCoercion(from, other) {
+			p += e.Costs.Coerce(from, other).Eval(b)
+		}
+		if p > worst {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// generalShares mirrors DecomposeGeneral but returns the per-cluster real
+// shares instead of an integer vector.
+func generalShares(net *model.Network, cfg cost.Config, numPDUs int, class model.OpClass, ops func(float64) float64) ([]float64, error) {
+	v, err := DecomposeGeneral(net, cfg, numPDUs, class, ops)
+	if err != nil {
+		return nil, err
+	}
+	shares := make([]float64, len(cfg.Clusters))
+	rank := 0
+	for i := range cfg.Clusters {
+		if cfg.Counts[i] == 0 {
+			continue
+		}
+		sum := 0
+		for j := 0; j < cfg.Counts[i]; j++ {
+			sum += v[rank]
+			rank++
+		}
+		shares[i] = float64(sum) / float64(cfg.Counts[i])
+	}
+	return shares, nil
+}
+
+// String renders the estimate compactly.
+func (est Estimate) String() string {
+	return fmt.Sprintf("cfg=[%s] Tcomp=%.3f Tcomm=%.3f Tovl=%.3f Tc=%.3f ms",
+		est.Config, est.TcompMs, est.TcommMs, est.ToverlapMs, est.TcMs)
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"netpart/internal/cost"
+)
+
+// Result is the output of the partitioning algorithm: the chosen processor
+// configuration with its cost estimate, the integer partition vector, and
+// the number of Eq. 3/Eq. 6 recomputations the search performed.
+type Result struct {
+	Estimate
+	// Vector is the integer PDU assignment per task rank (contiguous
+	// placement order).
+	Vector Vector
+	// Evaluations counts cost-estimate computations during the search, the
+	// paper's O(K·log2 P) overhead measure.
+	Evaluations int
+}
+
+// Partition runs the Section 5.0 heuristic: clusters are ordered
+// fastest-first; within the current cluster the unimodal T_c(p) curve
+// (Fig. 3) is searched for its minimum by bisection; a slower cluster is
+// opened only if the faster one was used in full (communication locality
+// outweighs additional bandwidth). The search never admits more processors
+// than PDUs.
+func Partition(e *Estimator) (Result, error) {
+	order := e.Net.BySpeed(e.Ann.DominantCompute().Class)
+	cfg := cost.Config{
+		Clusters: make([]string, len(order)),
+		Counts:   make([]int, len(order)),
+	}
+	for i, c := range order {
+		cfg.Clusters[i] = c.Name
+	}
+	e.ResetEvaluations()
+	numPDUs := e.Ann.NumPDUs()
+
+	var best Estimate
+	for k := range order {
+		budget := numPDUs - cfg.Total()
+		hi := order[k].Available
+		if hi > budget {
+			hi = budget
+		}
+		lo := 0
+		if k == 0 {
+			lo = 1 // at least one processor overall
+		}
+		if hi < lo {
+			break
+		}
+		memo := make(map[int]Estimate, hi-lo+1)
+		eval := func(p int) (Estimate, error) {
+			if est, ok := memo[p]; ok {
+				return est, nil
+			}
+			probe := cfg
+			probe.Counts = append([]int(nil), cfg.Counts...)
+			probe.Counts[k] = p
+			est, err := e.Estimate(probe)
+			if err != nil {
+				return est, err
+			}
+			memo[p] = est
+			return est, nil
+		}
+		bestP, bestEst, err := bisectUnimodal(lo, hi, eval)
+		if err != nil {
+			return Result{}, err
+		}
+		cfg.Counts[k] = bestP
+		best = bestEst
+		if bestP < order[k].Available {
+			// The cluster was not exhausted: by the locality-first
+			// heuristic, opening a slower cluster cannot help.
+			break
+		}
+	}
+
+	vec, err := e.vector(best.Config)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Estimate: best, Vector: vec, Evaluations: e.Evaluations()}, nil
+}
+
+// vector computes the integer partition vector for a chosen configuration,
+// honoring a non-linear dominant computation phase.
+func (e *Estimator) vector(cfg cost.Config) (Vector, error) {
+	comp := e.Ann.DominantCompute()
+	if comp.TotalOps != nil {
+		return DecomposeGeneral(e.Net, cfg, e.Ann.NumPDUs(), comp.Class, comp.TotalOps)
+	}
+	return Decompose(e.Net, cfg, e.Ann.NumPDUs(), comp.Class)
+}
+
+// bisectUnimodal locates the minimizer of f over the integer range
+// [lo, hi], assuming f is unimodal (Fig. 3: decreasing, then increasing).
+// It bisects on the discrete slope sign — f(m) vs f(m+1) — so each step
+// halves the range with at most two new evaluations, the paper's log2 P
+// behavior.
+func bisectUnimodal(lo, hi int, f func(int) (Estimate, error)) (int, Estimate, error) {
+	if lo > hi {
+		return 0, Estimate{}, fmt.Errorf("core: empty search range [%d,%d]", lo, hi)
+	}
+	for lo < hi {
+		m := (lo + hi) / 2
+		em, err := f(m)
+		if err != nil {
+			return 0, Estimate{}, err
+		}
+		em1, err := f(m + 1)
+		if err != nil {
+			return 0, Estimate{}, err
+		}
+		if em.TcMs <= em1.TcMs {
+			hi = m
+		} else {
+			lo = m + 1
+		}
+	}
+	est, err := f(lo)
+	if err != nil {
+		return 0, Estimate{}, err
+	}
+	return lo, est, nil
+}
+
+// PartitionLinear is the ablation variant that scans every processor count
+// within each cluster instead of bisecting. It makes identical choices when
+// T_c(p) is unimodal, at O(P) evaluations instead of O(log2 P).
+func PartitionLinear(e *Estimator) (Result, error) {
+	order := e.Net.BySpeed(e.Ann.DominantCompute().Class)
+	cfg := cost.Config{
+		Clusters: make([]string, len(order)),
+		Counts:   make([]int, len(order)),
+	}
+	for i, c := range order {
+		cfg.Clusters[i] = c.Name
+	}
+	e.ResetEvaluations()
+	numPDUs := e.Ann.NumPDUs()
+
+	var best Estimate
+	bestTc := math.Inf(1)
+	for k := range order {
+		budget := numPDUs - cfg.Total()
+		hi := order[k].Available
+		if hi > budget {
+			hi = budget
+		}
+		lo := 0
+		if k == 0 {
+			lo = 1
+		}
+		bestP := -1
+		for p := lo; p <= hi; p++ {
+			probe := cfg
+			probe.Counts = append([]int(nil), cfg.Counts...)
+			probe.Counts[k] = p
+			est, err := e.Estimate(probe)
+			if err != nil {
+				return Result{}, err
+			}
+			if est.TcMs < bestTc {
+				bestTc = est.TcMs
+				best = est
+				bestP = p
+			}
+		}
+		if bestP < 0 {
+			break // no improvement from this cluster
+		}
+		cfg.Counts[k] = bestP
+		if bestP < order[k].Available {
+			break
+		}
+	}
+	if math.IsInf(bestTc, 1) {
+		return Result{}, ErrNoProcessors
+	}
+	vec, err := e.vector(best.Config)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Estimate: best, Vector: vec, Evaluations: e.Evaluations()}, nil
+}
+
+// PartitionExhaustive searches the full product space of processor counts
+// (every P_i from 0 to available, not only locality-first prefixes). It is
+// the oracle the heuristic is compared against in ablation A1; its cost is
+// Π(N_i+1) evaluations.
+func PartitionExhaustive(e *Estimator) (Result, error) {
+	order := e.Net.BySpeed(e.Ann.DominantCompute().Class)
+	names := make([]string, len(order))
+	avail := make([]int, len(order))
+	for i, c := range order {
+		names[i] = c.Name
+		avail[i] = c.Available
+	}
+	e.ResetEvaluations()
+	numPDUs := e.Ann.NumPDUs()
+
+	var best Estimate
+	bestTc := math.Inf(1)
+	counts := make([]int, len(order))
+	var rec func(k int) error
+	rec = func(k int) error {
+		if k == len(order) {
+			total := 0
+			for _, c := range counts {
+				total += c
+			}
+			if total == 0 || total > numPDUs {
+				return nil
+			}
+			cfg := cost.Config{Clusters: names, Counts: append([]int(nil), counts...)}
+			est, err := e.Estimate(cfg)
+			if err != nil {
+				return err
+			}
+			if est.TcMs < bestTc {
+				bestTc = est.TcMs
+				best = est
+			}
+			return nil
+		}
+		for p := 0; p <= avail[k]; p++ {
+			counts[k] = p
+			if err := rec(k + 1); err != nil {
+				return err
+			}
+		}
+		counts[k] = 0
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return Result{}, err
+	}
+	if math.IsInf(bestTc, 1) {
+		return Result{}, ErrNoProcessors
+	}
+	vec, err := e.vector(best.Config)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Estimate: best, Vector: vec, Evaluations: e.Evaluations()}, nil
+}

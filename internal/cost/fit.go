@@ -1,0 +1,154 @@
+package cost
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Observation is one benchmark measurement: the elapsed time of a
+// communication cycle with p processors exchanging b-byte messages.
+type Observation struct {
+	B  float64 // message size, bytes
+	P  int     // processors
+	Ms float64 // measured elapsed time, milliseconds
+}
+
+// Fitting errors.
+var (
+	ErrTooFewObservations = errors.New("cost: too few observations")
+	ErrSingularFit        = errors.New("cost: singular design matrix (vary both b and p)")
+)
+
+// Fit computes the Eq. 1 constants minimizing squared error over the
+// observations:
+//
+//	t ≈ c1 + c2·p + c3·b + c4·p·b
+//
+// by solving the 4×4 normal equations. The observation set must vary both b
+// and p (otherwise the design matrix is singular).
+func Fit(obs []Observation) (Params, error) {
+	if len(obs) < 4 {
+		return Params{}, fmt.Errorf("%w: have %d, need ≥ 4", ErrTooFewObservations, len(obs))
+	}
+	// Design row: x = [1, p, b, p·b]; accumulate XᵀX and Xᵀy.
+	var xtx [4][4]float64
+	var xty [4]float64
+	for _, o := range obs {
+		p := float64(o.P)
+		x := [4]float64{1, p, o.B, p * o.B}
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				xtx[i][j] += x[i] * x[j]
+			}
+			xty[i] += x[i] * o.Ms
+		}
+	}
+	sol, err := solve4(xtx, xty)
+	if err != nil {
+		return Params{}, err
+	}
+	return Params{C1: sol[0], C2: sol[1], C3: sol[2], C4: sol[3]}, nil
+}
+
+// FitPerByte fits t ≈ fixed + ms·b to observations (used for router and
+// coercion penalties, which the paper finds linear in message size).
+func FitPerByte(obs []Observation) (PerByte, error) {
+	if len(obs) < 2 {
+		return PerByte{}, fmt.Errorf("%w: have %d, need ≥ 2", ErrTooFewObservations, len(obs))
+	}
+	var sb, sbb, st, sbt float64
+	n := float64(len(obs))
+	for _, o := range obs {
+		sb += o.B
+		sbb += o.B * o.B
+		st += o.Ms
+		sbt += o.B * o.Ms
+	}
+	det := n*sbb - sb*sb
+	if math.Abs(det) < 1e-12 {
+		return PerByte{}, ErrSingularFit
+	}
+	fixed := (sbb*st - sb*sbt) / det
+	slope := (n*sbt - sb*st) / det
+	return PerByte{FixedMs: fixed, Ms: slope}, nil
+}
+
+// Residual statistics for a fitted model over the observations it was (or
+// was not) fitted to.
+type FitQuality struct {
+	RMSE   float64 // root mean squared error, ms
+	MaxAbs float64 // worst absolute error, ms
+	R2     float64 // coefficient of determination
+}
+
+// Quality evaluates how well params reproduce the observations.
+func Quality(params Params, obs []Observation) FitQuality {
+	if len(obs) == 0 {
+		return FitQuality{}
+	}
+	mean := 0.0
+	for _, o := range obs {
+		mean += o.Ms
+	}
+	mean /= float64(len(obs))
+	var sse, sst, maxAbs float64
+	for _, o := range obs {
+		// Quality is judged against the raw linear form, not the |·|
+		// guard, so negative-region misfit is visible.
+		pred := params.C1 + params.C2*float64(o.P) + o.B*(params.C3+params.C4*float64(o.P))
+		e := pred - o.Ms
+		sse += e * e
+		if a := math.Abs(e); a > maxAbs {
+			maxAbs = a
+		}
+		d := o.Ms - mean
+		sst += d * d
+	}
+	q := FitQuality{
+		RMSE:   math.Sqrt(sse / float64(len(obs))),
+		MaxAbs: maxAbs,
+	}
+	if sst > 0 {
+		q.R2 = 1 - sse/sst
+	}
+	return q
+}
+
+// solve4 solves a 4×4 linear system by Gaussian elimination with partial
+// pivoting.
+func solve4(a [4][4]float64, b [4]float64) ([4]float64, error) {
+	const n = 4
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return [4]float64{}, ErrSingularFit
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	// Back substitution.
+	var x [4]float64
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}

@@ -1,0 +1,26 @@
+package cost
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTable hardens the cost-table decoder.
+func FuzzReadTable(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteTable(&buf, PaperTable())
+	f.Add(buf.String())
+	f.Add(`{"comm":[]}`)
+	f.Add(`nope`)
+	f.Fuzz(func(t *testing.T, src string) {
+		tbl, err := ReadTable(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var out bytes.Buffer
+		if err := WriteTable(&out, tbl); err != nil {
+			t.Fatalf("accepted table does not re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,22 @@
+package cost
+
+import "netpart/internal/model"
+
+// PaperTable returns the cost table published in Section 6.0 of the paper
+// for the Sparc2+IPC testbed (all constants in milliseconds):
+//
+//	T_comm[C1,1-D] ≈ (-0.0055 + 0.00283·P1)·b + 1.1·P1
+//	T_comm[C2,1-D] ≈ (-0.0123 + 0.00457·P2)·b + 1.9·P2
+//	T_router[C1,C2] ≈ 0.0006·b
+//
+// No coercion entry exists because both clusters are Sun4s. This table lets
+// the partitioning experiments run against the paper's exact model; the
+// commbench package produces an equivalent table by benchmarking the
+// simulated network.
+func PaperTable() *Table {
+	t := NewTable()
+	t.SetComm(model.Sparc2Cluster, "1-D", Params{C1: 0, C2: 1.1, C3: -0.0055, C4: 0.00283})
+	t.SetComm(model.IPCCluster, "1-D", Params{C1: 0, C2: 1.9, C3: -0.0123, C4: 0.00457})
+	t.SetRouter(model.Sparc2Cluster, model.IPCCluster, PerByte{Ms: 0.0006})
+	return t
+}

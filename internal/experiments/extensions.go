@@ -1,0 +1,591 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"netpart/internal/balance"
+	"netpart/internal/commbench"
+	"netpart/internal/core"
+	"netpart/internal/cost"
+	"netpart/internal/model"
+	"netpart/internal/particles"
+	"netpart/internal/simnet"
+	"netpart/internal/stencil"
+	"netpart/internal/stencil2d"
+	"netpart/internal/topo"
+)
+
+// AdaptiveResult is E9: the §7 future-work dynamic repartitioning,
+// executed with real row migration on the simulator.
+type AdaptiveResult struct {
+	N, Iters     int
+	StaticMs     float64
+	AdaptiveMs   float64
+	Rebalances   int
+	MigratedRows int
+	FinalVector  core.Vector
+	Exact        bool // both runs bit-exact with the sequential kernel
+}
+
+// Adaptive compares a static Eq. 3 partition against periodic dynamic
+// repartitioning when one processor picks up external load mid-run.
+func Adaptive(e *Env, n, iters int) (*AdaptiveResult, error) {
+	cfg := PaperConfig(4, 0)
+	vec, err := core.Decompose(e.Net, cfg, n, model.OpFloat)
+	if err != nil {
+		return nil, err
+	}
+	slowdown := func(rank, iter int) float64 {
+		if rank == 2 && iter >= iters/8 {
+			return 4 // a user logs into processor 2 early in the run
+		}
+		return 1
+	}
+	static, err := stencil.RunSimAdaptive(e.Net, cfg, vec, stencil.STEN1, n, iters,
+		stencil.AdaptiveOptions{Slowdown: slowdown})
+	if err != nil {
+		return nil, err
+	}
+	adaptive, err := stencil.RunSimAdaptive(e.Net, cfg, vec, stencil.STEN1, n, iters,
+		stencil.AdaptiveOptions{Slowdown: slowdown, RebalanceEvery: iters / 8})
+	if err != nil {
+		return nil, err
+	}
+	want := stencil.Sequential(stencil.NewGrid(n), iters)
+	exact := gridsMatch(static.Grid, want) && gridsMatch(adaptive.Grid, want)
+	return &AdaptiveResult{
+		N: n, Iters: iters,
+		StaticMs:     static.ElapsedMs,
+		AdaptiveMs:   adaptive.ElapsedMs,
+		Rebalances:   adaptive.Rebalances,
+		MigratedRows: adaptive.MigratedRows,
+		FinalVector:  adaptive.FinalVector,
+		Exact:        exact,
+	}, nil
+}
+
+func gridsMatch(a, b [][]float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// RenderAdaptive prints the E9 summary.
+func RenderAdaptive(r *AdaptiveResult) string {
+	return fmt.Sprintf(`Dynamic repartitioning under load (N=%d, %d iterations, rank 2 slowed 4x)
+  static partition : %.1f ms
+  adaptive         : %.1f ms  (%.2fx; %d rebalances, %d rows migrated)
+  final vector     : %v  (the loaded rank sheds rows)
+  numerics         : bit-exact with the sequential kernel: %v
+`, r.N, r.Iters, r.StaticMs, r.AdaptiveMs, r.StaticMs/r.AdaptiveMs,
+		r.Rebalances, r.MigratedRows, r.FinalVector, r.Exact)
+}
+
+// MetasystemResult is E10: the method applied unchanged to a metasystem
+// with a multicomputer beside the workstation clusters.
+type MetasystemResult struct {
+	N             int
+	Chosen        cost.Config
+	PredictedTcMs float64
+	WorkstationTc float64 // best Tc achievable without the multicomputer
+	Evaluations   int
+}
+
+// Metasystem benchmarks the §7 metasystem testbed (unequal segment
+// bandwidths) and partitions a stencil on it.
+func Metasystem(n int) (*MetasystemResult, error) {
+	net := model.MetasystemTestbed()
+	bench, err := commbench.Run(net, []topo.Topology{topo.OneD{}}, commbench.DefaultGrid())
+	if err != nil {
+		return nil, err
+	}
+	est, err := core.NewEstimator(net, bench.Table, stencil.Annotations(n, stencil.STEN2, 10))
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.Partition(est)
+	if err != nil {
+		return nil, err
+	}
+	// For contrast: the best the workstations alone can do.
+	wsNet := model.PaperTestbed()
+	wsBench, err := commbench.Run(wsNet, []topo.Topology{topo.OneD{}}, commbench.DefaultGrid())
+	if err != nil {
+		return nil, err
+	}
+	wsEst, err := core.NewEstimator(wsNet, wsBench.Table, stencil.Annotations(n, stencil.STEN2, 10))
+	if err != nil {
+		return nil, err
+	}
+	wsRes, err := core.Partition(wsEst)
+	if err != nil {
+		return nil, err
+	}
+	return &MetasystemResult{
+		N: n, Chosen: res.Config, PredictedTcMs: res.TcMs,
+		WorkstationTc: wsRes.TcMs, Evaluations: res.Evaluations,
+	}, nil
+}
+
+// RenderMetasystem prints the E10 summary.
+func RenderMetasystem(r *MetasystemResult) string {
+	return fmt.Sprintf(`Metasystem (§7): Sparc2+IPC workstations plus an 8-node multicomputer
+  N=%d STEN-2 chooses  : %v  (Tc %.2f ms, %d evaluations)
+  workstations alone   : Tc %.2f ms — the multicomputer improves T_c %.1fx
+  (segment bandwidths are unequal; the per-cluster benchmarked cost
+   functions absorb the difference, so the method runs unchanged)
+`, r.N, r.Chosen, r.PredictedTcMs, r.Evaluations,
+		r.WorkstationTc, r.WorkstationTc/r.PredictedTcMs)
+}
+
+// StartupRow is E11: the initial-distribution cost next to per-cycle time.
+type StartupRow struct {
+	N             int
+	EstStartupMs  float64
+	MeasStartupMs float64
+	TcMs          float64
+	// BreakEvenCycles is how many iterations amortize the scatter to 10%
+	// of the run.
+	BreakEvenCycles int
+}
+
+// Startup quantifies the paper's T_startup exclusion across problem sizes
+// on the full 6+6 configuration.
+func Startup(e *Env) ([]StartupRow, error) {
+	var rows []StartupRow
+	for _, n := range ProblemSizes {
+		cfg := PaperConfig(6, 6)
+		if n < 12 {
+			continue
+		}
+		vec, err := core.Decompose(e.Net, cfg, n, model.OpFloat)
+		if err != nil {
+			return nil, err
+		}
+		measured, err := stencil.ScatterSim(e.Net, cfg, vec, n)
+		if err != nil {
+			return nil, err
+		}
+		est, err := core.NewEstimator(e.Net, e.Fitted, stencil.Annotations(n, stencil.STEN1, Iterations))
+		if err != nil {
+			return nil, err
+		}
+		pe, err := est.Estimate(cfg)
+		if err != nil {
+			return nil, err
+		}
+		breakEven := 0
+		if pe.TcMs > 0 {
+			breakEven = int(measured/(0.1*pe.TcMs)) + 1
+		}
+		rows = append(rows, StartupRow{
+			N: n, EstStartupMs: pe.StartupMs, MeasStartupMs: measured,
+			TcMs: pe.TcMs, BreakEvenCycles: breakEven,
+		})
+	}
+	return rows, nil
+}
+
+// RenderStartup prints the E11 table.
+func RenderStartup(rows []StartupRow) string {
+	t := NewTextTable("N", "T_startup_est(ms)", "T_startup_sim(ms)", "T_c(ms)", "cycles_to_amortize")
+	for _, r := range rows {
+		t.Add(fmt.Sprint(r.N), fmt.Sprintf("%.1f", r.EstStartupMs),
+			fmt.Sprintf("%.1f", r.MeasStartupMs), fmt.Sprintf("%.2f", r.TcMs),
+			fmt.Sprint(r.BreakEvenCycles))
+	}
+	return t.String() + "(amortize = startup ≤ 10% of I·T_c; the paper's I=10 does not amortize large N)\n"
+}
+
+// ExtendedAblations runs A6 (router-station composition) and A7 (global
+// search vs locality-first heuristic).
+func ExtendedAblations(e *Env) ([]AblationRow, error) {
+	var rows []AblationRow
+
+	// A6: §3.0 composition (router as extra station) vs §6.0 composition.
+	for _, n := range []int{300, 1200} {
+		est, err := core.NewEstimator(e.Net, e.Paper, stencil.Annotations(n, stencil.STEN1, Iterations))
+		if err != nil {
+			return nil, err
+		}
+		with, err := core.Partition(est)
+		if err != nil {
+			return nil, err
+		}
+		est.RouterStation = false
+		est.ResetEvaluations()
+		without, err := core.Partition(est)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, AblationRow{
+			Name: fmt.Sprintf("A6 router-station N=%d", n),
+			Detail: fmt.Sprintf("§3.0 (+1 station) chooses %v Tc=%.2f; §6.0 (no station) chooses %v Tc=%.2f",
+				with.Config, with.TcMs, without.Config, without.TcMs),
+			BaseMs: with.TcMs, AltMs: without.TcMs,
+			Speedup: with.TcMs / without.TcMs,
+		})
+	}
+
+	// A7: locality-first heuristic vs the general (global) search on the
+	// multimodal N=300 instance.
+	est, err := core.NewEstimator(e.Net, e.Paper, stencil.Annotations(300, stencil.STEN2, Iterations))
+	if err != nil {
+		return nil, err
+	}
+	heur, err := core.Partition(est)
+	if err != nil {
+		return nil, err
+	}
+	est2, err := core.NewEstimator(e.Net, e.Paper, stencil.Annotations(300, stencil.STEN2, Iterations))
+	if err != nil {
+		return nil, err
+	}
+	global, err := core.PartitionGlobal(est2)
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, AblationRow{
+		Name: "A7 heuristic-vs-global",
+		Detail: fmt.Sprintf("N=300 STEN-2: heuristic %v (%d evals) vs global %v (%d evals)",
+			heur.Config, heur.Evaluations, global.Config, global.Evaluations),
+		BaseMs: heur.TcMs, AltMs: global.TcMs,
+		Speedup: heur.TcMs / global.TcMs,
+	})
+	return rows, nil
+}
+
+// ImplSelectRow is E12: estimator-driven implementation selection between
+// the 1-D row and 2-D block decompositions.
+type ImplSelectRow struct {
+	N          int
+	OneDConfig cost.Config
+	OneDTcMs   float64
+	TwoDConfig cost.Config
+	TwoDTcMs   float64
+	// TwoDSimMs and OneDSimMs are simulated full-run times at the chosen
+	// configurations, confirming the estimator's ranking.
+	OneDSimMs float64
+	TwoDSimMs float64
+	Winner    string
+}
+
+// ImplSelect compares the two stencil implementations across problem
+// sizes, the way the paper's method chose between STEN-1 and STEN-2.
+func ImplSelect(e *Env) ([]ImplSelectRow, error) {
+	bench, err := commbench.Run(e.Net,
+		[]topo.Topology{topo.OneD{}, topo.Mesh2D{}}, commbench.DefaultGrid())
+	if err != nil {
+		return nil, err
+	}
+	var rows []ImplSelectRow
+	for _, n := range ProblemSizes {
+		oneD, twoD, err := stencil2d.CompareImplementations(e.Net, bench.Table, n, Iterations)
+		if err != nil {
+			return nil, err
+		}
+		row := ImplSelectRow{
+			N:          n,
+			OneDConfig: oneD.Config, OneDTcMs: oneD.TcMs,
+			TwoDConfig: twoD.Config, TwoDTcMs: twoD.TcMs,
+		}
+		vec, err := core.Decompose(e.Net, oneD.Config, n, model.OpFloat)
+		if err != nil {
+			return nil, err
+		}
+		r1, err := stencil.RunSim(e.Net, oneD.Config, vec, stencil.STEN1, n, Iterations)
+		if err != nil {
+			return nil, err
+		}
+		r2, err := stencil2d.RunSim(e.Net, twoD.Config, n, Iterations)
+		if err != nil {
+			return nil, err
+		}
+		row.OneDSimMs, row.TwoDSimMs = r1.ElapsedMs, r2.ElapsedMs
+		row.Winner = "1-D"
+		if row.TwoDTcMs < row.OneDTcMs {
+			row.Winner = "2-D"
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderImplSelect prints the E12 table.
+func RenderImplSelect(rows []ImplSelectRow) string {
+	t := NewTextTable("N", "1-D config", "Tc", "sim(ms)", "2-D config", "Tc", "sim(ms)", "est picks", "sim winner")
+	for _, r := range rows {
+		simWinner := "1-D"
+		if r.TwoDSimMs < r.OneDSimMs {
+			simWinner = "2-D"
+		}
+		t.Add(fmt.Sprint(r.N),
+			r.OneDConfig.String(), fmt.Sprintf("%.2f", r.OneDTcMs), fmt.Sprintf("%.0f", r.OneDSimMs),
+			r.TwoDConfig.String(), fmt.Sprintf("%.2f", r.TwoDTcMs), fmt.Sprintf("%.0f", r.TwoDSimMs),
+			r.Winner, simWinner)
+	}
+	return t.String() + `(Where the estimator and simulator disagree, the Eq. 1 model is the cause:
+ its single per-cycle message size cannot express the 2-D blocks' mixed
+ row/column borders and heavier router traffic — the model-fidelity limit
+ of the paper's restricted-topology approach.)
+`
+}
+
+// ParticlesResult is E13: the particle-simulation PDU type with
+// data-dependent work, comparing the uniform Eq. 3 decomposition against
+// the density-weighted one on a clumped distribution.
+type ParticlesResult struct {
+	Cells, N, Steps int
+	UniformMs       float64
+	WeightedMs      float64
+	UniformVector   core.Vector
+	WeightedVector  core.Vector
+	Exact           bool
+}
+
+// Particles runs E13 on the 4-Sparc2 configuration with 80% of the
+// particles clumped into the first tenth of the domain.
+func Particles(e *Env) (*ParticlesResult, error) {
+	const cells, n, steps = 48, 1200, 10
+	s := particles.NewSystem(cells, n, 1994, 0.8)
+	cfg := PaperConfig(4, 0)
+	uniform, err := core.Decompose(e.Net, cfg, cells, model.OpFloat)
+	if err != nil {
+		return nil, err
+	}
+	weighted, err := particles.WeightedVector(e.Net, cfg, s.Histogram(), model.OpFloat)
+	if err != nil {
+		return nil, err
+	}
+	rU, err := particles.RunSim(e.Net, cfg, uniform, s, steps)
+	if err != nil {
+		return nil, err
+	}
+	rW, err := particles.RunSim(e.Net, cfg, weighted, s, steps)
+	if err != nil {
+		return nil, err
+	}
+	want := particles.Sequential(s, steps)
+	exact := len(want.Particles) == len(rU.Final.Particles)
+	for i := range want.Particles {
+		if want.Particles[i] != rU.Final.Particles[i] || want.Particles[i] != rW.Final.Particles[i] {
+			exact = false
+			break
+		}
+	}
+	return &ParticlesResult{
+		Cells: cells, N: n, Steps: steps,
+		UniformMs: rU.ElapsedMs, WeightedMs: rW.ElapsedMs,
+		UniformVector: uniform, WeightedVector: weighted,
+		Exact: exact,
+	}, nil
+}
+
+// RenderParticles prints the E13 summary.
+func RenderParticles(r *ParticlesResult) string {
+	return fmt.Sprintf(`Particle simulation (PDU = cell of particles; 80%% clumped into the first tenth)
+  %d cells, %d particles, %d steps on 4 Sparc2s
+  uniform Eq. 3 vector  : %v  -> %.1f ms (density blind: the first task owns the clump)
+  density-weighted      : %v  -> %.1f ms (%.2fx)
+  numerics              : bit-exact with the sequential reference: %v
+`, r.Cells, r.N, r.Steps,
+		r.UniformVector, r.UniformMs,
+		r.WeightedVector, r.WeightedMs, r.UniformMs/r.WeightedMs, r.Exact)
+}
+
+// SelectionCostResult is E14: the §2.0 related-work comparison made
+// quantitative — the runtime partitioning method's selection overhead
+// (cost-model evaluations, microseconds) against the Reeves-style
+// benchmarking strategy (actually running the application on every
+// candidate configuration).
+type SelectionCostResult struct {
+	N int
+	// Partitioner: choice, predicted Tc, evaluations, and the measured
+	// elapsed of its choice.
+	PartitionConfig cost.Config
+	PartitionEvals  int
+	PartitionPickMs float64
+	// Benchmarked: choice, total probing cost (the sum of all candidate
+	// runs), and the measured elapsed of its choice.
+	BenchmarkConfig  cost.Config
+	BenchmarkProbeMs float64
+	BenchmarkPickMs  float64
+}
+
+// SelectionCost runs E14 on one problem size with the Table 2 candidate
+// set as the Reeves configuration menu.
+func SelectionCost(e *Env, n int) (*SelectionCostResult, error) {
+	iters := Iterations
+	est, err := core.NewEstimator(e.Net, e.Fitted, stencil.Annotations(n, stencil.STEN2, iters))
+	if err != nil {
+		return nil, err
+	}
+	part, err := core.Partition(est)
+	if err != nil {
+		return nil, err
+	}
+	out := &SelectionCostResult{
+		N:               n,
+		PartitionConfig: part.Config,
+		PartitionEvals:  part.Evaluations,
+	}
+	run := func(cfg cost.Config) (float64, error) {
+		vec, err := core.Decompose(e.Net, cfg, n, model.OpFloat)
+		if err != nil {
+			return 0, err
+		}
+		res, err := stencil.RunSim(e.Net, cfg, vec, stencil.STEN2, n, iters)
+		if err != nil {
+			return 0, err
+		}
+		return res.ElapsedMs, nil
+	}
+	pickMs, err := run(part.Config)
+	if err != nil {
+		return nil, err
+	}
+	out.PartitionPickMs = pickMs
+
+	var candidates []cost.Config
+	for _, c := range Table2Configs {
+		candidates = append(candidates, PaperConfig(c.P1, c.P2))
+	}
+	best, _, probeMs, err := balance.Benchmarked(candidates, run)
+	if err != nil {
+		return nil, err
+	}
+	out.BenchmarkConfig = best
+	out.BenchmarkProbeMs = probeMs
+	bestMs, err := run(best)
+	if err != nil {
+		return nil, err
+	}
+	out.BenchmarkPickMs = bestMs
+	return out, nil
+}
+
+// RenderSelectionCost prints the E14 summary.
+func RenderSelectionCost(r *SelectionCostResult) string {
+	return fmt.Sprintf(`Selection cost at N=%d (STEN-2, 10 iterations): runtime partitioning vs
+Reeves-style benchmarked selection over the 7 Table-2 configurations
+  runtime partitioning : picks %v (measured %.0f ms) after %d cost-model
+                         evaluations — microseconds of overhead
+  benchmarked selection: picks %v (measured %.0f ms) after %.0f ms of
+                         probing — %.0fx the chosen run itself
+  (the probe cost recurs for every problem size and network state; the
+   runtime method re-decides from the fitted model for free)
+`, r.N, r.PartitionConfig, r.PartitionPickMs, r.PartitionEvals,
+		r.BenchmarkConfig, r.BenchmarkPickMs, r.BenchmarkProbeMs,
+		r.BenchmarkProbeMs/r.BenchmarkPickMs)
+}
+
+// NoiseRow is E15: how the method degrades as the communication substrate
+// becomes nondeterministic (the paper's "average case" caveat about
+// UDP-based communication).
+type NoiseRow struct {
+	Jitter float64
+	// R2 of the Sparc2 1-D fit under this noise level.
+	FitR2 float64
+	// Chosen is the partitioner's configuration from the noisy fit.
+	Chosen cost.Config
+	// GapPct is how far the choice's measured elapsed (on an equally noisy
+	// simulator) sits above the measured minimum over the Table 2 set.
+	GapPct float64
+}
+
+// Noise runs E15 at N=600 STEN-2 across jitter levels.
+func Noise(e *Env) ([]NoiseRow, error) {
+	const n = 600
+	var rows []NoiseRow
+	for _, jitter := range []float64{0, 0.1, 0.3, 0.5} {
+		grid := commbench.DefaultGrid()
+		grid.Jitter = jitter
+		grid.Seed = 0x9e3779b97f4a7c15
+		bench, err := commbench.Run(e.Net, []topo.Topology{topo.OneD{}}, grid)
+		if err != nil {
+			return nil, err
+		}
+		row := NoiseRow{Jitter: jitter}
+		for _, f := range bench.Fits {
+			if f.Cluster == model.Sparc2Cluster && f.Topology == "1-D" {
+				row.FitR2 = f.Quality.R2
+			}
+		}
+		est, err := core.NewEstimator(e.Net, bench.Table, stencil.Annotations(n, stencil.STEN2, Iterations))
+		if err != nil {
+			return nil, err
+		}
+		res, err := core.Partition(est)
+		if err != nil {
+			return nil, err
+		}
+		row.Chosen = res.Config
+		// Measure every Table 2 configuration and the chosen one on an
+		// equally noisy simulator (different seed: a different day on the
+		// same flaky network).
+		measure := func(cfg cost.Config, seed uint64) (float64, error) {
+			vec, err := core.Decompose(e.Net, cfg, n, model.OpFloat)
+			if err != nil {
+				return 0, err
+			}
+			names, counts := cfg.Active()
+			pl, err := topo.Contiguous(names, counts)
+			if err != nil {
+				return 0, err
+			}
+			rep, err := runStencilNoisy(e.Net, pl, vec, n, jitter, seed)
+			if err != nil {
+				return 0, err
+			}
+			return rep, nil
+		}
+		minMs := math.Inf(1)
+		for _, c := range Table2Configs {
+			ms, err := measure(PaperConfig(c.P1, c.P2), 42)
+			if err != nil {
+				return nil, err
+			}
+			if ms < minMs {
+				minMs = ms
+			}
+		}
+		chosenMs, err := measure(res.Config, 42)
+		if err != nil {
+			return nil, err
+		}
+		if chosenMs < minMs {
+			minMs = chosenMs
+		}
+		row.GapPct = 100 * (chosenMs - minMs) / minMs
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// runStencilNoisy executes STEN-2 with jittered channel holds.
+func runStencilNoisy(net *model.Network, pl topo.Placement, vec core.Vector, n int, jitter float64, seed uint64) (float64, error) {
+	var opts []simnet.Option
+	if jitter > 0 {
+		opts = append(opts, simnet.WithJitter(jitter, seed))
+	}
+	return stencil.RunSimNoisy(net, pl, vec, stencil.STEN2, n, Iterations, opts...)
+}
+
+// RenderNoise prints the E15 table.
+func RenderNoise(rows []NoiseRow) string {
+	t := NewTextTable("jitter", "fit_R2", "chosen", "gap_vs_min%")
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("±%.0f%%", r.Jitter*100), fmt.Sprintf("%.4f", r.FitR2),
+			r.Chosen.String(), fmt.Sprintf("%.1f", r.GapPct))
+	}
+	return t.String() + "(the fits stay near-perfect averages and the choices stay near-minimal —\n the paper's claim that average-case cost functions suffice)\n"
+}

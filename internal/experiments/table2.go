@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"netpart/internal/balance"
+	"netpart/internal/core"
+	"netpart/internal/model"
+	"netpart/internal/stencil"
+)
+
+// Table2Cell is one measured configuration for one (N, variant).
+type Table2Cell struct {
+	P1, P2 int
+	// ElapsedMs is the simulated elapsed time for 10 iterations.
+	ElapsedMs float64
+	// MeasuredMin marks the fastest of the measured configurations.
+	MeasuredMin bool
+	// Predicted marks the configuration the partitioning algorithm chose
+	// (the asterisk of Table 2).
+	Predicted bool
+}
+
+// Table2Row reproduces one row of Table 2.
+type Table2Row struct {
+	N       int
+	Variant stencil.Variant
+	Cells   []Table2Cell
+	// EqualDecompMs is the 6+6 equal-decomposition comparison the paper
+	// reports for N=1200 (parenthesized values); zero when not measured.
+	EqualDecompMs float64
+	// PredictedGapPct is how far the predicted configuration's measured
+	// time is above the measured minimum (0 = the prediction was the
+	// minimum).
+	PredictedGapPct float64
+	// PaperMinConfig is the configuration the paper's Table 2 marks with
+	// an asterisk.
+	PaperMinP1, PaperMinP2 int
+}
+
+// paperTable2Min records the asterisked (predicted-minimum) configuration
+// of Table 2 as published.
+var paperTable2Min = map[int]map[stencil.Variant][2]int{
+	60:   {stencil.STEN1: {2, 0}, stencil.STEN2: {1, 0}},
+	300:  {stencil.STEN1: {6, 0}, stencil.STEN2: {6, 2}},
+	600:  {stencil.STEN1: {6, 4}, stencil.STEN2: {6, 6}},
+	1200: {stencil.STEN1: {6, 6}, stencil.STEN2: {6, 6}},
+}
+
+// Table2 measures every configuration of Table 2 on the simulator and
+// overlays the partitioning algorithm's prediction (computed from the
+// fitted cost table — the full honest pipeline).
+func Table2(e *Env) ([]Table2Row, error) {
+	var rows []Table2Row
+	for _, n := range ProblemSizes {
+		for _, v := range []stencil.Variant{stencil.STEN1, stencil.STEN2} {
+			row := Table2Row{N: n, Variant: v}
+			est, err := core.NewEstimator(e.Net, e.Fitted, stencil.Annotations(n, v, Iterations))
+			if err != nil {
+				return nil, err
+			}
+			pred, err := core.Partition(est)
+			if err != nil {
+				return nil, err
+			}
+			minIdx, minMs := -1, math.Inf(1)
+			for _, c := range Table2Configs {
+				cfg := PaperConfig(c.P1, c.P2)
+				cell := Table2Cell{P1: c.P1, P2: c.P2}
+				vec, err := core.Decompose(e.Net, cfg, n, model.OpFloat)
+				if err != nil {
+					return nil, err
+				}
+				res, err := stencil.RunSim(e.Net, cfg, vec, v, n, Iterations)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: N=%d %s (%d,%d): %w", n, v, c.P1, c.P2, err)
+				}
+				cell.ElapsedMs = res.ElapsedMs
+				cell.Predicted = c.P1 == pred.Config.Counts[0] && c.P2 == pred.Config.Counts[1]
+				if cell.ElapsedMs < minMs {
+					minMs = cell.ElapsedMs
+					minIdx = len(row.Cells)
+				}
+				row.Cells = append(row.Cells, cell)
+			}
+			row.Cells[minIdx].MeasuredMin = true
+			// Gap between the predicted configuration and the measured
+			// minimum. When the prediction is outside the measured set
+			// (possible: the heuristic can choose e.g. 6+5), measure it.
+			predMs := math.Inf(1)
+			for _, c := range row.Cells {
+				if c.Predicted {
+					predMs = c.ElapsedMs
+				}
+			}
+			if math.IsInf(predMs, 1) {
+				vec, err := core.Decompose(e.Net, pred.Config, n, model.OpFloat)
+				if err != nil {
+					return nil, err
+				}
+				res, err := stencil.RunSim(e.Net, pred.Config, vec, v, n, Iterations)
+				if err != nil {
+					return nil, err
+				}
+				predMs = res.ElapsedMs
+				if predMs < minMs {
+					minMs = predMs
+				}
+			}
+			row.PredictedGapPct = 100 * (predMs - minMs) / minMs
+			// Equal-decomposition comparison at N=1200 on the full network.
+			if n == 1200 {
+				cfg := PaperConfig(6, 6)
+				eq, err := balance.EqualVector(n, 12)
+				if err != nil {
+					return nil, err
+				}
+				res, err := stencil.RunSim(e.Net, cfg, eq, v, n, Iterations)
+				if err != nil {
+					return nil, err
+				}
+				row.EqualDecompMs = res.ElapsedMs
+			}
+			pm := paperTable2Min[n][v]
+			row.PaperMinP1, row.PaperMinP2 = pm[0], pm[1]
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable2 prints the measured grid with the paper's column layout:
+// the measured minimum is suffixed with '*', the algorithm's prediction
+// with 'p' (both on the same cell reproduces the paper's claim).
+func RenderTable2(rows []Table2Row) string {
+	headers := []string{"N", "variant"}
+	for _, c := range Table2Configs {
+		headers = append(headers, fmt.Sprintf("%d+%d", c.P1, c.P2))
+	}
+	headers = append(headers, "equal(6+6)", "gap%")
+	t := NewTextTable(headers...)
+	for _, r := range rows {
+		cells := []string{fmt.Sprint(r.N), r.Variant.String()}
+		for _, c := range r.Cells {
+			s := fmt.Sprintf("%.0f", c.ElapsedMs)
+			if c.MeasuredMin {
+				s += "*"
+			}
+			if c.Predicted {
+				s += "p"
+			}
+			cells = append(cells, s)
+		}
+		eq := "-"
+		if r.EqualDecompMs > 0 {
+			eq = fmt.Sprintf("%.0f", r.EqualDecompMs)
+		}
+		cells = append(cells, eq, fmt.Sprintf("%.1f", r.PredictedGapPct))
+		t.Add(cells...)
+	}
+	return t.String()
+}

@@ -1,0 +1,301 @@
+package gauss
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"netpart/internal/core"
+	"netpart/internal/mmps"
+)
+
+// LiveResult is the outcome of a real concurrent distributed solve over an
+// mmps transport world.
+type LiveResult struct {
+	Elapsed time.Duration
+	X       []float64
+}
+
+// Wire format for the live protocol (network byte order, as MMPS coerces):
+//
+//	candidate: [absVal, rowIdx, hasRowK] ++ row(n+1) ++ rowK(n+1 if hasRowK)
+//	pivot:     [pivotRow] ++ pivot(n+1) ++ oldK(n+1); pivotRow = -1 → singular
+//	gathered:  per owned row: [globalIdx] ++ row(n+1)
+
+// RunLive solves the system over real concurrent tasks — one goroutine per
+// rank — communicating through mmps transports. Rank 0 coordinates pivot
+// selection and back substitution, exactly like the simulated protocol in
+// RunSim, so the result is bit-identical to Sequential.
+func RunLive(world []mmps.Transport, vec core.Vector, s System) (LiveResult, error) {
+	n := len(s.A)
+	if len(world) == 0 || len(world) != len(vec) {
+		return LiveResult{}, fmt.Errorf("gauss: %d transports for %d vector entries", len(world), len(vec))
+	}
+	if vec.Sum() != n {
+		return LiveResult{}, fmt.Errorf("gauss: vector sums to %d, want %d", vec.Sum(), n)
+	}
+	offsets := make([]int, len(vec))
+	off := 0
+	for r, a := range vec {
+		offsets[r] = off
+		off += a
+	}
+	var x []float64
+	errs := make([]error, len(world))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for rank := range world {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sol, err := runLiveTask(world[rank], vec[rank], offsets[rank], s)
+			errs[rank] = err
+			if rank == 0 {
+				x = sol
+			}
+		}()
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return LiveResult{}, fmt.Errorf("gauss: rank %d: %w", rank, err)
+		}
+	}
+	return LiveResult{Elapsed: time.Since(start), X: x}, nil
+}
+
+func runLiveTask(tr mmps.Transport, rows, off int, s System) ([]float64, error) {
+	n := len(s.A)
+	rank, size := tr.Rank(), tr.Size()
+	local := make([][]float64, rows)
+	for i := range local {
+		local[i] = make([]float64, n+1)
+		copy(local[i], s.A[off+i])
+		local[i][n] = s.B[off+i]
+	}
+	owns := func(g int) bool { return g >= off && g < off+rows }
+
+	for k := 0; k < n; k++ {
+		// Local candidate.
+		bestIdx, bestAbs := -1, 0.0
+		for i := range local {
+			g := off + i
+			if g < k {
+				continue
+			}
+			if v := math.Abs(local[i][k]); bestIdx < 0 || v > bestAbs {
+				bestAbs, bestIdx = v, g
+			}
+		}
+		var candRow, rowK []float64
+		if bestIdx >= 0 {
+			candRow = local[bestIdx-off]
+		}
+		if owns(k) {
+			rowK = local[k-off]
+		}
+
+		var pivotRow int
+		var pivot, oldK []float64
+		if rank == 0 {
+			gAbs, gIdx, gRow, gRowK := bestAbs, bestIdx, candRow, rowK
+			for src := 1; src < size; src++ {
+				buf, err := tr.Recv(src)
+				if err != nil {
+					return nil, err
+				}
+				cAbs, cIdx, cRow, cRowK, err := decodeCandidate(buf, n)
+				if err != nil {
+					return nil, err
+				}
+				if cIdx >= 0 && (gIdx < 0 || cAbs > gAbs) {
+					gAbs, gIdx, gRow = cAbs, cIdx, cRow
+				}
+				if cRowK != nil {
+					gRowK = cRowK
+				}
+			}
+			if gIdx < 0 || gAbs < 1e-12 {
+				pivotRow = -1
+			} else {
+				pivotRow, pivot, oldK = gIdx, gRow, gRowK
+			}
+			msg := encodePivot(pivotRow, pivot, oldK, n)
+			for dst := 1; dst < size; dst++ {
+				if err := tr.Send(dst, msg); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			if err := tr.Send(0, encodeCandidate(bestAbs, bestIdx, candRow, rowK, n)); err != nil {
+				return nil, err
+			}
+			buf, err := tr.Recv(0)
+			if err != nil {
+				return nil, err
+			}
+			pivotRow, pivot, oldK, err = decodePivot(buf, n)
+			if err != nil {
+				return nil, err
+			}
+		}
+		if pivotRow < 0 {
+			if rank == 0 {
+				return nil, ErrSingular
+			}
+			return nil, nil
+		}
+		if owns(k) {
+			copy(local[k-off], pivot)
+		}
+		if owns(pivotRow) && pivotRow != k {
+			copy(local[pivotRow-off], oldK)
+		}
+		for i := range local {
+			g := off + i
+			if g <= k {
+				continue
+			}
+			f := local[i][k] / pivot[k]
+			local[i][k] = 0
+			if f != 0 {
+				for j := k + 1; j <= n; j++ {
+					local[i][j] -= f * pivot[j]
+				}
+			}
+		}
+	}
+
+	// Gather the factored rows at the root.
+	if rank == 0 {
+		a := make([][]float64, n)
+		b := make([]float64, n)
+		place := func(g int, row []float64) {
+			a[g] = row[:n]
+			b[g] = row[n]
+		}
+		for i := range local {
+			place(off+i, local[i])
+		}
+		for src := 1; src < size; src++ {
+			buf, err := tr.Recv(src)
+			if err != nil {
+				return nil, err
+			}
+			rowsIn, err := decodeGather(buf, n)
+			if err != nil {
+				return nil, err
+			}
+			for g, row := range rowsIn {
+				place(g, row)
+			}
+		}
+		return backSubstitute(a, b), nil
+	}
+	if err := tr.Send(0, encodeGather(local, off, n)); err != nil {
+		return nil, err
+	}
+	return nil, nil
+}
+
+// Encoding helpers (big-endian float64s via the mmps coercion format).
+
+func encodeCandidate(absVal float64, rowIdx int, row, rowK []float64, n int) []byte {
+	hasK := 0.0
+	if rowK != nil {
+		hasK = 1
+	}
+	vals := make([]float64, 0, 3+2*(n+1))
+	vals = append(vals, absVal, float64(rowIdx), hasK)
+	if row == nil {
+		row = make([]float64, n+1)
+	}
+	vals = append(vals, row...)
+	if rowK != nil {
+		vals = append(vals, rowK...)
+	}
+	return mmps.EncodeFloat64s(vals)
+}
+
+func decodeCandidate(buf []byte, n int) (absVal float64, rowIdx int, row, rowK []float64, err error) {
+	vals, err := mmps.DecodeFloat64s(buf)
+	if err != nil {
+		return 0, 0, nil, nil, err
+	}
+	if len(vals) < 3+(n+1) {
+		return 0, 0, nil, nil, fmt.Errorf("gauss: short candidate (%d values)", len(vals))
+	}
+	absVal = vals[0]
+	rowIdx = int(vals[1])
+	hasK := vals[2] != 0
+	row = vals[3 : 3+(n+1)]
+	if hasK {
+		if len(vals) != 3+2*(n+1) {
+			return 0, 0, nil, nil, fmt.Errorf("gauss: bad candidate length %d", len(vals))
+		}
+		rowK = vals[3+(n+1):]
+	}
+	if rowIdx < 0 {
+		row = nil
+	}
+	return absVal, rowIdx, row, rowK, nil
+}
+
+func encodePivot(pivotRow int, pivot, oldK []float64, n int) []byte {
+	vals := make([]float64, 0, 1+2*(n+1))
+	vals = append(vals, float64(pivotRow))
+	if pivotRow >= 0 {
+		vals = append(vals, pivot...)
+		vals = append(vals, oldK...)
+	}
+	return mmps.EncodeFloat64s(vals)
+}
+
+func decodePivot(buf []byte, n int) (pivotRow int, pivot, oldK []float64, err error) {
+	vals, err := mmps.DecodeFloat64s(buf)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	if len(vals) < 1 {
+		return 0, nil, nil, fmt.Errorf("gauss: empty pivot message")
+	}
+	pivotRow = int(vals[0])
+	if pivotRow < 0 {
+		return pivotRow, nil, nil, nil
+	}
+	if len(vals) != 1+2*(n+1) {
+		return 0, nil, nil, fmt.Errorf("gauss: bad pivot length %d", len(vals))
+	}
+	return pivotRow, vals[1 : 1+(n+1)], vals[1+(n+1):], nil
+}
+
+func encodeGather(local [][]float64, off, n int) []byte {
+	vals := make([]float64, 0, len(local)*(n+2))
+	for i, row := range local {
+		vals = append(vals, float64(off+i))
+		vals = append(vals, row...)
+	}
+	return mmps.EncodeFloat64s(vals)
+}
+
+func decodeGather(buf []byte, n int) (map[int][]float64, error) {
+	vals, err := mmps.DecodeFloat64s(buf)
+	if err != nil {
+		return nil, err
+	}
+	stride := n + 2
+	if len(vals)%stride != 0 {
+		return nil, fmt.Errorf("gauss: bad gather length %d", len(vals))
+	}
+	out := make(map[int][]float64, len(vals)/stride)
+	for i := 0; i < len(vals); i += stride {
+		g := int(vals[i])
+		if g < 0 || g >= n {
+			return nil, fmt.Errorf("gauss: gathered row index %d", g)
+		}
+		out[g] = vals[i+1 : i+stride]
+	}
+	return out, nil
+}

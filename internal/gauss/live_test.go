@@ -1,0 +1,214 @@
+package gauss
+
+import (
+	"testing"
+	"time"
+
+	"netpart/internal/core"
+	"netpart/internal/mmps"
+)
+
+func transports(t *testing.T, kind string, n int) []mmps.Transport {
+	t.Helper()
+	var out []mmps.Transport
+	switch kind {
+	case "local":
+		eps, err := mmps.NewLocalWorld(n, mmps.WithRecvTimeout(30*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ep := range eps {
+			out = append(out, ep)
+		}
+	case "udp":
+		eps, err := mmps.NewUDPWorld(n, mmps.WithRecvTimeout(30*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ep := range eps {
+			out = append(out, ep)
+		}
+	}
+	return out
+}
+
+func TestLiveMatchesSequential(t *testing.T) {
+	for _, kind := range []string{"local", "udp"} {
+		t.Run(kind, func(t *testing.T) {
+			const n = 24
+			s := NewSystem(n, 99)
+			want, err := Sequential(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			world := transports(t, kind, 3)
+			defer func() {
+				for _, tr := range world {
+					tr.Close()
+				}
+			}()
+			res, err := RunLive(world, core.Vector{10, 8, 6}, s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if res.X[i] != want[i] {
+					t.Fatalf("x[%d] = %v, want %v (must be bit-identical)", i, res.X[i], want[i])
+				}
+			}
+			if res.Elapsed <= 0 {
+				t.Error("no elapsed time")
+			}
+		})
+	}
+}
+
+func TestLiveSingleTask(t *testing.T) {
+	const n = 12
+	s := NewSystem(n, 5)
+	want, err := Sequential(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := transports(t, "local", 1)
+	defer world[0].Close()
+	res, err := RunLive(world, core.Vector{n}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.X[i] != want[i] {
+			t.Fatalf("x[%d] differs", i)
+		}
+	}
+}
+
+func TestLivePivotSwapAcrossTasks(t *testing.T) {
+	// Force a pivot owned by a different task than row k.
+	s := System{
+		A: [][]float64{
+			{0.001, 1, 0},
+			{1, 0.5, 2},
+			{10, 3, 1}, // clear pivot for k=0 owned by rank 1
+		},
+		B: []float64{1, 2, 3},
+	}
+	want, err := Sequential(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := transports(t, "local", 2)
+	defer func() {
+		for _, tr := range world {
+			tr.Close()
+		}
+	}()
+	res, err := RunLive(world, core.Vector{2, 1}, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if res.X[i] != want[i] {
+			t.Fatalf("x = %v, want %v", res.X, want)
+		}
+	}
+}
+
+func TestLiveDetectsSingular(t *testing.T) {
+	s := System{
+		A: [][]float64{{1, 2}, {2, 4}},
+		B: []float64{1, 2},
+	}
+	world := transports(t, "local", 2)
+	defer func() {
+		for _, tr := range world {
+			tr.Close()
+		}
+	}()
+	if _, err := RunLive(world, core.Vector{1, 1}, s); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+func TestLiveValidatesInputs(t *testing.T) {
+	s := NewSystem(10, 1)
+	world := transports(t, "local", 2)
+	defer func() {
+		for _, tr := range world {
+			tr.Close()
+		}
+	}()
+	if _, err := RunLive(world, core.Vector{5}, s); err == nil {
+		t.Error("world/vector mismatch accepted")
+	}
+	if _, err := RunLive(world, core.Vector{5, 4}, s); err == nil {
+		t.Error("vector/N mismatch accepted")
+	}
+}
+
+func TestCandidateCodecRoundTrip(t *testing.T) {
+	n := 5
+	row := []float64{1, 2, 3, 4, 5, 6}
+	rowK := []float64{9, 8, 7, 6, 5, 4}
+	buf := encodeCandidate(3.5, 2, row, rowK, n)
+	absVal, idx, gotRow, gotRowK, err := decodeCandidate(buf, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if absVal != 3.5 || idx != 2 {
+		t.Errorf("header %v %d", absVal, idx)
+	}
+	for i := range row {
+		if gotRow[i] != row[i] || gotRowK[i] != rowK[i] {
+			t.Fatal("rows corrupted")
+		}
+	}
+	// Without rowK.
+	buf = encodeCandidate(1, -1, nil, nil, n)
+	_, idx, gotRow, gotRowK, err = decodeCandidate(buf, n)
+	if err != nil || idx != -1 || gotRow != nil || gotRowK != nil {
+		t.Errorf("empty candidate: %d %v %v %v", idx, gotRow, gotRowK, err)
+	}
+	if _, _, _, _, err := decodeCandidate([]byte{1, 2, 3}, n); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestPivotCodecRoundTrip(t *testing.T) {
+	n := 3
+	pivot := []float64{1, 2, 3, 4}
+	oldK := []float64{5, 6, 7, 8}
+	row, gotPivot, gotOldK, err := decodePivot(encodePivot(7, pivot, oldK, n), n)
+	if err != nil || row != 7 {
+		t.Fatalf("pivot row %d, %v", row, err)
+	}
+	for i := range pivot {
+		if gotPivot[i] != pivot[i] || gotOldK[i] != oldK[i] {
+			t.Fatal("pivot rows corrupted")
+		}
+	}
+	row, _, _, err = decodePivot(encodePivot(-1, nil, nil, n), n)
+	if err != nil || row != -1 {
+		t.Errorf("singular marker: %d %v", row, err)
+	}
+}
+
+func TestGatherCodecRoundTrip(t *testing.T) {
+	n := 3
+	local := [][]float64{{1, 2, 3, 10}, {4, 5, 6, 11}}
+	got, err := decodeGather(encodeGather(local, 1, n), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1][0] != 1 || got[2][3] != 11 {
+		t.Errorf("gather = %v", got)
+	}
+	if _, err := decodeGather([]byte{0}, n); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Out-of-range index.
+	bad := encodeGather([][]float64{{1, 2, 3, 4}}, 99, n)
+	if _, err := decodeGather(bad, n); err == nil {
+		t.Error("bad index accepted")
+	}
+}

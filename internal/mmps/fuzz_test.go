@@ -1,0 +1,25 @@
+package mmps
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodePacket hardens the wire decoder: arbitrary datagrams must
+// never panic, and valid packets must round-trip.
+func FuzzDecodePacket(f *testing.F) {
+	good := &packet{kind: kindData, src: 1, dst: 2, seq: 3, fragIdx: 0, fragCount: 1, payload: []byte("hi")}
+	f.Add(good.encode())
+	f.Add([]byte{})
+	f.Add([]byte("MMPS garbage that is long enough to look like a header....."))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := decodePacket(data)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode to the identical bytes.
+		if !bytes.Equal(p.encode(), data) {
+			t.Fatalf("decode/encode not idempotent for %x", data)
+		}
+	})
+}

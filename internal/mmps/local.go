@@ -1,0 +1,119 @@
+package mmps
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Local is the in-memory transport: reliable and ordered by construction,
+// sharing the Transport interface with the UDP implementation so higher
+// layers can be tested deterministically.
+type Local struct {
+	rank  int
+	world *localWorld
+}
+
+type localWorld struct {
+	size        int
+	recvTimeout time.Duration
+	mu          sync.Mutex
+	closed      []bool
+	// queues[dst][src] holds pending messages with a condition variable
+	// per destination for blocking receives.
+	queues []map[int][][]byte
+	conds  []*sync.Cond
+}
+
+// NewLocalWorld creates n connected in-memory endpoints.
+func NewLocalWorld(n int, opts ...Option) ([]*Local, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mmps: world size %d", n)
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	w := &localWorld{
+		size:        n,
+		recvTimeout: o.recvTimeout,
+		closed:      make([]bool, n),
+		queues:      make([]map[int][][]byte, n),
+		conds:       make([]*sync.Cond, n),
+	}
+	eps := make([]*Local, n)
+	for i := 0; i < n; i++ {
+		w.queues[i] = make(map[int][][]byte)
+		w.conds[i] = sync.NewCond(&w.mu)
+		eps[i] = &Local{rank: i, world: w}
+	}
+	return eps, nil
+}
+
+// Rank returns the endpoint's rank.
+func (l *Local) Rank() int { return l.rank }
+
+// Size returns the world size.
+func (l *Local) Size() int { return l.world.size }
+
+// Send copies data into dst's queue.
+func (l *Local) Send(dst int, data []byte) error {
+	if err := rankCheck(dst, l.world.size); err != nil {
+		return err
+	}
+	w := l.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed[l.rank] || w.closed[dst] {
+		return ErrClosed
+	}
+	cp := append([]byte(nil), data...)
+	w.queues[dst][l.rank] = append(w.queues[dst][l.rank], cp)
+	w.conds[dst].Broadcast()
+	return nil
+}
+
+// Recv blocks for the next message from src.
+func (l *Local) Recv(src int) ([]byte, error) {
+	if err := rankCheck(src, l.world.size); err != nil {
+		return nil, err
+	}
+	w := l.world
+	deadline := time.Now().Add(w.recvTimeout)
+	// A watchdog wakes the condition variable at the deadline so a blocked
+	// receiver can observe the timeout.
+	timer := time.AfterFunc(w.recvTimeout, func() {
+		w.mu.Lock()
+		w.conds[l.rank].Broadcast()
+		w.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.closed[l.rank] {
+			return nil, ErrClosed
+		}
+		q := w.queues[l.rank][src]
+		if len(q) > 0 {
+			msg := q[0]
+			w.queues[l.rank][src] = q[1:]
+			return msg, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("%w: from rank %d", ErrTimeout, src)
+		}
+		w.conds[l.rank].Wait()
+	}
+}
+
+// Close marks the endpoint closed and wakes blocked receivers.
+func (l *Local) Close() error {
+	w := l.world
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.closed[l.rank] = true
+	w.conds[l.rank].Broadcast()
+	return nil
+}

@@ -1,0 +1,85 @@
+package mmps
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format (all integers big-endian, the network byte order MMPS coerces
+// to):
+//
+//	0:4   magic "MMPS"
+//	4     version (1)
+//	5     kind (0 = data, 1 = ack)
+//	6:8   source rank
+//	8:10  destination rank
+//	10:14 message sequence number (per source→destination stream)
+//	14:18 fragment index
+//	18:22 fragment count (data) / 0 (ack)
+//	22:26 payload length (data) / 0 (ack)
+//	26:   payload
+const (
+	headerSize    = 26
+	packetVersion = 1
+
+	kindData = 0
+	kindAck  = 1
+)
+
+var magic = [4]byte{'M', 'M', 'P', 'S'}
+
+// packet is one decoded datagram.
+type packet struct {
+	kind      byte
+	src, dst  int
+	seq       uint32
+	fragIdx   uint32
+	fragCount uint32
+	payload   []byte
+}
+
+// encode serializes the packet into a fresh buffer.
+func (p *packet) encode() []byte {
+	buf := make([]byte, headerSize+len(p.payload))
+	copy(buf[0:4], magic[:])
+	buf[4] = packetVersion
+	buf[5] = p.kind
+	binary.BigEndian.PutUint16(buf[6:8], uint16(p.src))
+	binary.BigEndian.PutUint16(buf[8:10], uint16(p.dst))
+	binary.BigEndian.PutUint32(buf[10:14], p.seq)
+	binary.BigEndian.PutUint32(buf[14:18], p.fragIdx)
+	binary.BigEndian.PutUint32(buf[18:22], p.fragCount)
+	binary.BigEndian.PutUint32(buf[22:26], uint32(len(p.payload)))
+	copy(buf[headerSize:], p.payload)
+	return buf
+}
+
+// decodePacket parses a datagram. The returned payload aliases buf.
+func decodePacket(buf []byte) (*packet, error) {
+	if len(buf) < headerSize {
+		return nil, fmt.Errorf("%w: %d bytes", errBadPacket, len(buf))
+	}
+	if [4]byte(buf[0:4]) != magic {
+		return nil, errWrongWorld
+	}
+	if buf[4] != packetVersion {
+		return nil, fmt.Errorf("%w: version %d", errBadPacket, buf[4])
+	}
+	p := &packet{
+		kind:      buf[5],
+		src:       int(binary.BigEndian.Uint16(buf[6:8])),
+		dst:       int(binary.BigEndian.Uint16(buf[8:10])),
+		seq:       binary.BigEndian.Uint32(buf[10:14]),
+		fragIdx:   binary.BigEndian.Uint32(buf[14:18]),
+		fragCount: binary.BigEndian.Uint32(buf[18:22]),
+	}
+	if p.kind != kindData && p.kind != kindAck {
+		return nil, fmt.Errorf("%w: kind %d", errBadPacket, p.kind)
+	}
+	n := binary.BigEndian.Uint32(buf[22:26])
+	if int(n) != len(buf)-headerSize {
+		return nil, fmt.Errorf("%w: payload length %d of %d", errBadPacket, n, len(buf)-headerSize)
+	}
+	p.payload = buf[headerSize:]
+	return p, nil
+}

@@ -1,0 +1,408 @@
+package mmps
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Conn is the UDP transport: a real socket per endpoint, with per-stream
+// sequencing, per-fragment acknowledgment, retransmission, and
+// fragmentation/reassembly providing reliable in-order delivery over lossy
+// datagrams.
+type Conn struct {
+	rank  int
+	size  int
+	opts  options
+	sock  *net.UDPConn
+	peers []*net.UDPAddr
+	done  chan struct{} // closed by Close
+
+	mu     sync.Mutex
+	cond   *sync.Cond // broadcast on delivery, ack, error, close
+	closed bool
+	err    error // first asynchronous send failure
+
+	nextSeq  []uint32            // per destination: next message sequence
+	expected []uint32            // per source: next message to deliver
+	reasm    []map[uint32]*reasm // per source: partial/out-of-order messages
+	inbox    []([][]byte)        // per source: delivered messages
+	pending  map[fragKey]bool    // fragments transmitted but not yet acked
+	inflight int                 // messages handed to senders, not finished
+
+	sendq   []chan []byte // per destination: queued outbound messages
+	sending sync.WaitGroup
+	dataPkt int // outgoing data packet counter (loss injection)
+}
+
+type fragKey struct {
+	dst     int
+	seq     uint32
+	fragIdx uint32
+}
+
+type reasm struct {
+	fragCount uint32
+	got       uint32
+	frags     [][]byte
+}
+
+// NewUDPWorld creates n endpoints on loopback UDP sockets, fully meshed.
+func NewUDPWorld(n int, opts ...Option) ([]*Conn, error) {
+	if n <= 0 || n > 65535 {
+		return nil, fmt.Errorf("mmps: world size %d", n)
+	}
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	conns := make([]*Conn, n)
+	addrs := make([]*net.UDPAddr, n)
+	for i := 0; i < n; i++ {
+		sock, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+		if err != nil {
+			for j := 0; j < i; j++ {
+				conns[j].sock.Close()
+			}
+			return nil, fmt.Errorf("mmps: binding endpoint %d: %w", i, err)
+		}
+		conns[i] = &Conn{rank: i, size: n, opts: o, sock: sock, done: make(chan struct{})}
+		addrs[i] = sock.LocalAddr().(*net.UDPAddr)
+	}
+	for _, c := range conns {
+		c.peers = addrs
+		c.cond = sync.NewCond(&c.mu)
+		c.nextSeq = make([]uint32, n)
+		c.expected = make([]uint32, n)
+		c.reasm = make([]map[uint32]*reasm, n)
+		c.inbox = make([][][]byte, n)
+		c.pending = make(map[fragKey]bool)
+		c.sendq = make([]chan []byte, n)
+		for d := 0; d < n; d++ {
+			c.reasm[d] = make(map[uint32]*reasm)
+			c.sendq[d] = make(chan []byte, 64)
+			c.sending.Add(1)
+			go c.sender(d)
+		}
+		go c.reader()
+	}
+	return conns, nil
+}
+
+// Rank returns the endpoint's rank.
+func (c *Conn) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Conn) Size() int { return c.size }
+
+// LocalAddr returns the endpoint's UDP address.
+func (c *Conn) LocalAddr() *net.UDPAddr { return c.sock.LocalAddr().(*net.UDPAddr) }
+
+// Send queues data for reliable in-order delivery to dst and returns
+// immediately (the paper's asynchronous send). Delivery failures surface on
+// a later Send, Recv, Flush, or Close.
+func (c *Conn) Send(dst int, data []byte) error {
+	if err := rankCheck(dst, c.size); err != nil {
+		return err
+	}
+	if len(data) > c.opts.maxMessage {
+		return fmt.Errorf("%w: %d bytes", ErrTooLarge, len(data))
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return ErrClosed
+	}
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return err
+	}
+	c.inflight++
+	c.mu.Unlock()
+
+	cp := append([]byte(nil), data...)
+	select {
+	case c.sendq[dst] <- cp:
+		return nil
+	case <-c.done:
+		c.mu.Lock()
+		c.inflight--
+		c.mu.Unlock()
+		return ErrClosed
+	}
+}
+
+// sender performs reliable delivery of queued messages to one destination,
+// preserving stream order.
+func (c *Conn) sender(dst int) {
+	defer c.sending.Done()
+	for {
+		select {
+		case data := <-c.sendq[dst]:
+			err := c.deliverReliably(dst, data)
+			c.mu.Lock()
+			c.inflight--
+			if err != nil && c.err == nil && !c.closed {
+				c.err = err
+			}
+			c.cond.Broadcast()
+			c.mu.Unlock()
+		case <-c.done:
+			return
+		}
+	}
+}
+
+// deliverReliably fragments one message, transmits, and retransmits unacked
+// fragments every RTO until all are acknowledged or retries run out.
+func (c *Conn) deliverReliably(dst int, data []byte) error {
+	mtu := c.opts.mtu
+	fragCount := (len(data) + mtu - 1) / mtu
+	if fragCount == 0 {
+		fragCount = 1
+	}
+
+	c.mu.Lock()
+	seq := c.nextSeq[dst]
+	c.nextSeq[dst]++
+	keys := make([]fragKey, fragCount)
+	for i := range keys {
+		keys[i] = fragKey{dst, seq, uint32(i)}
+		c.pending[keys[i]] = true
+	}
+	c.mu.Unlock()
+
+	frags := make([]*packet, fragCount)
+	for i := 0; i < fragCount; i++ {
+		lo := i * mtu
+		hi := lo + mtu
+		if hi > len(data) {
+			hi = len(data)
+		}
+		frags[i] = &packet{
+			kind: kindData, src: c.rank, dst: dst, seq: seq,
+			fragIdx: uint32(i), fragCount: uint32(fragCount),
+			payload: data[lo:hi],
+		}
+	}
+
+	cleanup := func() {
+		for _, k := range keys {
+			delete(c.pending, k)
+		}
+	}
+	for attempt := 0; attempt <= c.opts.maxRetries; attempt++ {
+		// Transmit every still-pending fragment.
+		for i, f := range frags {
+			c.mu.Lock()
+			needed := c.pending[keys[i]] && !c.closed
+			c.mu.Unlock()
+			if needed {
+				c.transmit(f, dst)
+			}
+		}
+		// Wait up to one RTO for the acks.
+		deadline := time.Now().Add(c.opts.rto)
+		c.mu.Lock()
+		for !c.closed && c.anyPending(keys) && time.Now().Before(deadline) {
+			c.waitWithDeadline(deadline)
+		}
+		if c.closed {
+			cleanup()
+			c.mu.Unlock()
+			return ErrClosed
+		}
+		if !c.anyPending(keys) {
+			c.mu.Unlock()
+			return nil
+		}
+		c.mu.Unlock()
+	}
+	c.mu.Lock()
+	cleanup()
+	c.mu.Unlock()
+	return fmt.Errorf("%w: to rank %d after %d attempts", ErrSendFailed, dst, c.opts.maxRetries)
+}
+
+// anyPending reports whether any key is still unacked. Caller holds mu.
+func (c *Conn) anyPending(keys []fragKey) bool {
+	for _, k := range keys {
+		if c.pending[k] {
+			return true
+		}
+	}
+	return false
+}
+
+// waitWithDeadline waits on the condition variable, waking itself at the
+// deadline. Caller holds mu.
+func (c *Conn) waitWithDeadline(deadline time.Time) {
+	d := time.Until(deadline)
+	if d <= 0 {
+		return
+	}
+	timer := time.AfterFunc(d, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	c.cond.Wait()
+	timer.Stop()
+}
+
+// transmit writes one packet, honoring the loss-injection test hook for
+// data packets.
+func (c *Conn) transmit(p *packet, dst int) {
+	if p.kind == kindData && c.opts.lossEveryNth >= 2 {
+		c.mu.Lock()
+		c.dataPkt++
+		drop := c.dataPkt%c.opts.lossEveryNth == 0
+		c.mu.Unlock()
+		if drop {
+			return
+		}
+	}
+	c.sock.WriteToUDP(p.encode(), c.peers[dst])
+}
+
+// reader receives datagrams and dispatches data and ack packets until the
+// socket closes.
+func (c *Conn) reader() {
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := c.sock.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed
+		}
+		p, err := decodePacket(buf[:n])
+		if err != nil {
+			continue // ignore malformed datagrams
+		}
+		if p.dst != c.rank || p.src < 0 || p.src >= c.size {
+			continue
+		}
+		switch p.kind {
+		case kindAck:
+			c.mu.Lock()
+			k := fragKey{p.src, p.seq, p.fragIdx}
+			if c.pending[k] {
+				delete(c.pending, k)
+				c.cond.Broadcast()
+			}
+			c.mu.Unlock()
+		case kindData:
+			c.handleData(p)
+		}
+	}
+}
+
+// handleData acknowledges and reassembles a data fragment, delivering
+// complete messages in per-sender order.
+func (c *Conn) handleData(p *packet) {
+	// Always acknowledge, even duplicates (the original ack may be lost).
+	ack := &packet{kind: kindAck, src: c.rank, dst: p.src, seq: p.seq, fragIdx: p.fragIdx}
+	c.sock.WriteToUDP(ack.encode(), c.peers[p.src])
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if p.seq < c.expected[p.src] {
+		return // already delivered
+	}
+	r, ok := c.reasm[p.src][p.seq]
+	if !ok {
+		if p.fragCount == 0 || p.fragCount > 1<<20 {
+			return
+		}
+		r = &reasm{fragCount: p.fragCount, frags: make([][]byte, p.fragCount)}
+		c.reasm[p.src][p.seq] = r
+	}
+	if p.fragIdx >= r.fragCount || r.frags[p.fragIdx] != nil {
+		return // duplicate or inconsistent fragment
+	}
+	r.frags[p.fragIdx] = append([]byte(nil), p.payload...)
+	r.got++
+	// Deliver in-order complete messages.
+	for {
+		next, ok := c.reasm[p.src][c.expected[p.src]]
+		if !ok || next.got != next.fragCount {
+			break
+		}
+		total := 0
+		for _, f := range next.frags {
+			total += len(f)
+		}
+		msg := make([]byte, 0, total)
+		for _, f := range next.frags {
+			msg = append(msg, f...)
+		}
+		delete(c.reasm[p.src], c.expected[p.src])
+		c.expected[p.src]++
+		c.inbox[p.src] = append(c.inbox[p.src], msg)
+	}
+	c.cond.Broadcast()
+}
+
+// Recv blocks for the next message from src, up to the receive timeout.
+func (c *Conn) Recv(src int) ([]byte, error) {
+	if err := rankCheck(src, c.size); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(c.opts.recvTimeout)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return nil, ErrClosed
+		}
+		if q := c.inbox[src]; len(q) > 0 {
+			msg := q[0]
+			c.inbox[src] = q[1:]
+			return msg, nil
+		}
+		if c.err != nil {
+			return nil, c.err
+		}
+		if !time.Now().Before(deadline) {
+			return nil, fmt.Errorf("%w: from rank %d", ErrTimeout, src)
+		}
+		c.waitWithDeadline(deadline)
+	}
+}
+
+// Flush blocks until every send queued so far has been acknowledged (or a
+// delivery has failed).
+func (c *Conn) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.err != nil {
+			return c.err
+		}
+		if c.closed {
+			return ErrClosed
+		}
+		if c.inflight == 0 {
+			return nil
+		}
+		c.waitWithDeadline(time.Now().Add(10 * time.Millisecond))
+	}
+}
+
+// Close shuts the endpoint down: pending sends are abandoned and blocked
+// receivers return ErrClosed.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	close(c.done)
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	err := c.sock.Close()
+	c.sending.Wait()
+	return err
+}

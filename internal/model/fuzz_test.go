@@ -1,0 +1,30 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadSpec hardens the network-spec decoder: arbitrary JSON must never
+// panic, and everything it accepts must validate and round-trip.
+func FuzzReadSpec(f *testing.F) {
+	var buf bytes.Buffer
+	_ = WriteSpec(&buf, PaperTestbed())
+	f.Add(buf.String())
+	f.Add(`{"clusters":[],"segments":[],"router":{}}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := ReadSpec(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if err := n.Validate(); err != nil {
+			t.Fatalf("ReadSpec accepted a network that fails Validate: %v", err)
+		}
+		var out bytes.Buffer
+		if err := WriteSpec(&out, n); err != nil {
+			t.Fatalf("accepted network does not re-encode: %v", err)
+		}
+	})
+}

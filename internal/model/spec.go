@@ -1,0 +1,118 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// spec mirrors Network for JSON encoding. It exists so that the wire format
+// is explicit and stable even if the in-memory types grow fields.
+type spec struct {
+	Clusters   []clusterSpec `json:"clusters"`
+	Segments   []segmentSpec `json:"segments"`
+	Router     routerSpec    `json:"router"`
+	Coerce     coerceSpec    `json:"coerce,omitempty"`
+	Metasystem bool          `json:"metasystem,omitempty"`
+}
+
+type clusterSpec struct {
+	Name          string  `json:"name"`
+	Arch          string  `json:"arch,omitempty"`
+	Procs         int     `json:"procs"`
+	Available     int     `json:"available,omitempty"`
+	FloatOpTime   float64 `json:"float_op_ms"`
+	IntOpTime     float64 `json:"int_op_ms"`
+	Format        Format  `json:"format,omitempty"`
+	Segment       string  `json:"segment"`
+	MsgOverheadMs float64 `json:"msg_overhead_ms,omitempty"`
+	HostPerByteMs float64 `json:"host_per_byte_ms,omitempty"`
+}
+
+type segmentSpec struct {
+	Name       string  `json:"name"`
+	BytesPerMs float64 `json:"bytes_per_ms"`
+}
+
+type routerSpec struct {
+	Name         string   `json:"name,omitempty"`
+	PerByteMs    float64  `json:"per_byte_ms,omitempty"`
+	PerMessageMs float64  `json:"per_message_ms,omitempty"`
+	Segments     []string `json:"segments,omitempty"`
+}
+
+type coerceSpec struct {
+	PerByteMs float64 `json:"per_byte_ms,omitempty"`
+}
+
+// WriteSpec encodes the network as indented JSON.
+func WriteSpec(w io.Writer, n *Network) error {
+	s := spec{
+		Router: routerSpec{
+			Name:         n.Router.Name,
+			PerByteMs:    n.Router.PerByteMs,
+			PerMessageMs: n.Router.PerMessageMs,
+			Segments:     n.Router.Segments,
+		},
+		Coerce:     coerceSpec{PerByteMs: n.Coerce.PerByteMs},
+		Metasystem: n.Metasystem,
+	}
+	for _, c := range n.Clusters {
+		s.Clusters = append(s.Clusters, clusterSpec{
+			Name: c.Name, Arch: c.Arch, Procs: c.Procs, Available: c.Available,
+			FloatOpTime: c.FloatOpTime, IntOpTime: c.IntOpTime,
+			Format: c.Format, Segment: c.Segment,
+			MsgOverheadMs: c.MsgOverheadMs, HostPerByteMs: c.HostPerByteMs,
+		})
+	}
+	for _, seg := range n.Segments {
+		s.Segments = append(s.Segments, segmentSpec{Name: seg.Name, BytesPerMs: seg.BytesPerMs})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// ReadSpec decodes a network from JSON and validates it. Clusters with a
+// zero (omitted) "available" count default to fully available.
+func ReadSpec(r io.Reader) (*Network, error) {
+	var s spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("model: decoding network spec: %w", err)
+	}
+	n := &Network{
+		Router: Router{
+			Name:         s.Router.Name,
+			PerByteMs:    s.Router.PerByteMs,
+			PerMessageMs: s.Router.PerMessageMs,
+			Segments:     s.Router.Segments,
+		},
+		Coerce:     CoercePolicy{PerByteMs: s.Coerce.PerByteMs},
+		Metasystem: s.Metasystem,
+	}
+	for _, c := range s.Clusters {
+		avail := c.Available
+		if avail == 0 {
+			avail = c.Procs
+		}
+		format := c.Format
+		if format == "" {
+			format = FormatBigEndian
+		}
+		n.Clusters = append(n.Clusters, &Cluster{
+			Name: c.Name, Arch: c.Arch, Procs: c.Procs, Available: avail,
+			FloatOpTime: c.FloatOpTime, IntOpTime: c.IntOpTime,
+			Format: format, Segment: c.Segment,
+			MsgOverheadMs: c.MsgOverheadMs, HostPerByteMs: c.HostPerByteMs,
+		})
+	}
+	for _, seg := range s.Segments {
+		n.Segments = append(n.Segments, &Segment{Name: seg.Name, BytesPerMs: seg.BytesPerMs})
+	}
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

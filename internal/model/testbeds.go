@@ -1,0 +1,134 @@
+package model
+
+// This file constructs the canonical networks from the paper: the
+// Sparc2+IPC evaluation testbed of Section 6.0, and the three-cluster
+// example of Fig. 1. The communication parameters of the testbed are
+// calibrated so that benchmarking the simulated network and fitting Eq. 1
+// recovers constants close to the paper's published ones (see DESIGN.md §5):
+//
+//	T_comm[C1,1-D] ≈ (-0.0055 + 0.00283·P1)·b + 1.1·P1     (Sparc2)
+//	T_comm[C2,1-D] ≈ (-0.0123 + 0.00457·P2)·b + 1.9·P2     (IPC)
+//	T_router[C1,C2] ≈ 0.0006·b
+//
+// In a 1-D cycle of p processors, 2(p-1) messages serialize on the shared
+// channel; each occupies it for MsgOverheadMs + b·(1/BytesPerMs +
+// HostPerByteMs). Matching coefficients: 2·(1/1250 + host) = c4 and
+// 2·overhead = c2.
+
+// Names of the clusters in the paper's evaluation testbed.
+const (
+	Sparc2Cluster = "sparc2"
+	IPCCluster    = "ipc"
+)
+
+// PaperTestbed returns the Section 6.0 evaluation network: 6 Sun4 Sparc2s
+// and 6 Sun4 IPCs on two ethernet segments joined by a router. All machines
+// are big-endian Sun4s, so no coercion occurs (as in the paper).
+func PaperTestbed() *Network {
+	return &Network{
+		Clusters: []*Cluster{
+			{
+				Name: Sparc2Cluster, Arch: "Sun4 Sparc2",
+				Procs: 6, Available: 6,
+				FloatOpTime: 0.0003, // 0.3 µs per flop (paper §6)
+				IntOpTime:   0.0002,
+				Format:      FormatBigEndian,
+				Segment:     "ether-1",
+				// 2·(1/1250 + host) = 0.00283 → host = 0.000615 ms/byte
+				MsgOverheadMs: 0.55, // 2·0.55 = 1.1 ms/proc latency slope
+				HostPerByteMs: 0.000615,
+			},
+			{
+				Name: IPCCluster, Arch: "Sun4 IPC",
+				Procs: 6, Available: 6,
+				FloatOpTime: 0.0006, // 0.6 µs per flop (paper §6)
+				IntOpTime:   0.0004,
+				Format:      FormatBigEndian,
+				Segment:     "ether-2",
+				// 2·(1/1250 + host) = 0.00457 → host = 0.001485 ms/byte
+				MsgOverheadMs: 0.95, // 2·0.95 = 1.9 ms/proc latency slope
+				HostPerByteMs: 0.001485,
+			},
+		},
+		Segments: []*Segment{
+			{Name: "ether-1", BytesPerMs: 1250}, // 10 Mb/s ethernet
+			{Name: "ether-2", BytesPerMs: 1250},
+		},
+		Router: Router{
+			Name:      "router-1",
+			PerByteMs: 0.0006, // paper's fitted T_router slope
+			Segments:  []string{"ether-1", "ether-2"},
+		},
+	}
+}
+
+// MetasystemTestbed returns a metasystem (§7 future work): the paper's
+// workstation testbed extended with an 8-node multicomputer whose mesh
+// interconnect appears as one very fast private segment. Segment
+// bandwidths are unequal, so Metasystem is set; everything else — the
+// per-cluster benchmarked cost functions, the partitioning method — works
+// unchanged.
+func MetasystemTestbed() *Network {
+	net := PaperTestbed()
+	net.Metasystem = true
+	net.Clusters = append(net.Clusters, &Cluster{
+		Name: "paragon", Arch: "Intel Paragon (8-node partition)",
+		Procs: 8, Available: 8,
+		FloatOpTime: 0.0001, // 0.1 µs per flop
+		IntOpTime:   0.00008,
+		Format:      FormatLittleEndian,
+		Segment:     "mesh-1",
+		// Mesh interconnect: microsecond-scale per-hop cost, fast DMA.
+		MsgOverheadMs: 0.03,
+		HostPerByteMs: 0.00001,
+	})
+	net.Segments = append(net.Segments, &Segment{
+		Name:       "mesh-1",
+		BytesPerMs: 200000, // 200 MB/s backplane
+	})
+	net.Router.Segments = append(net.Router.Segments, "mesh-1")
+	net.Coerce = CoercePolicy{PerByteMs: 0.0004}
+	return net
+}
+
+// Figure1Network returns the illustrative network of Fig. 1: Sun4, HP, and
+// RS-6000 clusters on three ethernet segments joined by one router. The
+// speeds are representative early-90s values; the HP and RS-6000 rows use
+// little-endian vs big-endian formats purely to exercise the coercion path
+// (the real machines were big-endian — the simulator treats format as an
+// abstract tag).
+func Figure1Network() *Network {
+	return &Network{
+		Clusters: []*Cluster{
+			{
+				Name: "sun4", Arch: "Sun4", Procs: 4, Available: 4,
+				FloatOpTime: 0.0004, IntOpTime: 0.0003,
+				Format: FormatBigEndian, Segment: "seg-1",
+				MsgOverheadMs: 0.6, HostPerByteMs: 0.0008,
+			},
+			{
+				Name: "hp", Arch: "HP 9000", Procs: 4, Available: 4,
+				FloatOpTime: 0.00025, IntOpTime: 0.0002,
+				Format: FormatBigEndian, Segment: "seg-2",
+				MsgOverheadMs: 0.5, HostPerByteMs: 0.0006,
+			},
+			{
+				Name: "rs6000", Arch: "IBM RS-6000", Procs: 4, Available: 4,
+				FloatOpTime: 0.0002, IntOpTime: 0.00018,
+				Format: FormatLittleEndian, Segment: "seg-3",
+				MsgOverheadMs: 0.45, HostPerByteMs: 0.0005,
+			},
+		},
+		Segments: []*Segment{
+			{Name: "seg-1", BytesPerMs: 1250},
+			{Name: "seg-2", BytesPerMs: 1250},
+			{Name: "seg-3", BytesPerMs: 1250},
+		},
+		Router: Router{
+			Name:      "router-1",
+			PerByteMs: 0.0006,
+			Segments:  []string{"seg-1", "seg-2", "seg-3"},
+		},
+		Coerce: CoercePolicy{PerByteMs: 0.0004},
+	}
+}

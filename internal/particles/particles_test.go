@@ -1,0 +1,247 @@
+package particles
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"netpart/internal/core"
+	"netpart/internal/cost"
+	"netpart/internal/model"
+)
+
+func paperConfig(p1, p2 int) cost.Config {
+	return cost.Config{
+		Clusters: []string{model.Sparc2Cluster, model.IPCCluster},
+		Counts:   []int{p1, p2},
+	}
+}
+
+func systemsEqual(a, b System) bool {
+	if len(a.Particles) != len(b.Particles) {
+		return false
+	}
+	for i := range a.Particles {
+		if a.Particles[i] != b.Particles[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestNewSystemDeterministicAndInRange(t *testing.T) {
+	a := NewSystem(20, 100, 7, 0)
+	b := NewSystem(20, 100, 7, 0)
+	if !systemsEqual(a, b) {
+		t.Fatal("NewSystem not deterministic")
+	}
+	for _, p := range a.Particles {
+		if p.Pos < 0 || p.Pos >= 1 {
+			t.Fatalf("particle %d at %v", p.ID, p.Pos)
+		}
+	}
+	// Clumping concentrates particles at the low end.
+	c := NewSystem(20, 1000, 7, 0.8)
+	h := c.Histogram()
+	low := 0
+	for i := 0; i < 2; i++ {
+		low += h[i]
+	}
+	if low < 700 {
+		t.Errorf("clumped system has only %d/1000 particles in the first tenth", low)
+	}
+}
+
+func TestSequentialConservesParticles(t *testing.T) {
+	s := NewSystem(16, 200, 3, 0)
+	out := Sequential(s, 20)
+	if len(out.Particles) != 200 {
+		t.Fatalf("%d particles after run", len(out.Particles))
+	}
+	for i, p := range out.Particles {
+		if p.ID != i {
+			t.Fatalf("particle order broken at %d", i)
+		}
+		if p.Pos < 0 || p.Pos >= 1 {
+			t.Fatalf("particle %d escaped to %v", p.ID, p.Pos)
+		}
+	}
+	// Particles must actually move.
+	moved := 0
+	for i := range s.Particles {
+		if s.Particles[i].Pos != out.Particles[i].Pos {
+			moved++
+		}
+	}
+	if moved < 100 {
+		t.Errorf("only %d particles moved", moved)
+	}
+}
+
+func TestDistributedMatchesSequential(t *testing.T) {
+	net := model.PaperTestbed()
+	const cells, n, steps = 24, 300, 12
+	s := NewSystem(cells, n, 42, 0)
+	want := Sequential(s, steps)
+	for _, tc := range []struct {
+		name string
+		cfg  cost.Config
+	}{
+		{"single", paperConfig(1, 0)},
+		{"pair", paperConfig(2, 0)},
+		{"heterogeneous", paperConfig(4, 4)},
+		{"full", paperConfig(6, 6)},
+	} {
+		vec, err := core.Decompose(net, tc.cfg, cells, model.OpFloat)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		res, err := RunSim(net, tc.cfg, vec, s, steps)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !systemsEqual(res.Final, want) {
+			t.Errorf("%s: distributed particles differ from sequential", tc.name)
+		}
+		if res.ElapsedMs <= 0 {
+			t.Errorf("%s: elapsed %v", tc.name, res.ElapsedMs)
+		}
+	}
+}
+
+func TestDistributedClumpedMatchesSequential(t *testing.T) {
+	// Migration-heavy case: a clump disperses under repulsion.
+	net := model.PaperTestbed()
+	const cells, n, steps = 20, 400, 15
+	s := NewSystem(cells, n, 9, 0.9)
+	want := Sequential(s, steps)
+	cfg := paperConfig(4, 0)
+	vec, err := core.Decompose(net, cfg, cells, model.OpFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSim(net, cfg, vec, s, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !systemsEqual(res.Final, want) {
+		t.Error("clumped distributed run differs from sequential")
+	}
+}
+
+func TestWeightedVectorBalancesClumpedWork(t *testing.T) {
+	net := model.PaperTestbed()
+	const cells, n, steps = 24, 600, 10
+	s := NewSystem(cells, n, 11, 0.8)
+	cfg := paperConfig(4, 0)
+	uniform, err := core.Decompose(net, cfg, cells, model.OpFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weighted, err := WeightedVector(net, cfg, s.Histogram(), model.OpFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weighted.Sum() != cells {
+		t.Fatalf("weighted vector sums to %d", weighted.Sum())
+	}
+	// The clump lives in the first cells: the first task should own far
+	// fewer cells under the weighted split.
+	if weighted[0] >= uniform[0] {
+		t.Errorf("weighted first task owns %d cells vs uniform %d", weighted[0], uniform[0])
+	}
+	rUniform, err := RunSim(net, cfg, uniform, s, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rWeighted, err := RunSim(net, cfg, weighted, s, steps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rWeighted.ElapsedMs >= rUniform.ElapsedMs {
+		t.Errorf("weighted %v ms not better than uniform %v ms on clumped density",
+			rWeighted.ElapsedMs, rUniform.ElapsedMs)
+	}
+	// Same answer either way.
+	want := Sequential(s, steps)
+	if !systemsEqual(rWeighted.Final, want) || !systemsEqual(rUniform.Final, want) {
+		t.Error("decomposition changed the physics")
+	}
+}
+
+func TestWeightedVectorValidation(t *testing.T) {
+	net := model.PaperTestbed()
+	if _, err := WeightedVector(net, paperConfig(0, 0), []int{1, 2}, model.OpFloat); err == nil {
+		t.Error("empty configuration accepted")
+	}
+	if _, err := WeightedVector(net, paperConfig(4, 0), []int{1, 2}, model.OpFloat); err == nil {
+		t.Error("fewer cells than tasks accepted")
+	}
+}
+
+func TestAnnotationsValidateAndPartition(t *testing.T) {
+	a := Annotations(64, 1000, 20)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEstimator(model.PaperTestbed(), cost.PaperTable(), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.Partition(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Config.Total() < 1 {
+		t.Errorf("no processors chosen: %v", res.Config)
+	}
+}
+
+func TestRunSimValidation(t *testing.T) {
+	net := model.PaperTestbed()
+	s := NewSystem(10, 50, 1, 0)
+	if _, err := RunSim(net, paperConfig(2, 0), core.Vector{4, 4}, s, 1); err == nil {
+		t.Error("vector/cells mismatch accepted")
+	}
+	if _, err := RunSim(net, paperConfig(2, 0), core.Vector{4, 4, 2}, s, 1); err == nil {
+		t.Error("vector/config mismatch accepted")
+	}
+}
+
+// Property: the distributed run matches the sequential one for random
+// decompositions and clump factors.
+func TestDistributedCorrectProperty(t *testing.T) {
+	net := model.PaperTestbed()
+	f := func(seed uint16, p1Raw, clumpRaw uint8) bool {
+		const cells, n, steps = 12, 120, 6
+		p1 := int(p1Raw%4) + 1
+		clump := float64(clumpRaw%100) / 100
+		s := NewSystem(cells, n, uint64(seed)+1, clump)
+		want := Sequential(s, steps)
+		cfg := paperConfig(p1, 0)
+		vec, err := core.Decompose(net, cfg, cells, model.OpFloat)
+		if err != nil {
+			return false
+		}
+		res, err := RunSim(net, cfg, vec, s, steps)
+		if err != nil {
+			return false
+		}
+		return systemsEqual(res.Final, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: energy-like sanity — velocities stay bounded by the clamp.
+func TestVelocityClampProperty(t *testing.T) {
+	s := NewSystem(16, 300, 5, 0.5)
+	out := Sequential(s, 30)
+	bound := (1.0 / 16) / Dt
+	for _, p := range out.Particles {
+		if math.Abs(p.Vel) > bound+1e-9 {
+			t.Fatalf("particle %d velocity %v exceeds clamp %v", p.ID, p.Vel, bound)
+		}
+	}
+}

@@ -1,0 +1,447 @@
+// Package simnet is a deterministic discrete-event simulator of the
+// paper's heterogeneous network substrate: shared-channel ethernet segments
+// that serialize frame transmissions (so contention grows linearly with the
+// number of stations, as the paper observes), a store-and-forward router
+// joining segments with a per-byte delay, per-byte data coercion between
+// clusters of different formats, and host send/receive processing costs.
+//
+// Simulated tasks are goroutines coordinated by a cooperative scheduler:
+// exactly one task runs at a time, and tasks advance the virtual clock by
+// blocking in Advance, Send, and Recv. Runs are fully deterministic — the
+// event queue is ordered by (virtual time, sequence number) and the
+// simulation uses no wall-clock time or randomness.
+//
+// Why this produces Eq. 1 costs: a message of b bytes from a cluster with
+// per-message channel occupancy σ (model.Cluster.MsgOverheadMs) and host
+// per-byte processing h (HostPerByteMs) on a segment of rate R
+// (BytesPerMs) holds the shared channel for σ + b·(1/R + h). A synchronous
+// 1-D exchange among p stations serializes 2(p-1) such holds, giving a
+// cycle time with latency slope 2σ per processor and bandwidth slope
+// 2·(1/R + h) per byte per processor — exactly the c2·p and c4·p·b terms
+// the paper fits.
+package simnet
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"netpart/internal/model"
+)
+
+// CPU costs of initiating an asynchronous send and of consuming a received
+// message, in milliseconds. These are deliberately small: the dominant
+// per-message cost is the channel occupancy σ, which is what the paper's
+// latency constants capture.
+const (
+	SendCPUMs = 0.05
+	RecvCPUMs = 0.05
+)
+
+// event is one scheduled closure.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// segment tracks the shared channel of one network segment as a FIFO
+// resource: transmissions are served in arrival order, each holding the
+// channel for its full occupancy.
+type segment struct {
+	spec   *model.Segment
+	freeAt float64
+	// Stats.
+	busyMs   float64
+	messages int64
+	bytes    int64
+}
+
+// Message is a delivered payload. Bytes is the message size; Payload is an
+// optional application value carried through the simulation (e.g. border
+// rows), not charged against the network.
+type Message struct {
+	From    *Proc
+	Bytes   int
+	Payload interface{}
+	// SentAt and DeliveredAt are virtual times in milliseconds.
+	SentAt      float64
+	DeliveredAt float64
+}
+
+// Sim is one simulation instance bound to a network model.
+type Sim struct {
+	net      *model.Network
+	segments map[string]*segment
+	now      float64
+	seq      int64
+	events   eventHeap
+	procs    []*Proc
+	parked   chan parkReason
+	running  bool
+
+	// jitterFrac > 0 scales every channel hold by a deterministic
+	// pseudo-random factor in [1-f, 1+f], modeling the paper's observation
+	// that UDP communication costs are nondeterministic and the fitted
+	// functions are averages. Zero disables (fully deterministic).
+	jitterFrac float64
+	rngState   uint64
+}
+
+// Option configures a simulation.
+type Option func(*Sim)
+
+// WithJitter makes channel occupancy times vary by up to ±frac around
+// their nominal values, driven by a seeded xorshift generator — still
+// fully reproducible for a given seed, but no longer exactly linear, so
+// least-squares fits become genuine averages (Section 3.0's "average
+// case" caveat).
+func WithJitter(frac float64, seed uint64) Option {
+	return func(s *Sim) {
+		s.jitterFrac = frac
+		s.rngState = seed | 1
+	}
+}
+
+// jitterMul returns the next hold-time multiplier.
+func (s *Sim) jitterMul() float64 {
+	if s.jitterFrac <= 0 {
+		return 1
+	}
+	// xorshift64
+	x := s.rngState
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.rngState = x
+	u := float64(x>>11) / float64(1<<53) // [0,1)
+	return 1 + s.jitterFrac*(2*u-1)
+}
+
+type parkReason int
+
+const (
+	parkBlocked parkReason = iota
+	parkDone
+)
+
+// New creates a simulation over the given validated network.
+func New(net *model.Network, opts ...Option) (*Sim, error) {
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{
+		net:      net,
+		segments: make(map[string]*segment, len(net.Segments)),
+		parked:   make(chan parkReason),
+	}
+	for _, seg := range net.Segments {
+		s.segments[seg.Name] = &segment{spec: seg}
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s, nil
+}
+
+// Now returns the current virtual time in milliseconds.
+func (s *Sim) Now() float64 { return s.now }
+
+// schedule queues fn at virtual time at (clamped to now).
+func (s *Sim) schedule(at float64, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// Proc is one simulated task: a goroutine that advances only in virtual
+// time. All Proc methods must be called from within the task body.
+type Proc struct {
+	sim      *Sim
+	name     string
+	cluster  *model.Cluster
+	rank     int
+	resume   chan struct{}
+	done     bool
+	panicked error
+
+	// mailboxes maps sender rank to queued messages.
+	mailboxes map[int][]*Message
+	// waitingOn is the sender rank a blocked Recv is waiting for, or -1.
+	waitingOn int
+
+	// Stats.
+	computeMs float64
+	sent      int64
+	received  int64
+}
+
+// Rank returns the task's rank (spawn order).
+func (p *Proc) Rank() int { return p.rank }
+
+// Name returns the task's name.
+func (p *Proc) Name() string { return p.name }
+
+// Cluster returns the cluster hosting the task.
+func (p *Proc) Cluster() *model.Cluster { return p.cluster }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.sim.now }
+
+// Spawn creates a task on the named cluster. The body runs when Run is
+// called. Spawn panics on an unknown cluster (a programming error).
+func (s *Sim) Spawn(name, cluster string, body func(*Proc)) *Proc {
+	if s.running {
+		panic("simnet: Spawn during Run")
+	}
+	c := s.net.Cluster(cluster)
+	if c == nil {
+		panic(fmt.Sprintf("simnet: unknown cluster %q", cluster))
+	}
+	p := &Proc{
+		sim:       s,
+		name:      name,
+		cluster:   c,
+		rank:      len(s.procs),
+		resume:    make(chan struct{}),
+		mailboxes: make(map[int][]*Message),
+		waitingOn: -1,
+	}
+	s.procs = append(s.procs, p)
+	go func() {
+		<-p.resume
+		defer func() {
+			if r := recover(); r != nil {
+				p.panicked = fmt.Errorf("simnet: task %s panicked: %v", p.name, r)
+			}
+			p.done = true
+			s.parked <- parkDone
+		}()
+		body(p)
+	}()
+	s.schedule(0, func() { s.step(p) })
+	return p
+}
+
+// step resumes a parked task and waits for it to park again (or finish).
+func (s *Sim) step(p *Proc) {
+	p.resume <- struct{}{}
+	<-s.parked
+}
+
+// park suspends the calling task and hands control back to the scheduler.
+func (p *Proc) park() {
+	p.sim.parked <- parkBlocked
+	<-p.resume
+}
+
+// Run executes the simulation until no events remain. It returns an error
+// if any task is still blocked (deadlock) when the event queue drains.
+func (s *Sim) Run() error {
+	if s.running {
+		return fmt.Errorf("simnet: Run reentered")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		s.now = ev.at
+		ev.fn()
+	}
+	var stuck []string
+	for _, p := range s.procs {
+		if p.panicked != nil {
+			return p.panicked
+		}
+		if !p.done {
+			stuck = append(stuck, fmt.Sprintf("%s (recv from rank %d)", p.name, p.waitingOn))
+		}
+	}
+	if len(stuck) > 0 {
+		sort.Strings(stuck)
+		return fmt.Errorf("simnet: deadlock, %d tasks blocked: %v", len(stuck), stuck)
+	}
+	return nil
+}
+
+// Advance spends ms milliseconds of virtual time computing.
+func (p *Proc) Advance(ms float64) {
+	if ms < 0 {
+		panic(fmt.Sprintf("simnet: negative advance %v", ms))
+	}
+	p.computeMs += ms
+	s := p.sim
+	s.schedule(s.now+ms, func() { s.step(p) })
+	p.park()
+}
+
+// AdvanceOps spends the virtual time of executing n operations of the given
+// class at this task's cluster speed.
+func (p *Proc) AdvanceOps(n float64, class model.OpClass) {
+	p.Advance(n * p.cluster.OpTime(class))
+}
+
+// Send asynchronously transmits a message of the given size to dst. The
+// sender is charged a small CPU initiation cost (plus per-byte coercion if
+// the destination cluster uses a different data format); the transmission
+// itself then serializes through the shared channel(s) and router without
+// blocking the sender.
+func (p *Proc) Send(dst *Proc, bytes int, payload interface{}) {
+	if bytes < 0 {
+		panic(fmt.Sprintf("simnet: negative message size %d", bytes))
+	}
+	s := p.sim
+	cpu := SendCPUMs
+	if p.cluster.Format != dst.cluster.Format {
+		cpu += s.net.Coerce.PerByteMs * float64(bytes)
+	}
+	p.sent++
+	msg := &Message{From: p, Bytes: bytes, Payload: payload, SentAt: s.now + cpu}
+	// CPU initiation happens inline; the transmission is scheduled at its
+	// completion.
+	p.Advance(cpu)
+	s.transmit(msg, p.cluster, dst)
+}
+
+// transmit pushes msg through the sender's segment, then (if needed) the
+// router and the destination segment, and finally delivers it.
+func (s *Sim) transmit(msg *Message, from *model.Cluster, dst *Proc) {
+	b := float64(msg.Bytes)
+	src := s.segments[from.Segment]
+	hold := (from.MsgOverheadMs + b*(1/src.spec.BytesPerMs+from.HostPerByteMs)) * s.jitterMul()
+	doneSrc := src.acquire(s.now, hold)
+	src.messages++
+	src.bytes += int64(msg.Bytes)
+
+	if from.Segment == dst.cluster.Segment {
+		s.schedule(doneSrc, func() { s.deliver(msg, dst) })
+		return
+	}
+	// Store-and-forward through the router, then the destination segment.
+	routed := doneSrc + s.net.Router.PerMessageMs + s.net.Router.PerByteMs*b
+	s.schedule(routed, func() {
+		dseg := s.segments[dst.cluster.Segment]
+		dhold := (dst.cluster.MsgOverheadMs + b*(1/dseg.spec.BytesPerMs+dst.cluster.HostPerByteMs)) * s.jitterMul()
+		doneDst := dseg.acquire(s.now, dhold)
+		dseg.messages++
+		dseg.bytes += int64(msg.Bytes)
+		s.schedule(doneDst, func() { s.deliver(msg, dst) })
+	})
+}
+
+// acquire reserves the channel FIFO for hold ms starting no earlier than
+// now, returning the completion time.
+func (seg *segment) acquire(now, hold float64) float64 {
+	start := now
+	if seg.freeAt > start {
+		start = seg.freeAt
+	}
+	seg.freeAt = start + hold
+	seg.busyMs += hold
+	return seg.freeAt
+}
+
+// deliver places msg in dst's mailbox and wakes dst if it is blocked on a
+// matching Recv.
+func (s *Sim) deliver(msg *Message, dst *Proc) {
+	msg.DeliveredAt = s.now
+	from := msg.From.rank
+	dst.mailboxes[from] = append(dst.mailboxes[from], msg)
+	if dst.waitingOn == from {
+		dst.waitingOn = -1
+		s.schedule(s.now, func() { s.step(dst) })
+	}
+}
+
+// Recv blocks until a message from src is available, consumes it (charging
+// the receive CPU cost), and returns it. Messages from the same sender are
+// received in transmission order.
+func (p *Proc) Recv(src *Proc) *Message {
+	for len(p.mailboxes[src.rank]) == 0 {
+		p.waitingOn = src.rank
+		p.park()
+	}
+	q := p.mailboxes[src.rank]
+	msg := q[0]
+	p.mailboxes[src.rank] = q[1:]
+	p.received++
+	p.Advance(RecvCPUMs)
+	return msg
+}
+
+// TryRecv consumes a pending message from src without blocking, returning
+// nil if none is queued.
+func (p *Proc) TryRecv(src *Proc) *Message {
+	q := p.mailboxes[src.rank]
+	if len(q) == 0 {
+		return nil
+	}
+	msg := q[0]
+	p.mailboxes[src.rank] = q[1:]
+	p.received++
+	p.Advance(RecvCPUMs)
+	return msg
+}
+
+// SegmentStats reports channel usage for one segment.
+type SegmentStats struct {
+	Name     string
+	BusyMs   float64
+	Messages int64
+	Bytes    int64
+}
+
+// Stats returns per-segment channel usage, sorted by segment name.
+func (s *Sim) Stats() []SegmentStats {
+	out := make([]SegmentStats, 0, len(s.segments))
+	for name, seg := range s.segments {
+		out = append(out, SegmentStats{
+			Name: name, BusyMs: seg.busyMs, Messages: seg.messages, Bytes: seg.bytes,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ProcStats reports one task's activity.
+type ProcStats struct {
+	Name      string
+	Cluster   string
+	ComputeMs float64
+	Sent      int64
+	Received  int64
+}
+
+// ProcStats returns per-task activity in rank order.
+func (s *Sim) ProcStats() []ProcStats {
+	out := make([]ProcStats, 0, len(s.procs))
+	for _, p := range s.procs {
+		out = append(out, ProcStats{
+			Name: p.name, Cluster: p.cluster.Name,
+			ComputeMs: p.computeMs, Sent: p.sent, Received: p.received,
+		})
+	}
+	return out
+}

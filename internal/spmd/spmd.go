@@ -1,0 +1,173 @@
+// Package spmd executes SPMD data parallel computations (Section 4.0's
+// model: identical tasks, one per processor, each computing on its region
+// of the data domain) over the simulated network substrate. It wires tasks
+// to their topology neighbors, applies a partition vector, and runs the
+// per-task body to completion, reporting the elapsed virtual time.
+//
+// Application packages (stencil, gauss) provide the task body; this package
+// owns placement, spawning, neighbor exchange helpers, and synchronization.
+package spmd
+
+import (
+	"errors"
+	"fmt"
+
+	"netpart/internal/core"
+	"netpart/internal/model"
+	"netpart/internal/simnet"
+	"netpart/internal/topo"
+)
+
+// Task is the per-rank context handed to the program body. It wraps the
+// simulated processor and exposes rank-addressed communication over the
+// program's topology.
+type Task struct {
+	rank   int
+	n      int
+	pdus   int
+	offset int // first PDU index owned by this task
+	proc   *simnet.Proc
+	peers  []*Task
+	tp     topo.Topology
+}
+
+// Rank returns this task's rank (0-based, contiguous placement order).
+func (t *Task) Rank() int { return t.rank }
+
+// NumTasks returns the total number of tasks.
+func (t *Task) NumTasks() int { return t.n }
+
+// PDUs returns the number of PDUs assigned to this task by the partition
+// vector.
+func (t *Task) PDUs() int { return t.pdus }
+
+// PDUOffset returns the index of the first PDU this task owns: partition
+// vectors assign contiguous PDU ranges in rank order (Fig. 2).
+func (t *Task) PDUOffset() int { return t.offset }
+
+// Cluster returns the hosting cluster.
+func (t *Task) Cluster() *model.Cluster { return t.proc.Cluster() }
+
+// NowMs returns the current virtual time.
+func (t *Task) NowMs() float64 { return t.proc.Now() }
+
+// Compute advances virtual time by n operations at the host cluster's
+// speed for the given class.
+func (t *Task) Compute(ops float64, class model.OpClass) {
+	t.proc.AdvanceOps(ops, class)
+}
+
+// Neighbors returns this task's neighbor ranks under the program topology.
+func (t *Task) Neighbors() []int {
+	return t.tp.Neighbors(t.rank, t.n)
+}
+
+// Send asynchronously sends bytes (with an optional payload carried for
+// application correctness, not charged to the network) to the given rank.
+func (t *Task) Send(dst int, bytes int, payload interface{}) {
+	t.proc.Send(t.peers[dst].proc, bytes, payload)
+}
+
+// Recv blocks for the next message from the given rank and returns its
+// payload.
+func (t *Task) Recv(src int) interface{} {
+	return t.proc.Recv(t.peers[src].proc).Payload
+}
+
+// ExchangeBorders performs one synchronous communication cycle in the
+// paper's canonical form — an asynchronous send to every neighbor followed
+// by a blocking receive from every neighbor — and returns the received
+// payloads keyed by neighbor rank. payload(nb) supplies the data sent to
+// each neighbor.
+func (t *Task) ExchangeBorders(bytes int, payload func(nb int) interface{}) map[int]interface{} {
+	ns := t.Neighbors()
+	for _, nb := range ns {
+		var p interface{}
+		if payload != nil {
+			p = payload(nb)
+		}
+		t.Send(nb, bytes, p)
+	}
+	got := make(map[int]interface{}, len(ns))
+	for _, nb := range ns {
+		got[nb] = t.Recv(nb)
+	}
+	return got
+}
+
+// Job describes one SPMD execution: the network, the processor
+// configuration with its contiguous placement, the partition vector, the
+// communication topology, and the per-task body.
+type Job struct {
+	Net *model.Network
+	// Placement maps ranks to processors (use topo.Contiguous over the
+	// chosen configuration).
+	Placement topo.Placement
+	// Vector assigns PDUs per rank; len(Vector) must equal the task count.
+	Vector core.Vector
+	// Topology is the communication pattern used by ExchangeBorders.
+	Topology topo.Topology
+	// Body is the task program, run once per rank.
+	Body func(*Task)
+	// SimOptions configure the underlying simulator (e.g. jitter).
+	SimOptions []simnet.Option
+}
+
+// Execution errors.
+var (
+	ErrVectorMismatch = errors.New("spmd: partition vector length differs from task count")
+	ErrNoTasks        = errors.New("spmd: job has no tasks")
+)
+
+// Report summarizes one execution.
+type Report struct {
+	// ElapsedMs is the virtual time at which the last task finished.
+	ElapsedMs float64
+	// Segments and Procs carry substrate statistics.
+	Segments []simnet.SegmentStats
+	Procs    []simnet.ProcStats
+}
+
+// Run executes the job to completion and reports elapsed virtual time.
+func Run(job Job) (Report, error) {
+	n := job.Placement.NumTasks()
+	if n == 0 {
+		return Report{}, ErrNoTasks
+	}
+	if len(job.Vector) != n {
+		return Report{}, fmt.Errorf("%w: %d vs %d", ErrVectorMismatch, len(job.Vector), n)
+	}
+	if job.Body == nil {
+		return Report{}, errors.New("spmd: job has no body")
+	}
+	sim, err := simnet.New(job.Net, job.SimOptions...)
+	if err != nil {
+		return Report{}, err
+	}
+	tasks := make([]*Task, n)
+	offset := 0
+	for rank := 0; rank < n; rank++ {
+		tasks[rank] = &Task{
+			rank:   rank,
+			n:      n,
+			pdus:   job.Vector[rank],
+			offset: offset,
+			peers:  tasks,
+			tp:     job.Topology,
+		}
+		offset += job.Vector[rank]
+	}
+	for rank := 0; rank < n; rank++ {
+		t := tasks[rank]
+		t.proc = sim.Spawn(fmt.Sprintf("task-%d", rank), job.Placement.ClusterOf(rank),
+			func(*simnet.Proc) { job.Body(t) })
+	}
+	if err := sim.Run(); err != nil {
+		return Report{}, err
+	}
+	return Report{
+		ElapsedMs: sim.Now(),
+		Segments:  sim.Stats(),
+		Procs:     sim.ProcStats(),
+	}, nil
+}

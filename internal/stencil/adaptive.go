@@ -1,0 +1,301 @@
+package stencil
+
+import (
+	"fmt"
+
+	"netpart/internal/balance"
+	"netpart/internal/core"
+	"netpart/internal/cost"
+	"netpart/internal/model"
+	"netpart/internal/spmd"
+	"netpart/internal/topo"
+)
+
+// AdaptiveOptions configures RunSimAdaptive, the paper's §7 future-work
+// strategy of dynamically recomputing the partition vector when processor
+// sharing causes load imbalance.
+type AdaptiveOptions struct {
+	// RebalanceEvery recomputes the partition vector every R iterations
+	// from measured per-task compute times (0 disables, reproducing the
+	// static RunSim behavior).
+	RebalanceEvery int
+	// Slowdown injects external load: a multiplicative compute-time factor
+	// for (rank, iteration). Nil means none.
+	Slowdown func(rank, iter int) float64
+}
+
+// AdaptiveResult extends SimResult with rebalancing statistics.
+type AdaptiveResult struct {
+	SimResult
+	// Rebalances counts vector recomputations that changed the vector.
+	Rebalances int
+	// MigratedRows counts grid rows that changed owners.
+	MigratedRows int
+	// FinalVector is the partition vector after the last rebalance.
+	FinalVector core.Vector
+}
+
+// RunSimAdaptive executes the distributed stencil like RunSim but
+// periodically rebalances: every R iterations the tasks report their
+// measured compute times to rank 0, which recomputes the vector
+// proportionally to observed rates (the dataparallel-C strategy) and
+// broadcasts it; tasks then migrate the actual grid rows to their new
+// owners before continuing. The final grid remains bit-exact with the
+// sequential reference regardless of how rows move.
+func RunSimAdaptive(net *model.Network, cfg cost.Config, vec core.Vector, v Variant, n, iters int, opts AdaptiveOptions) (AdaptiveResult, error) {
+	if vec.Sum() != n {
+		return AdaptiveResult{}, fmt.Errorf("stencil: vector sums to %d, want N=%d rows", vec.Sum(), n)
+	}
+	names, counts := cfg.Active()
+	pl, err := topo.Contiguous(names, counts)
+	if err != nil {
+		return AdaptiveResult{}, err
+	}
+	if pl.NumTasks() != len(vec) {
+		return AdaptiveResult{}, fmt.Errorf("stencil: configuration and vector disagree on task count")
+	}
+	initial := NewGrid(n)
+	result := make([][]float64, n)
+	out := AdaptiveResult{FinalVector: append(core.Vector(nil), vec...)}
+	job := spmd.Job{
+		Net:       net,
+		Placement: pl,
+		Vector:    vec,
+		Topology:  topo.OneD{},
+		Body: func(t *spmd.Task) {
+			runAdaptiveTask(t, initial, result, v, n, iters, opts, &out)
+		},
+	}
+	rep, err := spmd.Run(job)
+	if err != nil {
+		return AdaptiveResult{}, err
+	}
+	for i, row := range result {
+		if row == nil {
+			return AdaptiveResult{}, fmt.Errorf("stencil: row %d not produced", i)
+		}
+	}
+	out.SimResult = SimResult{ElapsedMs: rep.ElapsedMs, Grid: result, Report: rep}
+	return out, nil
+}
+
+// owners derives per-row ownership from a partition vector: prefix[r] is
+// the first global row of rank r; ownerOf(g) locates a row's rank.
+type owners struct {
+	prefix []int // len = tasks+1
+}
+
+func newOwners(vec core.Vector) owners {
+	prefix := make([]int, len(vec)+1)
+	for r, a := range vec {
+		prefix[r+1] = prefix[r] + a
+	}
+	return owners{prefix: prefix}
+}
+
+func (o owners) first(rank int) int { return o.prefix[rank] }
+func (o owners) count(rank int) int { return o.prefix[rank+1] - o.prefix[rank] }
+func (o owners) ownerOf(g int) int {
+	lo, hi := 0, len(o.prefix)-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if o.prefix[mid] <= g {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// runAdaptiveTask is the per-rank body: the usual STEN-1/STEN-2 cycle with
+// injected slowdown, plus the gather → rebalance → broadcast → migrate
+// protocol every R iterations.
+func runAdaptiveTask(t *spmd.Task, initial, result [][]float64, v Variant, n, iters int, opts AdaptiveOptions, out *AdaptiveResult) {
+	rank, nTasks := t.Rank(), t.NumTasks()
+	rows := t.PDUs()
+	off := t.PDUOffset()
+
+	// Local state: rows indexed 1..rows with ghost slots 0 and rows+1.
+	cur := make([][]float64, rows+2)
+	next := make([][]float64, rows+2)
+	for i := range cur {
+		cur[i] = make([]float64, n)
+		next[i] = make([]float64, n)
+	}
+	for i := 0; i < rows; i++ {
+		copy(cur[i+1], initial[off+i])
+		copy(next[i+1], initial[off+i])
+	}
+
+	msgBytes := BytesPerPoint * n
+	windowComputeMs := 0.0
+
+	computeRows := func(lo, hi int, iter int) {
+		factor := 1.0
+		if opts.Slowdown != nil {
+			factor = opts.Slowdown(rank, iter)
+		}
+		start := t.NowMs()
+		for li := lo; li <= hi; li++ {
+			g := off + li - 1
+			if g == 0 || g == n-1 {
+				copy(next[li], cur[li])
+			} else {
+				updateRow(next[li], cur[li], cur[li-1], cur[li+1])
+			}
+			t.Compute(rowOps(g, n)*factor, model.OpFloat)
+		}
+		windowComputeMs += t.NowMs() - start
+	}
+	sendBorders := func() {
+		if rank > 0 {
+			t.Send(rank-1, msgBytes, append([]float64(nil), cur[1]...))
+		}
+		if rank < nTasks-1 {
+			t.Send(rank+1, msgBytes, append([]float64(nil), cur[rows]...))
+		}
+	}
+	recvGhosts := func() {
+		if rank > 0 {
+			copy(cur[0], t.Recv(rank-1).([]float64))
+		}
+		if rank < nTasks-1 {
+			copy(cur[rows+1], t.Recv(rank+1).([]float64))
+		}
+	}
+
+	for iter := 0; iter < iters; iter++ {
+		switch v {
+		case STEN1:
+			sendBorders()
+			recvGhosts()
+			computeRows(1, rows, iter)
+		case STEN2:
+			sendBorders()
+			if rows > 2 {
+				computeRows(2, rows-1, iter)
+			}
+			recvGhosts()
+			computeRows(1, 1, iter)
+			if rows > 1 {
+				computeRows(rows, rows, iter)
+			}
+		}
+		cur, next = next, cur
+
+		if opts.RebalanceEvery <= 0 || (iter+1)%opts.RebalanceEvery != 0 || iter == iters-1 || nTasks == 1 {
+			continue
+		}
+		// Gather (measured, rows) at rank 0; rebalance; broadcast old+new.
+		var oldVec, newVec core.Vector
+		if rank == 0 {
+			times := make([]float64, nTasks)
+			current := make(core.Vector, nTasks)
+			times[0], current[0] = windowComputeMs, rows
+			for src := 1; src < nTasks; src++ {
+				m := t.Recv(src).([2]float64)
+				times[src] = m[0]
+				current[src] = int(m[1])
+			}
+			nv, err := balance.Rebalance(current, times)
+			if err != nil {
+				nv = append(core.Vector(nil), current...)
+			}
+			changed := false
+			for r := range nv {
+				if nv[r] != current[r] {
+					changed = true
+					if d := nv[r] - current[r]; d > 0 {
+						out.MigratedRows += d
+					}
+				}
+			}
+			if changed {
+				out.Rebalances++
+			}
+			pair := [2]core.Vector{current, nv}
+			for dst := 1; dst < nTasks; dst++ {
+				t.Send(dst, 16*nTasks, pair)
+			}
+			oldVec, newVec = current, nv
+			copy(out.FinalVector, nv)
+		} else {
+			t.Send(0, 16, [2]float64{windowComputeMs, float64(rows)})
+			pair := t.Recv(0).([2]core.Vector)
+			oldVec, newVec = pair[0], pair[1]
+		}
+		windowComputeMs = 0
+
+		// Migrate rows to their new owners. Each departing row travels in
+		// one batched message per (src, dst) pair; receivers know exactly
+		// what to expect from the old/new vectors.
+		oldOwn, newOwn := newOwners(oldVec), newOwners(newVec)
+		type batch struct {
+			first int
+			rows  [][]float64
+		}
+		outgoing := map[int]*batch{}
+		for i := 0; i < rows; i++ {
+			g := off + i
+			dst := newOwn.ownerOf(g)
+			if dst == rank {
+				continue
+			}
+			b := outgoing[dst]
+			if b == nil {
+				b = &batch{first: g}
+				outgoing[dst] = b
+			}
+			b.rows = append(b.rows, append([]float64(nil), cur[i+1]...))
+		}
+		// Deterministic send order: ascending destination rank.
+		for dst := 0; dst < nTasks; dst++ {
+			if b, ok := outgoing[dst]; ok {
+				t.Send(dst, len(b.rows)*msgBytes, *b)
+			}
+		}
+		// Rebuild local storage for the new assignment.
+		newRows := newOwn.count(rank)
+		newOff := newOwn.first(rank)
+		ncur := make([][]float64, newRows+2)
+		nnext := make([][]float64, newRows+2)
+		for i := range ncur {
+			ncur[i] = make([]float64, n)
+			nnext[i] = make([]float64, n)
+		}
+		// Keep rows we already own.
+		for g := newOff; g < newOff+newRows; g++ {
+			if src := oldOwn.ownerOf(g); src == rank {
+				copy(ncur[g-newOff+1], cur[g-off+1])
+			}
+		}
+		// Receive incoming batches in ascending source-rank order.
+		for src := 0; src < nTasks; src++ {
+			if src == rank {
+				continue
+			}
+			expect := 0
+			for g := newOff; g < newOff+newRows; g++ {
+				if oldOwn.ownerOf(g) == src {
+					expect++
+				}
+			}
+			if expect == 0 {
+				continue
+			}
+			b := t.Recv(src).(batch)
+			if len(b.rows) != expect {
+				panic(fmt.Sprintf("stencil: rank %d expected %d rows from %d, got %d", rank, expect, src, len(b.rows)))
+			}
+			for i, row := range b.rows {
+				copy(ncur[b.first+i-newOff+1], row)
+			}
+		}
+		rows, off = newRows, newOff
+		cur, next = ncur, nnext
+	}
+	for i := 0; i < rows; i++ {
+		result[off+i] = append([]float64(nil), cur[i+1]...)
+	}
+}

@@ -1,0 +1,197 @@
+package stencil
+
+import (
+	"fmt"
+	"math"
+
+	"netpart/internal/core"
+	"netpart/internal/cost"
+	"netpart/internal/model"
+	"netpart/internal/spmd"
+	"netpart/internal/topo"
+)
+
+// ConvergeResult is the outcome of a run-until-converged execution.
+type ConvergeResult struct {
+	ElapsedMs  float64
+	Grid       [][]float64
+	Iterations int
+	// FinalDelta is the last global maximum point change.
+	FinalDelta float64
+	Report     spmd.Report
+}
+
+// reduceBytes is the wire size of one convergence contribution (a single
+// 8-byte maximum delta).
+const reduceBytes = 8
+
+// RunSimUntil executes the distributed stencil until the global maximum
+// point change of an iteration falls to tol or maxIters is reached. Each
+// iteration ends with a global max-reduction: tasks send their local
+// maximum delta to rank 0, which broadcasts the verdict — the
+// gather/broadcast reduction pattern layered on the same synchronous
+// cycle machinery.
+func RunSimUntil(net *model.Network, cfg cost.Config, vec core.Vector, v Variant, n int, tol float64, maxIters int) (ConvergeResult, error) {
+	if vec.Sum() != n {
+		return ConvergeResult{}, fmt.Errorf("stencil: vector sums to %d, want N=%d rows", vec.Sum(), n)
+	}
+	names, counts := cfg.Active()
+	pl, err := topo.Contiguous(names, counts)
+	if err != nil {
+		return ConvergeResult{}, err
+	}
+	if pl.NumTasks() != len(vec) {
+		return ConvergeResult{}, fmt.Errorf("stencil: configuration and vector disagree on task count")
+	}
+	initial := NewGrid(n)
+	result := make([][]float64, n)
+	out := ConvergeResult{}
+	job := spmd.Job{
+		Net:       net,
+		Placement: pl,
+		Vector:    vec,
+		Topology:  topo.OneD{},
+		Body: func(t *spmd.Task) {
+			iters, delta := runConvergeTask(t, initial, result, v, n, tol, maxIters)
+			if t.Rank() == 0 {
+				out.Iterations = iters
+				out.FinalDelta = delta
+			}
+		},
+	}
+	rep, err := spmd.Run(job)
+	if err != nil {
+		return ConvergeResult{}, err
+	}
+	for i, row := range result {
+		if row == nil {
+			return ConvergeResult{}, fmt.Errorf("stencil: row %d not produced", i)
+		}
+	}
+	out.ElapsedMs = rep.ElapsedMs
+	out.Grid = result
+	out.Report = rep
+	return out, nil
+}
+
+// SequentialUntil is the reference: iterate until the maximum point change
+// falls to tol (or maxIters), returning the grid and iteration count.
+func SequentialUntil(grid [][]float64, tol float64, maxIters int) ([][]float64, int, float64) {
+	n := len(grid)
+	cur := cloneGrid(grid)
+	next := cloneGrid(grid)
+	delta := math.Inf(1)
+	it := 0
+	for ; it < maxIters && delta > tol; it++ {
+		delta = 0
+		for i := 1; i < n-1; i++ {
+			updateRow(next[i], cur[i], cur[i-1], cur[i+1])
+			for j := 1; j < n-1; j++ {
+				if d := math.Abs(next[i][j] - cur[i][j]); d > delta {
+					delta = d
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur, it, delta
+}
+
+// runConvergeTask is the per-rank body: the STEN-1/STEN-2 cycle plus the
+// per-iteration max-delta reduction.
+func runConvergeTask(t *spmd.Task, initial, result [][]float64, v Variant, n int, tol float64, maxIters int) (int, float64) {
+	rows := t.PDUs()
+	off := t.PDUOffset()
+	cur := make([][]float64, rows+2)
+	next := make([][]float64, rows+2)
+	for i := range cur {
+		cur[i] = make([]float64, n)
+		next[i] = make([]float64, n)
+	}
+	for i := 0; i < rows; i++ {
+		copy(cur[i+1], initial[off+i])
+		copy(next[i+1], initial[off+i])
+	}
+	rank, nTasks := t.Rank(), t.NumTasks()
+	msgBytes := BytesPerPoint * n
+	localDelta := 0.0
+
+	computeRows := func(lo, hi int) {
+		for li := lo; li <= hi; li++ {
+			g := off + li - 1
+			if g == 0 || g == n-1 {
+				copy(next[li], cur[li])
+			} else {
+				updateRow(next[li], cur[li], cur[li-1], cur[li+1])
+				for j := 1; j < n-1; j++ {
+					if d := math.Abs(next[li][j] - cur[li][j]); d > localDelta {
+						localDelta = d
+					}
+				}
+			}
+			t.Compute(rowOps(g, n), model.OpFloat)
+		}
+	}
+	sendBorders := func() {
+		if rank > 0 {
+			t.Send(rank-1, msgBytes, append([]float64(nil), cur[1]...))
+		}
+		if rank < nTasks-1 {
+			t.Send(rank+1, msgBytes, append([]float64(nil), cur[rows]...))
+		}
+	}
+	recvGhosts := func() {
+		if rank > 0 {
+			copy(cur[0], t.Recv(rank-1).([]float64))
+		}
+		if rank < nTasks-1 {
+			copy(cur[rows+1], t.Recv(rank+1).([]float64))
+		}
+	}
+
+	it := 0
+	globalDelta := math.Inf(1)
+	for ; it < maxIters && globalDelta > tol; it++ {
+		localDelta = 0
+		switch v {
+		case STEN1:
+			sendBorders()
+			recvGhosts()
+			computeRows(1, rows)
+		case STEN2:
+			sendBorders()
+			if rows > 2 {
+				computeRows(2, rows-1)
+			}
+			recvGhosts()
+			computeRows(1, 1)
+			if rows > 1 {
+				computeRows(rows, rows)
+			}
+		}
+		cur, next = next, cur
+		// Global max-delta reduction at rank 0, verdict broadcast.
+		if nTasks == 1 {
+			globalDelta = localDelta
+			continue
+		}
+		if rank == 0 {
+			globalDelta = localDelta
+			for src := 1; src < nTasks; src++ {
+				if d := t.Recv(src).(float64); d > globalDelta {
+					globalDelta = d
+				}
+			}
+			for dst := 1; dst < nTasks; dst++ {
+				t.Send(dst, reduceBytes, globalDelta)
+			}
+		} else {
+			t.Send(0, reduceBytes, localDelta)
+			globalDelta = t.Recv(0).(float64)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		result[off+i] = append([]float64(nil), cur[i+1]...)
+	}
+	return it, globalDelta
+}

@@ -1,0 +1,415 @@
+package stencil
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"netpart/internal/balance"
+	"netpart/internal/core"
+	"netpart/internal/mmps"
+)
+
+// LiveAdaptiveOptions configures RunLiveAdaptive.
+type LiveAdaptiveOptions struct {
+	// RebalanceEvery recomputes the partition vector every R iterations
+	// from measured wall-clock compute times (0 disables).
+	RebalanceEvery int
+	// WorkFactor emulates heterogeneity/load: per-rank extra repetitions
+	// of the row update (1 = nominal). Nil means uniform.
+	WorkFactor []int
+}
+
+// LiveAdaptiveResult extends LiveResult with rebalancing statistics.
+type LiveAdaptiveResult struct {
+	Elapsed      time.Duration
+	Grid         [][]float64
+	Rebalances   int
+	MigratedRows int
+	FinalVector  core.Vector
+}
+
+// RunLiveAdaptive is the dynamic-repartitioning strategy on the real
+// runtime: concurrent tasks over mmps transports measure their wall-clock
+// compute time, rank 0 rebalances, and the actual grid rows migrate over
+// the wire. The result is bit-exact with the sequential kernel for any
+// rebalancing sequence (decisions may vary with wall-clock noise; the
+// migration protocol keeps every rank consistent because only rank 0
+// decides and broadcasts).
+func RunLiveAdaptive(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, opts LiveAdaptiveOptions) (LiveAdaptiveResult, error) {
+	if len(world) == 0 || len(world) != len(vec) {
+		return LiveAdaptiveResult{}, fmt.Errorf("stencil: %d transports for %d vector entries", len(world), len(vec))
+	}
+	if vec.Sum() != n {
+		return LiveAdaptiveResult{}, fmt.Errorf("stencil: vector sums to %d, want N=%d", vec.Sum(), n)
+	}
+	if opts.WorkFactor != nil && len(opts.WorkFactor) != len(world) {
+		return LiveAdaptiveResult{}, fmt.Errorf("stencil: %d work factors for %d tasks", len(opts.WorkFactor), len(world))
+	}
+	initial := NewGrid(n)
+	result := make([][]float64, n)
+	out := LiveAdaptiveResult{FinalVector: append(core.Vector(nil), vec...)}
+	errs := make([]error, len(world))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for rank := range world {
+		rank := rank
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			factor := 1
+			if opts.WorkFactor != nil {
+				factor = opts.WorkFactor[rank]
+			}
+			errs[rank] = runLiveAdaptiveTask(world[rank], vec, initial, result, v, n, iters, factor, opts.RebalanceEvery, &out)
+		}()
+	}
+	wg.Wait()
+	out.Elapsed = time.Since(start)
+	for rank, err := range errs {
+		if err != nil {
+			return LiveAdaptiveResult{}, fmt.Errorf("stencil: rank %d: %w", rank, err)
+		}
+	}
+	for i, row := range result {
+		if row == nil {
+			return LiveAdaptiveResult{}, fmt.Errorf("stencil: row %d not produced", i)
+		}
+	}
+	out.Grid = result
+	return out, nil
+}
+
+// Wire helpers for the rebalance protocol (big-endian, mmps coercion
+// format).
+
+func encodeMeasurement(ms float64, rows int) []byte {
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint64(buf, math.Float64bits(ms))
+	binary.BigEndian.PutUint64(buf[8:], uint64(rows))
+	return buf
+}
+
+func decodeMeasurement(buf []byte) (float64, int, error) {
+	if len(buf) != 16 {
+		return 0, 0, fmt.Errorf("stencil: measurement of %d bytes", len(buf))
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(buf)),
+		int(binary.BigEndian.Uint64(buf[8:])), nil
+}
+
+func encodeVectorPair(old, new core.Vector) []byte {
+	buf := make([]byte, 8+16*len(old))
+	binary.BigEndian.PutUint64(buf, uint64(len(old)))
+	for i := range old {
+		binary.BigEndian.PutUint64(buf[8+16*i:], uint64(old[i]))
+		binary.BigEndian.PutUint64(buf[16+16*i:], uint64(new[i]))
+	}
+	return buf
+}
+
+func decodeVectorPair(buf []byte) (core.Vector, core.Vector, error) {
+	if len(buf) < 8 {
+		return nil, nil, fmt.Errorf("stencil: short vector pair")
+	}
+	n := int(binary.BigEndian.Uint64(buf))
+	if len(buf) != 8+16*n {
+		return nil, nil, fmt.Errorf("stencil: vector pair of %d bytes for %d ranks", len(buf), n)
+	}
+	old := make(core.Vector, n)
+	new := make(core.Vector, n)
+	for i := 0; i < n; i++ {
+		old[i] = int(binary.BigEndian.Uint64(buf[8+16*i:]))
+		new[i] = int(binary.BigEndian.Uint64(buf[16+16*i:]))
+	}
+	return old, new, nil
+}
+
+// encodeRows frames a contiguous row batch: first global row index, then
+// the rows.
+func encodeRows(first int, rows [][]float64) []byte {
+	width := 0
+	if len(rows) > 0 {
+		width = len(rows[0])
+	}
+	buf := make([]byte, 16, 16+8*len(rows)*width)
+	binary.BigEndian.PutUint64(buf, uint64(first))
+	binary.BigEndian.PutUint64(buf[8:], uint64(len(rows)))
+	for _, row := range rows {
+		buf = append(buf, mmps.EncodeFloat64s(row)...)
+	}
+	return buf
+}
+
+func decodeRows(buf []byte, width int) (first int, rows [][]float64, err error) {
+	if len(buf) < 16 {
+		return 0, nil, fmt.Errorf("stencil: short row batch")
+	}
+	first = int(binary.BigEndian.Uint64(buf))
+	count := int(binary.BigEndian.Uint64(buf[8:]))
+	body := buf[16:]
+	if len(body) != 8*count*width {
+		return 0, nil, fmt.Errorf("stencil: row batch of %d bytes for %d rows", len(body), count)
+	}
+	for i := 0; i < count; i++ {
+		row, err := mmps.DecodeFloat64s(body[8*i*width : 8*(i+1)*width])
+		if err != nil {
+			return 0, nil, err
+		}
+		rows = append(rows, row)
+	}
+	return first, rows, nil
+}
+
+// runLiveAdaptiveTask mirrors the simulated adaptive body over real
+// transports.
+func runLiveAdaptiveTask(tr mmps.Transport, initVec core.Vector, initial, result [][]float64, v Variant, n, iters, workFactor, rebalanceEvery int, out *LiveAdaptiveResult) error {
+	rank, nTasks := tr.Rank(), tr.Size()
+	own := newOwners(initVec)
+	rows := own.count(rank)
+	off := own.first(rank)
+
+	cur := make([][]float64, rows+2)
+	next := make([][]float64, rows+2)
+	scratch := make([]float64, n)
+	alloc := func(k int) ([][]float64, [][]float64) {
+		a := make([][]float64, k+2)
+		b := make([][]float64, k+2)
+		for i := range a {
+			a[i] = make([]float64, n)
+			b[i] = make([]float64, n)
+		}
+		return a, b
+	}
+	cur, next = alloc(rows)
+	for i := 0; i < rows; i++ {
+		copy(cur[i+1], initial[off+i])
+		copy(next[i+1], initial[off+i])
+	}
+	windowMs := 0.0
+
+	computeRows := func(lo, hi int) {
+		start := time.Now()
+		for li := lo; li <= hi; li++ {
+			g := off + li - 1
+			if g == 0 || g == n-1 {
+				copy(next[li], cur[li])
+				continue
+			}
+			updateRow(next[li], cur[li], cur[li-1], cur[li+1])
+			for extra := 1; extra < workFactor; extra++ {
+				updateRow(scratch, cur[li], cur[li-1], cur[li+1])
+			}
+		}
+		windowMs += float64(time.Since(start)) / 1e6
+	}
+	sendBorder := func(dst int, row []float64) error {
+		return tr.Send(dst, mmps.EncodeFloat64s(row))
+	}
+	recvBorder := func(src int, into []float64) error {
+		buf, err := tr.Recv(src)
+		if err != nil {
+			return err
+		}
+		vals, err := mmps.DecodeFloat64s(buf)
+		if err != nil {
+			return err
+		}
+		if len(vals) != n {
+			return fmt.Errorf("border of %d values", len(vals))
+		}
+		copy(into, vals)
+		return nil
+	}
+
+	for iter := 0; iter < iters; iter++ {
+		hasNorth, hasSouth := rank > 0, rank < nTasks-1
+		// One synchronous border cycle.
+		if hasNorth {
+			if err := sendBorder(rank-1, cur[1]); err != nil {
+				return err
+			}
+		}
+		if hasSouth {
+			if err := sendBorder(rank+1, cur[rows]); err != nil {
+				return err
+			}
+		}
+		recvAll := func() error {
+			if hasNorth {
+				if err := recvBorder(rank-1, cur[0]); err != nil {
+					return err
+				}
+			}
+			if hasSouth {
+				if err := recvBorder(rank+1, cur[rows+1]); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		switch v {
+		case STEN1:
+			if err := recvAll(); err != nil {
+				return err
+			}
+			computeRows(1, rows)
+		case STEN2:
+			if rows > 2 {
+				computeRows(2, rows-1)
+			}
+			if err := recvAll(); err != nil {
+				return err
+			}
+			computeRows(1, 1)
+			if rows > 1 {
+				computeRows(rows, rows)
+			}
+		}
+		cur, next = next, cur
+
+		if rebalanceEvery <= 0 || (iter+1)%rebalanceEvery != 0 || iter == iters-1 || nTasks == 1 {
+			continue
+		}
+		// Gather measurements at rank 0; rebalance; broadcast old+new.
+		var oldVec, newVec core.Vector
+		if rank == 0 {
+			times := make([]float64, nTasks)
+			current := make(core.Vector, nTasks)
+			times[0], current[0] = windowMs+1e-9, rows
+			for src := 1; src < nTasks; src++ {
+				buf, err := tr.Recv(src)
+				if err != nil {
+					return err
+				}
+				ms, r, err := decodeMeasurement(buf)
+				if err != nil {
+					return err
+				}
+				times[src], current[src] = ms+1e-9, r
+			}
+			nv, err := rebalanceOrKeep(current, times)
+			if err != nil {
+				return err
+			}
+			changed := false
+			for r := range nv {
+				if nv[r] != current[r] {
+					changed = true
+					if d := nv[r] - current[r]; d > 0 {
+						out.MigratedRows += d
+					}
+				}
+			}
+			if changed {
+				out.Rebalances++
+			}
+			msg := encodeVectorPair(current, nv)
+			for dst := 1; dst < nTasks; dst++ {
+				if err := tr.Send(dst, msg); err != nil {
+					return err
+				}
+			}
+			oldVec, newVec = current, nv
+			copy(out.FinalVector, nv)
+		} else {
+			if err := tr.Send(0, encodeMeasurement(windowMs, rows)); err != nil {
+				return err
+			}
+			buf, err := tr.Recv(0)
+			if err != nil {
+				return err
+			}
+			oldVec, newVec, err = decodeVectorPair(buf)
+			if err != nil {
+				return err
+			}
+		}
+		windowMs = 0
+
+		// Migrate rows (contiguous intervals per (src, dst) pair).
+		oldOwn, newOwn := newOwners(oldVec), newOwners(newVec)
+		type span struct{ first, count int }
+		outgoing := map[int]span{}
+		for i := 0; i < rows; i++ {
+			g := off + i
+			dst := newOwn.ownerOf(g)
+			if dst == rank {
+				continue
+			}
+			sp := outgoing[dst]
+			if sp.count == 0 {
+				sp.first = g
+			}
+			sp.count++
+			outgoing[dst] = sp
+		}
+		for dst := 0; dst < nTasks; dst++ {
+			sp, ok := outgoing[dst]
+			if !ok {
+				continue
+			}
+			batch := make([][]float64, 0, sp.count)
+			for g := sp.first; g < sp.first+sp.count; g++ {
+				batch = append(batch, cur[g-off+1])
+			}
+			if err := tr.Send(dst, encodeRows(sp.first, batch)); err != nil {
+				return err
+			}
+		}
+		newRows := newOwn.count(rank)
+		newOff := newOwn.first(rank)
+		ncur, nnext := alloc(newRows)
+		for g := newOff; g < newOff+newRows; g++ {
+			if oldOwn.ownerOf(g) == rank {
+				copy(ncur[g-newOff+1], cur[g-off+1])
+			}
+		}
+		for src := 0; src < nTasks; src++ {
+			if src == rank {
+				continue
+			}
+			expect := 0
+			for g := newOff; g < newOff+newRows; g++ {
+				if oldOwn.ownerOf(g) == src {
+					expect++
+				}
+			}
+			if expect == 0 {
+				continue
+			}
+			buf, err := tr.Recv(src)
+			if err != nil {
+				return err
+			}
+			first, batch, err := decodeRows(buf, n)
+			if err != nil {
+				return err
+			}
+			if len(batch) != expect {
+				return fmt.Errorf("expected %d rows from %d, got %d", expect, src, len(batch))
+			}
+			for i, row := range batch {
+				copy(ncur[first+i-newOff+1], row)
+			}
+		}
+		rows, off = newRows, newOff
+		cur, next = ncur, nnext
+	}
+	for i := 0; i < rows; i++ {
+		result[off+i] = append([]float64(nil), cur[i+1]...)
+	}
+	return nil
+}
+
+// rebalanceOrKeep rebalances, falling back to the current vector when the
+// measurements are degenerate (e.g. sub-resolution wall-clock times).
+func rebalanceOrKeep(current core.Vector, times []float64) (core.Vector, error) {
+	nv, err := balance.Rebalance(current, times)
+	if err != nil {
+		return append(core.Vector(nil), current...), nil
+	}
+	return nv, nil
+}

@@ -1,0 +1,257 @@
+package stencil
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"netpart/internal/core"
+	"netpart/internal/mmps"
+)
+
+func localWorld(t *testing.T, n int) []mmps.Transport {
+	t.Helper()
+	eps, err := mmps.NewLocalWorld(n, mmps.WithRecvTimeout(20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]mmps.Transport, n)
+	for i, ep := range eps {
+		out[i] = ep
+	}
+	return out
+}
+
+func udpWorld(t *testing.T, n int) []mmps.Transport {
+	t.Helper()
+	eps, err := mmps.NewUDPWorld(n, mmps.WithRecvTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]mmps.Transport, n)
+	for i, ep := range eps {
+		out[i] = ep
+	}
+	return out
+}
+
+func closeWorld(world []mmps.Transport) {
+	for _, tr := range world {
+		tr.Close()
+	}
+}
+
+func TestLiveMatchesSequentialLocalTransport(t *testing.T) {
+	const n, iters = 32, 6
+	want := Sequential(NewGrid(n), iters)
+	for _, v := range []Variant{STEN1, STEN2} {
+		world := localWorld(t, 4)
+		vec := core.Vector{8, 8, 8, 8}
+		res, err := RunLive(world, vec, v, n, iters, nil)
+		closeWorld(world)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if !gridsEqual(res.Grid, want) {
+			t.Errorf("%s: live grid differs from sequential", v)
+		}
+		if res.Elapsed <= 0 {
+			t.Errorf("%s: elapsed %v", v, res.Elapsed)
+		}
+	}
+}
+
+func TestLiveMatchesSequentialUDPTransport(t *testing.T) {
+	const n, iters = 24, 4
+	want := Sequential(NewGrid(n), iters)
+	for _, v := range []Variant{STEN1, STEN2} {
+		world := udpWorld(t, 3)
+		vec := core.Vector{8, 10, 6} // deliberately uneven
+		res, err := RunLive(world, vec, v, n, iters, nil)
+		closeWorld(world)
+		if err != nil {
+			t.Fatalf("%s: %v", v, err)
+		}
+		if !gridsEqual(res.Grid, want) {
+			t.Errorf("%s: live UDP grid differs from sequential", v)
+		}
+	}
+}
+
+func TestLiveHeterogeneousWorkFactors(t *testing.T) {
+	// Work factors change timing, never results.
+	const n, iters = 24, 4
+	want := Sequential(NewGrid(n), iters)
+	world := localWorld(t, 3)
+	defer closeWorld(world)
+	res, err := RunLive(world, core.Vector{12, 6, 6}, STEN2, n, iters, []int{1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gridsEqual(res.Grid, want) {
+		t.Error("work factors changed numerics")
+	}
+}
+
+func TestLiveSingleTask(t *testing.T) {
+	const n, iters = 16, 5
+	want := Sequential(NewGrid(n), iters)
+	world := localWorld(t, 1)
+	defer closeWorld(world)
+	res, err := RunLive(world, core.Vector{n}, STEN1, n, iters, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gridsEqual(res.Grid, want) {
+		t.Error("single live task differs from sequential")
+	}
+}
+
+func TestLiveValidatesInputs(t *testing.T) {
+	world := localWorld(t, 2)
+	defer closeWorld(world)
+	if _, err := RunLive(world, core.Vector{4}, STEN1, 8, 1, nil); err == nil {
+		t.Error("vector/world mismatch should error")
+	}
+	if _, err := RunLive(world, core.Vector{4, 5}, STEN1, 8, 1, nil); err == nil {
+		t.Error("vector/N mismatch should error")
+	}
+	if _, err := RunLive(world, core.Vector{4, 4}, STEN1, 8, 1, []int{1}); err == nil {
+		t.Error("work factor length mismatch should error")
+	}
+	if _, err := RunLive(nil, core.Vector{}, STEN1, 0, 1, nil); err == nil {
+		t.Error("empty world should error")
+	}
+}
+
+func TestLiveAdaptiveBitExactUnderMigration(t *testing.T) {
+	// Wall-clock measurements make rebalancing decisions nondeterministic,
+	// but the result must be bit-exact with the sequential kernel for any
+	// rebalancing sequence.
+	const n, iters = 64, 16
+	want := Sequential(NewGrid(n), iters)
+	for _, kind := range []string{"local", "udp"} {
+		t.Run(kind, func(t *testing.T) {
+			var world []mmps.Transport
+			if kind == "local" {
+				world = localWorld(t, 4)
+			} else {
+				world = udpWorld(t, 4)
+			}
+			defer closeWorld(world)
+			vec := core.Vector{16, 16, 16, 16}
+			res, err := RunLiveAdaptive(world, vec, STEN2, n, iters, LiveAdaptiveOptions{
+				RebalanceEvery: 4,
+				WorkFactor:     []int{1, 8, 1, 1}, // rank 1 is 8x slower
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !gridsEqual(res.Grid, want) {
+				t.Error("live adaptive grid differs from sequential")
+			}
+			if res.FinalVector.Sum() != n {
+				t.Errorf("final vector sums to %d", res.FinalVector.Sum())
+			}
+			if res.Elapsed <= 0 {
+				t.Error("no elapsed time")
+			}
+		})
+	}
+}
+
+func TestLiveAdaptiveShedsLoadedRank(t *testing.T) {
+	// With heavy compute the wall-clock measurements are reliable enough
+	// that the slowed rank ends with fewer rows than it started with.
+	const n, iters = 512, 12
+	world := localWorld(t, 3)
+	defer closeWorld(world)
+	vec := core.Vector{171, 171, 170}
+	res, err := RunLiveAdaptive(world, vec, STEN1, n, iters, LiveAdaptiveOptions{
+		RebalanceEvery: 3,
+		WorkFactor:     []int{1, 12, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rebalances == 0 {
+		t.Skip("wall clock too coarse to trigger a rebalance on this machine")
+	}
+	if res.FinalVector[1] >= vec[1] {
+		t.Errorf("loaded rank still holds %d rows (started with %d): %v",
+			res.FinalVector[1], vec[1], res.FinalVector)
+	}
+	want := Sequential(NewGrid(n), iters)
+	if !gridsEqual(res.Grid, want) {
+		t.Error("numerics changed")
+	}
+}
+
+func TestLiveAdaptiveValidates(t *testing.T) {
+	world := localWorld(t, 2)
+	defer closeWorld(world)
+	if _, err := RunLiveAdaptive(world, core.Vector{4}, STEN1, 8, 2, LiveAdaptiveOptions{}); err == nil {
+		t.Error("vector/world mismatch accepted")
+	}
+	if _, err := RunLiveAdaptive(world, core.Vector{4, 5}, STEN1, 8, 2, LiveAdaptiveOptions{}); err == nil {
+		t.Error("vector/N mismatch accepted")
+	}
+	if _, err := RunLiveAdaptive(world, core.Vector{4, 4}, STEN1, 8, 2, LiveAdaptiveOptions{WorkFactor: []int{1}}); err == nil {
+		t.Error("work factor mismatch accepted")
+	}
+}
+
+// Property: the live-adaptive wire codecs round-trip.
+func TestLiveAdaptiveCodecsProperty(t *testing.T) {
+	f := func(msRaw uint32, rowsRaw uint16, vecRaw []uint16) bool {
+		ms := float64(msRaw) / 7
+		rows := int(rowsRaw)
+		gotMs, gotRows, err := decodeMeasurement(encodeMeasurement(ms, rows))
+		if err != nil || gotMs != ms || gotRows != rows {
+			return false
+		}
+		if len(vecRaw) == 0 || len(vecRaw) > 32 {
+			return true
+		}
+		old := make(core.Vector, len(vecRaw))
+		new_ := make(core.Vector, len(vecRaw))
+		for i, v := range vecRaw {
+			old[i] = int(v)
+			new_[i] = int(v) + 1
+		}
+		gotOld, gotNew, err := decodeVectorPair(encodeVectorPair(old, new_))
+		if err != nil {
+			return false
+		}
+		for i := range old {
+			if gotOld[i] != old[i] || gotNew[i] != new_[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowBatchCodec(t *testing.T) {
+	rows := [][]float64{{1, 2, 3}, {4, 5, 6}}
+	first, got, err := decodeRows(encodeRows(7, rows), 3)
+	if err != nil || first != 7 {
+		t.Fatalf("first=%d err=%v", first, err)
+	}
+	for i := range rows {
+		for j := range rows[i] {
+			if got[i][j] != rows[i][j] {
+				t.Fatal("rows corrupted")
+			}
+		}
+	}
+	if _, _, err := decodeRows([]byte{1}, 3); err == nil {
+		t.Error("short batch accepted")
+	}
+	if _, _, err := decodeRows(encodeRows(0, rows), 4); err == nil {
+		t.Error("wrong width accepted")
+	}
+}

@@ -1,0 +1,332 @@
+// Package stencil implements the paper's evaluation application: a dense
+// N×N iterative five-point stencil with block-row decomposition (the PDU is
+// one grid row) over a 1-D communication topology, in the two variants of
+// Section 6.0 — STEN-1 (communication not overlapped with computation) and
+// STEN-2 (border transmission overlapped with the grid update).
+//
+// The same numerical kernel backs the sequential reference and the
+// distributed variants, so distributed runs can be verified bit-exactly
+// against the reference.
+package stencil
+
+import (
+	"errors"
+	"fmt"
+
+	"netpart/internal/core"
+	"netpart/internal/cost"
+	"netpart/internal/model"
+	"netpart/internal/simnet"
+	"netpart/internal/spmd"
+	"netpart/internal/topo"
+)
+
+// Variant selects the implementation.
+type Variant int
+
+// The two implementations of Section 6.0.
+const (
+	STEN1 Variant = iota // sends, blocking receives, then compute
+	STEN2                // async sends, interior compute, receives, border compute
+)
+
+// String returns "STEN-1" or "STEN-2".
+func (v Variant) String() string {
+	if v == STEN2 {
+		return "STEN-2"
+	}
+	return "STEN-1"
+}
+
+// BytesPerPoint is the wire size of one grid point (the paper assumes
+// 4-byte grid points, giving the 4N communication complexity).
+const BytesPerPoint = 4
+
+// OpsPerPoint is the per-point operation count of the five-point update
+// (four adds and one multiply), giving the 5N computational complexity.
+const OpsPerPoint = 5
+
+// Annotations returns the Section 4.0 callback annotations for an N×N
+// stencil of the given variant running iters cycles.
+func Annotations(n int, v Variant, iters int) *core.Annotations {
+	overlap := ""
+	if v == STEN2 {
+		overlap = "grid-update"
+	}
+	return &core.Annotations{
+		Name:    v.String(),
+		NumPDUs: func() int { return n },
+		Compute: []core.ComputationPhase{{
+			Name:             "grid-update",
+			ComplexityPerPDU: func() float64 { return OpsPerPoint * float64(n) },
+			Class:            model.OpFloat,
+		}},
+		Comm: []core.CommunicationPhase{{
+			Name:            "border-exchange",
+			Topology:        "1-D",
+			BytesPerMessage: func(float64) float64 { return BytesPerPoint * float64(n) },
+			Overlap:         overlap,
+		}},
+		Cycles: iters,
+		// One row is N 4-byte points; declaring it lets the estimator
+		// report T_startup for the initial grid distribution.
+		StartupBytesPerPDU: BytesPerPoint * float64(n),
+	}
+}
+
+// ScatterSim measures the initial grid distribution on the simulated
+// network: the first task owns the whole grid and sends every other task
+// its row block in one batched message. It returns the elapsed virtual
+// time — the quantity the paper's Table 2 timings exclude and its
+// amortization argument bounds.
+func ScatterSim(net *model.Network, cfg cost.Config, vec core.Vector, n int) (float64, error) {
+	if vec.Sum() != n {
+		return 0, fmt.Errorf("stencil: vector sums to %d, want %d", vec.Sum(), n)
+	}
+	names, counts := cfg.Active()
+	pl, err := topo.Contiguous(names, counts)
+	if err != nil {
+		return 0, err
+	}
+	if pl.NumTasks() != len(vec) {
+		return 0, errors.New("stencil: configuration and vector disagree on task count")
+	}
+	job := spmd.Job{
+		Net:       net,
+		Placement: pl,
+		Vector:    vec,
+		Topology:  topo.OneD{},
+		Body: func(t *spmd.Task) {
+			if t.Rank() == 0 {
+				for dst := 1; dst < t.NumTasks(); dst++ {
+					t.Send(dst, BytesPerPoint*n*vec[dst], nil)
+				}
+				return
+			}
+			t.Recv(0)
+		},
+	}
+	rep, err := spmd.Run(job)
+	if err != nil {
+		return 0, err
+	}
+	return rep.ElapsedMs, nil
+}
+
+// NewGrid returns the deterministic N×N initial condition used throughout
+// the experiments: a hot (100.0) north edge, cold elsewhere.
+func NewGrid(n int) [][]float64 {
+	g := make([][]float64, n)
+	cells := make([]float64, n*n)
+	for i := range g {
+		g[i], cells = cells[:n], cells[n:]
+	}
+	for j := 0; j < n; j++ {
+		g[0][j] = 100.0
+	}
+	return g
+}
+
+// cloneGrid deep-copies a grid.
+func cloneGrid(g [][]float64) [][]float64 {
+	out := make([][]float64, len(g))
+	cells := make([]float64, len(g)*len(g))
+	for i := range g {
+		out[i], cells = cells[:len(g)], cells[len(g):]
+		copy(out[i], g[i])
+	}
+	return out
+}
+
+// updateRow computes the five-point Jacobi update of one interior row:
+// dst[j] = (up[j] + down[j] + cur[j-1] + cur[j+1]) / 4 for interior
+// columns; boundary columns keep their values.
+func updateRow(dst, cur, up, down []float64) {
+	n := len(cur)
+	dst[0] = cur[0]
+	dst[n-1] = cur[n-1]
+	for j := 1; j < n-1; j++ {
+		dst[j] = (up[j] + down[j] + cur[j-1] + cur[j+1]) * 0.25
+	}
+}
+
+// Sequential runs iters Jacobi iterations on a copy of grid and returns the
+// result. It is the correctness reference for the distributed variants.
+func Sequential(grid [][]float64, iters int) [][]float64 {
+	n := len(grid)
+	cur := cloneGrid(grid)
+	next := cloneGrid(grid)
+	for it := 0; it < iters; it++ {
+		for i := 1; i < n-1; i++ {
+			updateRow(next[i], cur[i], cur[i-1], cur[i+1])
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// SimResult is the outcome of one simulated distributed execution.
+type SimResult struct {
+	// ElapsedMs is the virtual elapsed time of the whole run (10-iteration
+	// Table 2 measurements exclude initial distribution, as does this).
+	ElapsedMs float64
+	// Grid is the assembled final grid.
+	Grid [][]float64
+	// Report carries substrate statistics.
+	Report spmd.Report
+}
+
+// RunSim executes the distributed stencil on the simulated network: one
+// task per processor of the configuration (contiguous 1-D placement,
+// fastest cluster first), rows assigned by the partition vector, iters
+// Jacobi iterations. The final grid is assembled and returned for
+// verification against Sequential.
+func RunSim(net *model.Network, cfg cost.Config, vec core.Vector, v Variant, n, iters int) (SimResult, error) {
+	if vec.Sum() != n {
+		return SimResult{}, fmt.Errorf("stencil: vector sums to %d, want N=%d rows", vec.Sum(), n)
+	}
+	names, counts := cfg.Active()
+	pl, err := topo.Contiguous(names, counts)
+	if err != nil {
+		return SimResult{}, err
+	}
+	if pl.NumTasks() != len(vec) {
+		return SimResult{}, errors.New("stencil: configuration and vector disagree on task count")
+	}
+	initial := NewGrid(n)
+	result := make([][]float64, n)
+	job := spmd.Job{
+		Net:       net,
+		Placement: pl,
+		Vector:    vec,
+		Topology:  topo.OneD{},
+		Body: func(t *spmd.Task) {
+			runTask(t, initial, result, v, n, iters)
+		},
+	}
+	rep, err := spmd.Run(job)
+	if err != nil {
+		return SimResult{}, err
+	}
+	for i, row := range result {
+		if row == nil {
+			return SimResult{}, fmt.Errorf("stencil: row %d not produced", i)
+		}
+	}
+	return SimResult{ElapsedMs: rep.ElapsedMs, Grid: result, Report: rep}, nil
+}
+
+// RunSimNoisy is RunSim with explicit placement and simulator options
+// (e.g. simnet.WithJitter), returning only the elapsed time. It skips the
+// result-grid assembly used by RunSim's verification path.
+func RunSimNoisy(net *model.Network, pl topo.Placement, vec core.Vector, v Variant, n, iters int, opts ...simnet.Option) (float64, error) {
+	if vec.Sum() != n {
+		return 0, fmt.Errorf("stencil: vector sums to %d, want N=%d rows", vec.Sum(), n)
+	}
+	if pl.NumTasks() != len(vec) {
+		return 0, errors.New("stencil: placement and vector disagree on task count")
+	}
+	initial := NewGrid(n)
+	result := make([][]float64, n)
+	job := spmd.Job{
+		Net:        net,
+		Placement:  pl,
+		Vector:     vec,
+		Topology:   topo.OneD{},
+		SimOptions: opts,
+		Body: func(t *spmd.Task) {
+			runTask(t, initial, result, v, n, iters)
+		},
+	}
+	rep, err := spmd.Run(job)
+	if err != nil {
+		return 0, err
+	}
+	return rep.ElapsedMs, nil
+}
+
+// rowOps returns the operations charged for updating one global row: the
+// five-point update for interior rows, a copy for boundary rows.
+func rowOps(globalRow, n int) float64 {
+	if globalRow == 0 || globalRow == n-1 {
+		return float64(n) // boundary rows are only copied
+	}
+	return OpsPerPoint * float64(n)
+}
+
+// runTask is the per-rank body shared by STEN-1 and STEN-2. The task owns
+// global rows [off, off+rows); cur/next include one ghost row on each side
+// at local indices 0 and rows+1.
+func runTask(t *spmd.Task, initial, result [][]float64, v Variant, n, iters int) {
+	rows := t.PDUs()
+	off := t.PDUOffset()
+	cur := make([][]float64, rows+2)
+	next := make([][]float64, rows+2)
+	for i := 0; i < rows+2; i++ {
+		cur[i] = make([]float64, n)
+		next[i] = make([]float64, n)
+	}
+	for i := 0; i < rows; i++ {
+		copy(cur[i+1], initial[off+i])
+		copy(next[i+1], initial[off+i])
+	}
+	north, south := t.Rank()-1, t.Rank()+1
+	hasNorth, hasSouth := north >= 0, south < t.NumTasks()
+	msgBytes := BytesPerPoint * n
+
+	// computeRows updates local rows [lo, hi] (1-based local indices).
+	computeRows := func(lo, hi int) {
+		for li := lo; li <= hi; li++ {
+			g := off + li - 1 // global row
+			if g == 0 || g == n-1 {
+				copy(next[li], cur[li])
+			} else {
+				updateRow(next[li], cur[li], cur[li-1], cur[li+1])
+			}
+			t.Compute(rowOps(g, n), model.OpFloat)
+		}
+	}
+	sendBorders := func() {
+		if hasNorth {
+			t.Send(north, msgBytes, append([]float64(nil), cur[1]...))
+		}
+		if hasSouth {
+			t.Send(south, msgBytes, append([]float64(nil), cur[rows]...))
+		}
+	}
+	recvGhosts := func() {
+		if hasNorth {
+			copy(cur[0], t.Recv(north).([]float64))
+		}
+		if hasSouth {
+			copy(cur[rows+1], t.Recv(south).([]float64))
+		}
+	}
+
+	for it := 0; it < iters; it++ {
+		switch v {
+		case STEN1:
+			// Communication phase (async sends then blocking receives),
+			// then the computation phase.
+			sendBorders()
+			recvGhosts()
+			computeRows(1, rows)
+		case STEN2:
+			// Border transmission overlapped with the interior update:
+			// rows 2..rows-1 need no ghost data.
+			sendBorders()
+			if rows > 2 {
+				computeRows(2, rows-1)
+			}
+			recvGhosts()
+			computeRows(1, 1)
+			if rows > 1 {
+				computeRows(rows, rows)
+			}
+		}
+		cur, next = next, cur
+	}
+	for i := 0; i < rows; i++ {
+		result[off+i] = append([]float64(nil), cur[i+1]...)
+	}
+}

@@ -1,0 +1,240 @@
+// Package stencil2d implements the five-point stencil with a 2-D block
+// decomposition over the "2-D" mesh topology — the alternative
+// implementation the paper's topology list anticipates. Where the 1-D
+// row decomposition of package stencil exchanges two full-width borders,
+// the 2-D blocks exchange four borders of length ≈ n/√p, trading more
+// messages for fewer bytes. Annotating both implementations and letting
+// the estimator compare them is the paper's implementation-selection story
+// (STEN-1 vs STEN-2) extended to decomposition shape.
+//
+// The PDU here is a single grid point (num_PDUs = N²), so the
+// communication complexity genuinely depends on the assignment: a task
+// holding A points in a square block sends borders of about √A points —
+// exercising the BytesPerMessage(pdus) callback path that the constant-
+// size 1-D stencil does not.
+//
+// The block decomposition is homogeneous (equal blocks): heterogeneous 2-D
+// rectilinear partitioning is outside the paper's partition-vector
+// abstraction. Correctness holds for any configuration; load balance is
+// only achieved on same-speed processors.
+package stencil2d
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"netpart/internal/core"
+	"netpart/internal/cost"
+	"netpart/internal/model"
+	"netpart/internal/spmd"
+	"netpart/internal/stencil"
+	"netpart/internal/topo"
+)
+
+// BytesPerPoint matches the 1-D implementation (4-byte grid points).
+const BytesPerPoint = 4
+
+// OpsPerPoint is the five-point update cost.
+const OpsPerPoint = 5
+
+// Annotations returns the callback annotations for the 2-D implementation:
+// PDU = grid point, mesh topology, border messages of ≈ 4·√A bytes.
+func Annotations(n, iters int) *core.Annotations {
+	return &core.Annotations{
+		Name:    "STEN-2D",
+		NumPDUs: func() int { return n * n },
+		Compute: []core.ComputationPhase{{
+			Name:             "grid-update",
+			ComplexityPerPDU: func() float64 { return OpsPerPoint },
+			Class:            model.OpFloat,
+		}},
+		Comm: []core.CommunicationPhase{{
+			Name:            "border-exchange",
+			Topology:        "2-D",
+			BytesPerMessage: func(pdus float64) float64 { return BytesPerPoint * math.Ceil(math.Sqrt(pdus)) },
+		}},
+		Cycles:             iters,
+		StartupBytesPerPDU: BytesPerPoint,
+	}
+}
+
+// SimResult is the outcome of one simulated 2-D execution.
+type SimResult struct {
+	ElapsedMs float64
+	Grid      [][]float64
+	Rows      int // processor-grid rows
+	Cols      int // processor-grid columns
+	Report    spmd.Report
+}
+
+// split divides n cells into k near-equal spans, returning the k+1 span
+// boundaries.
+func split(n, k int) []int {
+	bounds := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = i * n / k
+	}
+	return bounds
+}
+
+// RunSim executes the 2-D block-decomposed stencil on the simulated
+// network: the configuration's p tasks form the Mesh2D processor grid
+// (Dims(p)), each owning an equal block. The final grid is assembled and
+// is bit-exact with stencil.Sequential.
+func RunSim(net *model.Network, cfg cost.Config, n, iters int) (SimResult, error) {
+	names, counts := cfg.Active()
+	pl, err := topo.Contiguous(names, counts)
+	if err != nil {
+		return SimResult{}, err
+	}
+	p := pl.NumTasks()
+	if p == 0 {
+		return SimResult{}, errors.New("stencil2d: empty configuration")
+	}
+	var mesh topo.Mesh2D
+	pr, pc := mesh.Dims(p)
+	if n < pr || n < pc {
+		return SimResult{}, fmt.Errorf("stencil2d: %d×%d grid too small for a %d×%d mesh", n, n, pr, pc)
+	}
+	rowB := split(n, pr)
+	colB := split(n, pc)
+	// The spmd vector carries the per-task point counts (PDU = point).
+	vec := make(core.Vector, p)
+	for rank := 0; rank < p; rank++ {
+		bi, bj := rank/pc, rank%pc
+		vec[rank] = (rowB[bi+1] - rowB[bi]) * (colB[bj+1] - colB[bj])
+	}
+	initial := stencil.NewGrid(n)
+	result := make([][]float64, n)
+	for i := range result {
+		result[i] = make([]float64, n)
+	}
+	job := spmd.Job{
+		Net:       net,
+		Placement: pl,
+		Vector:    vec,
+		Topology:  mesh,
+		Body: func(t *spmd.Task) {
+			runTask(t, initial, result, n, iters, pr, pc, rowB, colB)
+		},
+	}
+	rep, err := spmd.Run(job)
+	if err != nil {
+		return SimResult{}, err
+	}
+	return SimResult{ElapsedMs: rep.ElapsedMs, Grid: result, Rows: pr, Cols: pc, Report: rep}, nil
+}
+
+// runTask is the per-rank body: a padded (h+2)×(w+2) block with ghost
+// borders exchanged over the mesh each iteration.
+func runTask(t *spmd.Task, initial, result [][]float64, n, iters, pr, pc int, rowB, colB []int) {
+	rank := t.Rank()
+	bi, bj := rank/pc, rank%pc
+	r0, r1 := rowB[bi], rowB[bi+1]
+	c0, c1 := colB[bj], colB[bj+1]
+	h, w := r1-r0, c1-c0
+
+	pad := func() [][]float64 {
+		m := make([][]float64, h+2)
+		for i := range m {
+			m[i] = make([]float64, w+2)
+		}
+		return m
+	}
+	cur, next := pad(), pad()
+	for i := 0; i < h; i++ {
+		copy(cur[i+1][1:w+1], initial[r0+i][c0:c1])
+		copy(next[i+1][1:w+1], initial[r0+i][c0:c1])
+	}
+
+	up, down := rank-pc, rank+pc
+	left, right := rank-1, rank+1
+	hasUp, hasDown := bi > 0, bi < pr-1
+	hasLeft, hasRight := bj > 0, bj < pc-1
+
+	col := func(m [][]float64, j int) []float64 {
+		out := make([]float64, h)
+		for i := 0; i < h; i++ {
+			out[i] = m[i+1][j]
+		}
+		return out
+	}
+
+	for iter := 0; iter < iters; iter++ {
+		// Asynchronous sends to all mesh neighbors, then blocking receives
+		// (the paper's synchronous communication cycle).
+		if hasUp {
+			t.Send(up, BytesPerPoint*w, append([]float64(nil), cur[1][1:w+1]...))
+		}
+		if hasDown {
+			t.Send(down, BytesPerPoint*w, append([]float64(nil), cur[h][1:w+1]...))
+		}
+		if hasLeft {
+			t.Send(left, BytesPerPoint*h, col(cur, 1))
+		}
+		if hasRight {
+			t.Send(right, BytesPerPoint*h, col(cur, w))
+		}
+		if hasUp {
+			copy(cur[0][1:w+1], t.Recv(up).([]float64))
+		}
+		if hasDown {
+			copy(cur[h+1][1:w+1], t.Recv(down).([]float64))
+		}
+		if hasLeft {
+			g := t.Recv(left).([]float64)
+			for i := 0; i < h; i++ {
+				cur[i+1][0] = g[i]
+			}
+		}
+		if hasRight {
+			g := t.Recv(right).([]float64)
+			for i := 0; i < h; i++ {
+				cur[i+1][w+1] = g[i]
+			}
+		}
+		// Update. Same operand order as the 1-D kernel (up + down + left +
+		// right) for bit-exact agreement with stencil.Sequential.
+		ops := 0.0
+		for i := 1; i <= h; i++ {
+			gRow := r0 + i - 1
+			for j := 1; j <= w; j++ {
+				gCol := c0 + j - 1
+				if gRow == 0 || gRow == n-1 || gCol == 0 || gCol == n-1 {
+					next[i][j] = cur[i][j]
+					ops++
+					continue
+				}
+				next[i][j] = (cur[i-1][j] + cur[i+1][j] + cur[i][j-1] + cur[i][j+1]) * 0.25
+				ops += OpsPerPoint
+			}
+		}
+		t.Compute(ops, model.OpFloat)
+		cur, next = next, cur
+	}
+	for i := 0; i < h; i++ {
+		copy(result[r0+i][c0:c1], cur[i+1][1:w+1])
+	}
+}
+
+// CompareImplementations estimates T_c for the 1-D (row) and 2-D (block)
+// implementations of the same N×N problem on the same network and cost
+// table, returning both estimates — the estimator-driven implementation
+// selection the paper applies to STEN-1 vs STEN-2.
+func CompareImplementations(net *model.Network, costs *cost.Table, n, iters int) (oneD, twoD core.Result, err error) {
+	e1, err := core.NewEstimator(net, costs, stencil.Annotations(n, stencil.STEN1, iters))
+	if err != nil {
+		return
+	}
+	oneD, err = core.Partition(e1)
+	if err != nil {
+		return
+	}
+	e2, err := core.NewEstimator(net, costs, Annotations(n, iters))
+	if err != nil {
+		return
+	}
+	twoD, err = core.Partition(e2)
+	return
+}

@@ -1,0 +1,130 @@
+// Package trace provides small statistics and timing utilities used by the
+// benchmarking and experiment harnesses: streaming sample accumulation,
+// summary statistics, and repeated-run aggregation.
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sample accumulates scalar observations and reports summary statistics.
+// The zero value is ready to use.
+type Sample struct {
+	values []float64
+	sorted bool
+}
+
+// Add appends one observation.
+func (s *Sample) Add(v float64) {
+	s.values = append(s.values, v)
+	s.sorted = false
+}
+
+// AddAll appends every observation in vs.
+func (s *Sample) AddAll(vs ...float64) {
+	s.values = append(s.values, vs...)
+	s.sorted = false
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.values) }
+
+// Mean reports the arithmetic mean, or 0 if the sample is empty.
+func (s *Sample) Mean() float64 {
+	if len(s.values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.values {
+		sum += v
+	}
+	return sum / float64(len(s.values))
+}
+
+// Variance reports the unbiased sample variance, or 0 for fewer than two
+// observations.
+func (s *Sample) Variance() float64 {
+	n := len(s.values)
+	if n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	ss := 0.0
+	for _, v := range s.values {
+		d := v - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// Stddev reports the sample standard deviation.
+func (s *Sample) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min reports the smallest observation, or +Inf if the sample is empty.
+func (s *Sample) Min() float64 {
+	min := math.Inf(1)
+	for _, v := range s.values {
+		if v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// Max reports the largest observation, or -Inf if the sample is empty.
+func (s *Sample) Max() float64 {
+	max := math.Inf(-1)
+	for _, v := range s.values {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Percentile reports the q-th percentile (0 ≤ q ≤ 100) using linear
+// interpolation between order statistics. It returns 0 for an empty sample.
+func (s *Sample) Percentile(q float64) float64 {
+	n := len(s.values)
+	if n == 0 {
+		return 0
+	}
+	if !s.sorted {
+		sort.Float64s(s.values)
+		s.sorted = true
+	}
+	if q <= 0 {
+		return s.values[0]
+	}
+	if q >= 100 {
+		return s.values[n-1]
+	}
+	pos := q / 100 * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.values[lo]
+	}
+	frac := pos - float64(lo)
+	return s.values[lo]*(1-frac) + s.values[hi]*frac
+}
+
+// Median reports the 50th percentile.
+func (s *Sample) Median() float64 { return s.Percentile(50) }
+
+// Values returns a copy of the observations in insertion order is not
+// guaranteed once a percentile has been computed (the sample may have been
+// sorted in place).
+func (s *Sample) Values() []float64 {
+	out := make([]float64, len(s.values))
+	copy(out, s.values)
+	return out
+}
+
+// String summarizes the sample as "n=.. mean=.. sd=.. min=.. max=..".
+func (s *Sample) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g",
+		s.N(), s.Mean(), s.Stddev(), s.Min(), s.Max())
+}

@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSampleSummary(t *testing.T) {
+	var s Sample
+	s.AddAll(2, 4, 4, 4, 5, 5, 7, 9)
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("Mean = %v", got)
+	}
+	// Known dataset: population sd = 2, sample variance = 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Errorf("Variance = %v", got)
+	}
+	if got := s.Stddev(); math.Abs(got-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("Stddev = %v", got)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestEmptySample(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Variance() != 0 || s.Percentile(50) != 0 {
+		t.Error("empty sample should report zeros")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Error("empty Min/Max should be infinities")
+	}
+}
+
+func TestSingleObservation(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	if s.Mean() != 3 || s.Variance() != 0 || s.Median() != 3 {
+		t.Errorf("single observation: mean=%v var=%v med=%v", s.Mean(), s.Variance(), s.Median())
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v", got)
+	}
+	if got := s.Percentile(100); got != 100 {
+		t.Errorf("P100 = %v", got)
+	}
+	if got := s.Median(); math.Abs(got-50.5) > 1e-9 {
+		t.Errorf("median = %v", got)
+	}
+	if got := s.Percentile(150); got != 100 {
+		t.Errorf("clamped P150 = %v", got)
+	}
+	if got := s.Percentile(-5); got != 1 {
+		t.Errorf("clamped P-5 = %v", got)
+	}
+}
+
+func TestValuesReturnsCopy(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2, 3)
+	v := s.Values()
+	v[0] = 99
+	if s.Values()[0] == 99 {
+		t.Error("Values exposed internal state")
+	}
+}
+
+func TestString(t *testing.T) {
+	var s Sample
+	s.AddAll(1, 2)
+	if out := s.String(); !strings.Contains(out, "n=2") {
+		t.Errorf("String = %q", out)
+	}
+}
+
+// Property: min ≤ every percentile ≤ max and the median is order-stable.
+func TestPercentileBoundsProperty(t *testing.T) {
+	f := func(raw []int16, qRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		q := float64(qRaw) / 255 * 100
+		p := s.Percentile(q)
+		return p >= s.Min()-1e-9 && p <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean lies within [min, max].
+func TestMeanBoundsProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var s Sample
+		for _, v := range raw {
+			s.Add(float64(v))
+		}
+		m := s.Mean()
+		return m >= s.Min()-1e-9 && m <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
