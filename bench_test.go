@@ -425,6 +425,39 @@ func BenchmarkGaussCyclic(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimateObserver guards the observer hook's hot-path cost: the
+// disabled case (nil Observer) must match the pre-observability baseline —
+// in particular, zero allocations attributable to the hook — while the
+// enabled case shows the price of full candidate recording.
+func BenchmarkEstimateObserver(b *testing.B) {
+	net := model.PaperTestbed()
+	costs := netpart.PaperCostTable()
+	ann := stencil.Annotations(600, stencil.STEN1, 10)
+	cfg := experiments.PaperConfig(4, 2)
+	for _, tc := range []struct {
+		name     string
+		observer func() core.Observer
+	}{
+		{"disabled", func() core.Observer { return nil }},
+		{"enabled", func() core.Observer { return &core.SearchTrace{} }},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			est, err := core.NewEstimator(net, costs, ann)
+			if err != nil {
+				b.Fatal(err)
+			}
+			est.Observer = tc.observer()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := est.Estimate(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkNoise regenerates E15: cost-model fitting and partitioning
 // across channel-jitter levels.
 func BenchmarkNoise(b *testing.B) {

@@ -14,10 +14,12 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"netpart/internal/commbench"
 	"netpart/internal/cost"
 	"netpart/internal/model"
+	"netpart/internal/obs"
 	"netpart/internal/topo"
 )
 
@@ -26,15 +28,16 @@ func main() {
 	topoList := flag.String("topologies", "1-D,ring,broadcast", "comma-separated topology names")
 	cycles := flag.Int("cycles", 10, "communication cycles per measurement")
 	out := flag.String("o", "", "write the fitted cost table as JSON to this file (readable by partition -costs)")
+	showMetrics := flag.Bool("metrics", false, "print benchmarking metrics (fits, samples, R² distribution) at exit")
 	flag.Parse()
 
-	if err := run(*spec, *topoList, *cycles, *out); err != nil {
+	if err := run(*spec, *topoList, *cycles, *out, *showMetrics); err != nil {
 		fmt.Fprintln(os.Stderr, "commbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec, topoList string, cycles int, out string) error {
+func run(spec, topoList string, cycles int, out string, showMetrics bool) error {
 	net := model.PaperTestbed()
 	if spec != "" {
 		f, err := os.Open(spec)
@@ -57,9 +60,20 @@ func run(spec, topoList string, cycles int, out string) error {
 	}
 	grid := commbench.DefaultGrid()
 	grid.Cycles = cycles
+	benchStart := time.Now()
 	res, err := commbench.Run(net, tops, grid)
 	if err != nil {
 		return err
+	}
+	var metrics *obs.Registry
+	if showMetrics {
+		metrics = obs.NewRegistry()
+		metrics.Gauge("commbench.elapsed_ms").Set(float64(time.Since(benchStart).Microseconds()) / 1000)
+		for _, f := range res.Fits {
+			metrics.Counter("commbench.fits").Inc()
+			metrics.Counter("commbench.samples").Add(int64(f.Samples))
+			metrics.Histogram("commbench.fit_r2").Observe(f.Quality.R2)
+		}
 	}
 
 	fmt.Println("Fitted Eq. 1 constants: T = c1 + c2·p + b·(c3 + c4·p)  (ms, bytes)")
@@ -89,6 +103,10 @@ func run(spec, topoList string, cycles int, out string) error {
 			return err
 		}
 		fmt.Printf("\nwrote fitted cost table to %s\n", out)
+	}
+	if showMetrics {
+		fmt.Println()
+		fmt.Print(metrics.Render())
 	}
 	return nil
 }

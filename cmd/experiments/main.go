@@ -12,8 +12,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"netpart/internal/experiments"
+	"netpart/internal/obs"
 	"netpart/internal/stencil"
 )
 
@@ -21,20 +24,28 @@ func main() {
 	which := flag.String("experiment", "all", "experiment to run: all, table1, table2, fig1, fig2, fig3, costfit, overhead, gauss, ablations, adaptive, metasystem, startup, implselect, particles, selectioncost, noise")
 	constants := flag.String("constants", "paper", "cost table for table1: 'paper' (published constants) or 'fitted' (benchmarked from the simulator)")
 	n := flag.Int("n", 600, "problem size for fig3 and gauss")
+	showMetrics := flag.Bool("metrics", false, "print per-section wall-clock metrics at exit")
 	flag.Parse()
 
-	if err := run(*which, *constants, *n); err != nil {
+	if err := run(*which, *constants, *n, *showMetrics); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which, constants string, n int) error {
+func run(which, constants string, n int, showMetrics bool) error {
+	var metrics *obs.Registry
+	if showMetrics {
+		metrics = obs.NewRegistry()
+	}
+	runStart := time.Now()
+
 	fmt.Println("Building environment (offline communication benchmarking)...")
 	env, err := experiments.NewEnv()
 	if err != nil {
 		return err
 	}
+	metrics.Gauge("experiments.env_ms").Set(msSince(runStart))
 	tbl := env.Paper
 	if constants == "fitted" {
 		tbl = env.Fitted
@@ -42,7 +53,21 @@ func run(which, constants string, n int) error {
 
 	all := which == "all"
 	did := false
+	// Each section's wall time lands in a gauge keyed by its label's first
+	// token (e.g. "E2:" -> experiments.e2_ms).
+	var curSlug string
+	var curStart time.Time
+	flush := func() {
+		if curSlug != "" {
+			metrics.Gauge("experiments." + curSlug + "_ms").Set(msSince(curStart))
+			metrics.Counter("experiments.sections").Inc()
+		}
+		curSlug = ""
+	}
 	section := func(title string) {
+		flush()
+		curSlug = strings.ToLower(strings.TrimSuffix(strings.Fields(title)[0], ":"))
+		curStart = time.Now()
 		fmt.Printf("\n=== %s ===\n", title)
 		did = true
 	}
@@ -186,5 +211,16 @@ func run(which, constants string, n int) error {
 	if !did {
 		return fmt.Errorf("unknown experiment %q", which)
 	}
+	flush()
+	metrics.Gauge("experiments.total_ms").Set(msSince(runStart))
+	if showMetrics {
+		fmt.Println()
+		fmt.Print(metrics.Render())
+	}
 	return nil
+}
+
+// msSince returns the wall time since start in milliseconds.
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
 }

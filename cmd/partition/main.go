@@ -8,6 +8,7 @@
 //	partition [-spec network.json] [-app sten1|sten2|gauss] [-n 600]
 //	          [-constants paper|fitted] [-search bisect|scan|exhaustive]
 //	          [-available sparc2=4,ipc=6]
+//	          [-explain] [-trace out.jsonl] [-metrics]
 package main
 
 import (
@@ -23,32 +24,53 @@ import (
 	"netpart/internal/cost"
 	"netpart/internal/gauss"
 	"netpart/internal/model"
+	"netpart/internal/obs"
 	"netpart/internal/stencil"
 	"netpart/internal/topo"
 )
 
+// runOptions collects the command's flags.
+type runOptions struct {
+	Spec      string // network spec JSON path ("" = paper testbed)
+	App       string // sten1, sten2, or gauss
+	AnnFile   string // annotation spec JSON path (overrides App)
+	N         int
+	Iters     int
+	Constants string // paper or fitted
+	Search    string // bisect, scan, or exhaustive
+	Available string // availability overrides, e.g. "sparc2=4,ipc=6"
+	CostFile  string // fitted cost table JSON (overrides Constants)
+	Explain   bool   // print the per-cluster T_c(p) curves and decision path
+	TraceFile string // JSONL search-trace output path ("" = off)
+	Metrics   bool   // print the search metrics summary
+}
+
 func main() {
-	spec := flag.String("spec", "", "network spec JSON (default: the paper's Sparc2+IPC testbed)")
-	app := flag.String("app", "sten1", "application: sten1, sten2, or gauss")
-	annFile := flag.String("annspec", "", "compile annotations from a JSON spec file instead of -app (see specs/)")
-	n := flag.Int("n", 600, "problem size N")
-	iters := flag.Int("iters", 10, "iteration count (stencil)")
-	constants := flag.String("constants", "fitted", "cost table: 'fitted' (benchmark the simulated network) or 'paper' (published constants; paper testbed only)")
-	costFile := flag.String("costs", "", "load a fitted cost table from JSON (written by commbench -o) instead of -constants")
-	search := flag.String("search", "bisect", "search strategy: bisect, scan, or exhaustive")
-	available := flag.String("available", "", "override availability, e.g. sparc2=4,ipc=6")
+	var o runOptions
+	flag.StringVar(&o.Spec, "spec", "", "network spec JSON (default: the paper's Sparc2+IPC testbed)")
+	flag.StringVar(&o.App, "app", "sten1", "application: sten1, sten2, or gauss")
+	flag.StringVar(&o.AnnFile, "annspec", "", "compile annotations from a JSON spec file instead of -app (see specs/)")
+	flag.IntVar(&o.N, "n", 600, "problem size N")
+	flag.IntVar(&o.Iters, "iters", 10, "iteration count (stencil)")
+	flag.StringVar(&o.Constants, "constants", "fitted", "cost table: 'fitted' (benchmark the simulated network) or 'paper' (published constants; paper testbed only)")
+	flag.StringVar(&o.CostFile, "costs", "", "load a fitted cost table from JSON (written by commbench -o) instead of -constants")
+	flag.StringVar(&o.Search, "search", "bisect", "search strategy: bisect, scan, or exhaustive")
+	flag.StringVar(&o.Available, "available", "", "override availability, e.g. sparc2=4,ipc=6")
+	flag.BoolVar(&o.Explain, "explain", false, "explain the decision: per-cluster T_c(p) curves, search path, winner breakdown")
+	flag.StringVar(&o.TraceFile, "trace", "", "write the search trace (one JSON event per line) to this file")
+	flag.BoolVar(&o.Metrics, "metrics", false, "print search metrics (candidates, memo hits, T_c distribution)")
 	flag.Parse()
 
-	if err := run(*spec, *app, *annFile, *n, *iters, *constants, *search, *available, *costFile); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "partition:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec, app, annFile string, n, iters int, constants, search, available, costFile string) error {
+func run(o runOptions) error {
 	net := model.PaperTestbed()
-	if spec != "" {
-		f, err := os.Open(spec)
+	if o.Spec != "" {
+		f, err := os.Open(o.Spec)
 		if err != nil {
 			return err
 		}
@@ -58,8 +80,8 @@ func run(spec, app, annFile string, n, iters int, constants, search, available, 
 			return err
 		}
 	}
-	if available != "" {
-		for _, kv := range strings.Split(available, ",") {
+	if o.Available != "" {
+		for _, kv := range strings.Split(o.Available, ",") {
 			parts := strings.SplitN(kv, "=", 2)
 			if len(parts) != 2 {
 				return fmt.Errorf("bad -available entry %q", kv)
@@ -80,8 +102,9 @@ func run(spec, app, annFile string, n, iters int, constants, search, available, 
 	}
 
 	var ann *core.Annotations
-	if annFile != "" {
-		f, err := os.Open(annFile)
+	n := o.N
+	if o.AnnFile != "" {
+		f, err := os.Open(o.AnnFile)
 		if err != nil {
 			return err
 		}
@@ -97,21 +120,22 @@ func run(spec, app, annFile string, n, iters int, constants, search, available, 
 	case ann != nil:
 		// compiled from -annspec
 	default:
-		switch app {
+		switch o.App {
 		case "sten1":
-			ann = stencil.Annotations(n, stencil.STEN1, iters)
+			ann = stencil.Annotations(n, stencil.STEN1, o.Iters)
 		case "sten2":
-			ann = stencil.Annotations(n, stencil.STEN2, iters)
+			ann = stencil.Annotations(n, stencil.STEN2, o.Iters)
 		case "gauss":
 			ann = gauss.Annotations(n)
 		default:
-			return fmt.Errorf("unknown app %q", app)
+			return fmt.Errorf("unknown app %q", o.App)
 		}
 	}
 
 	var tbl *cost.Table
-	if costFile != "" {
-		f, err := os.Open(costFile)
+	constants := o.Constants
+	if o.CostFile != "" {
+		f, err := os.Open(o.CostFile)
 		if err != nil {
 			return err
 		}
@@ -143,8 +167,31 @@ func run(spec, app, annFile string, n, iters int, constants, search, available, 
 	if err != nil {
 		return err
 	}
+
+	// Observability: an in-memory trace backs -explain and -metrics; a sink
+	// observer streams the same decision record to -trace as JSONL.
+	var observers core.MultiObserver
+	var searchTrace *core.SearchTrace
+	if o.Explain || o.Metrics {
+		searchTrace = &core.SearchTrace{}
+		observers = append(observers, searchTrace)
+	}
+	var rec *obs.Recorder
+	if o.TraceFile != "" {
+		f, err := os.Create(o.TraceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		rec = obs.NewRecorder(f)
+		observers = append(observers, core.SinkObserver{Sink: rec})
+	}
+	if len(observers) > 0 {
+		est.Observer = observers
+	}
+
 	var res core.Result
-	switch search {
+	switch o.Search {
 	case "bisect":
 		res, err = core.Partition(est)
 	case "scan":
@@ -152,7 +199,7 @@ func run(spec, app, annFile string, n, iters int, constants, search, available, 
 	case "exhaustive":
 		res, err = core.PartitionExhaustive(est)
 	default:
-		return fmt.Errorf("unknown search %q", search)
+		return fmt.Errorf("unknown search %q", o.Search)
 	}
 	if err != nil {
 		return err
@@ -167,5 +214,47 @@ func run(spec, app, annFile string, n, iters int, constants, search, available, 
 		fmt.Printf("estimated elapsed  : %.1f ms (%d cycles)\n", res.ElapsedMs(ann.Cycles), ann.Cycles)
 	}
 	fmt.Printf("search evaluations : %d (Eq. 3/6 recomputations)\n", res.Evaluations)
+
+	if o.Explain {
+		fmt.Println()
+		fmt.Print(searchTrace.Explain())
+	}
+	if o.Metrics {
+		fmt.Println()
+		fmt.Print(searchMetrics(searchTrace).Render())
+	}
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			return err
+		}
+		fmt.Printf("\nsearch trace       : %s (%d events)\n", o.TraceFile, rec.Len())
+	}
 	return nil
+}
+
+// searchMetrics folds a recorded search trace into a metrics registry:
+// candidate counts, memo hits, bisection probes, and the T_c distribution
+// over evaluated candidates.
+func searchMetrics(t *core.SearchTrace) *obs.Registry {
+	m := obs.NewRegistry()
+	for _, c := range t.Candidates {
+		if c.Cached {
+			m.Counter("search.memo_hits").Inc()
+			continue
+		}
+		m.Counter("search.candidates").Inc()
+		m.Histogram("search.tc_ms").Observe(c.TcMs)
+	}
+	for _, ev := range t.Events {
+		switch ev.Kind {
+		case core.EvBisectStep:
+			m.Counter("search.bisect_probes").Inc()
+		case core.EvClusterOpen:
+			m.Counter("search.clusters_opened").Inc()
+		}
+	}
+	if w, ok := t.Winner(); ok {
+		m.Gauge("search.winner_tc_ms").Set(w.TcMs)
+	}
+	return m
 }

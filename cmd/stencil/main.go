@@ -9,6 +9,7 @@
 //	        [-p1 -1] [-p2 -1]            explicit configuration (-1 = auto-partition)
 //	        [-runtime sim|live]          simulated network or real goroutines+UDP
 //	        [-verify]                    check against the sequential solver
+//	        [-metrics] [-trace out.jsonl] [-chrome out.json]
 package main
 
 import (
@@ -22,49 +23,94 @@ import (
 	"netpart/internal/cost"
 	"netpart/internal/mmps"
 	"netpart/internal/model"
+	"netpart/internal/obs"
 	"netpart/internal/spmd"
 	"netpart/internal/stencil"
 	"netpart/internal/topo"
+	"netpart/internal/trace"
 )
 
 // spmdReport aliases the report type shared by the sim modes.
 type spmdReport = spmd.Report
 
+// runOptions collects the command's flags.
+type runOptions struct {
+	N          int
+	Variant    string // sten1 or sten2
+	Iters      int
+	P1, P2     int    // explicit configuration (-1 = auto-partition)
+	Runtime    string // sim or live
+	Verify     bool
+	Mode       string // fixed, converge, or adaptive
+	Tol        float64
+	SlowRank   int
+	SlowFactor float64
+	Metrics    bool   // print the runtime metrics table at exit
+	TraceFile  string // per-cycle span events as JSONL ("" = off)
+	ChromeFile string // chrome://tracing export of the same spans ("" = off)
+}
+
 func main() {
-	n := flag.Int("n", 600, "grid size N (N×N grid, N row PDUs)")
-	variantName := flag.String("variant", "sten2", "sten1 (no overlap) or sten2 (overlapped)")
-	iters := flag.Int("iters", 10, "Jacobi iterations")
-	p1 := flag.Int("p1", -1, "Sparc2 processors (-1 = choose via the partitioning method)")
-	p2 := flag.Int("p2", -1, "IPC processors (-1 = choose via the partitioning method)")
-	runtime := flag.String("runtime", "sim", "sim (virtual time) or live (goroutines + UDP)")
-	verify := flag.Bool("verify", true, "verify against the sequential reference")
-	mode := flag.String("mode", "fixed", "sim modes: fixed iterations, converge (run to -tol), adaptive (dynamic repartitioning under -slowrank load)")
-	tol := flag.Float64("tol", 0.01, "convergence tolerance for -mode converge")
-	slowRank := flag.Int("slowrank", 1, "rank slowed in -mode adaptive")
-	slowFactor := flag.Float64("slowfactor", 4, "slowdown factor in -mode adaptive")
+	var o runOptions
+	flag.IntVar(&o.N, "n", 600, "grid size N (N×N grid, N row PDUs)")
+	flag.StringVar(&o.Variant, "variant", "sten2", "sten1 (no overlap) or sten2 (overlapped)")
+	flag.IntVar(&o.Iters, "iters", 10, "Jacobi iterations")
+	flag.IntVar(&o.P1, "p1", -1, "Sparc2 processors (-1 = choose via the partitioning method)")
+	flag.IntVar(&o.P2, "p2", -1, "IPC processors (-1 = choose via the partitioning method)")
+	flag.StringVar(&o.Runtime, "runtime", "sim", "sim (virtual time) or live (goroutines + UDP)")
+	flag.BoolVar(&o.Verify, "verify", true, "verify against the sequential reference")
+	flag.StringVar(&o.Mode, "mode", "fixed", "sim modes: fixed iterations, converge (run to -tol), adaptive (dynamic repartitioning under -slowrank load)")
+	flag.Float64Var(&o.Tol, "tol", 0.01, "convergence tolerance for -mode converge")
+	flag.IntVar(&o.SlowRank, "slowrank", 1, "rank slowed in -mode adaptive")
+	flag.Float64Var(&o.SlowFactor, "slowfactor", 4, "slowdown factor in -mode adaptive")
+	flag.BoolVar(&o.Metrics, "metrics", false, "print per-cycle runtime metrics (cycle/exchange timings, messages, bytes)")
+	flag.StringVar(&o.TraceFile, "trace", "", "write per-cycle span events (one JSON object per line) to this file")
+	flag.StringVar(&o.ChromeFile, "chrome", "", "write a chrome://tracing trace-event file of the run's cycles")
 	flag.Parse()
 
-	if err := run(*n, *variantName, *iters, *p1, *p2, *runtime, *verify, *mode, *tol, *slowRank, *slowFactor); err != nil {
+	if err := run(o); err != nil {
 		fmt.Fprintln(os.Stderr, "stencil:", err)
 		os.Exit(1)
 	}
 }
 
-func run(n int, variantName string, iters, p1, p2 int, runtime string, verify bool, mode string, tol float64, slowRank int, slowFactor float64) error {
+func run(o runOptions) error {
 	var variant stencil.Variant
-	switch variantName {
+	switch o.Variant {
 	case "sten1":
 		variant = stencil.STEN1
 	case "sten2":
 		variant = stencil.STEN2
 	default:
-		return fmt.Errorf("unknown variant %q", variantName)
+		return fmt.Errorf("unknown variant %q", o.Variant)
 	}
 	net := model.PaperTestbed()
 
+	// Observability: a registry collects runtime counters/histograms for
+	// -metrics; a recorder collects per-cycle spans for -trace / -chrome.
+	var metrics *obs.Registry
+	var rec *obs.Recorder
+	if o.Metrics {
+		metrics = obs.NewRegistry()
+	}
+	var traceOut *os.File
+	if o.TraceFile != "" {
+		f, err := os.Create(o.TraceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		traceOut = f
+		rec = obs.NewRecorder(f)
+	} else if o.ChromeFile != "" {
+		rec = obs.NewRecorder(nil) // memory-only, exported at exit
+	}
+
+	n, iters := o.N, o.Iters
 	var vec core.Vector
-	var chosen = struct{ p1, p2 int }{p1, p2}
-	if p1 < 0 || p2 < 0 {
+	var predictedTcMs float64
+	chosen := struct{ p1, p2 int }{o.P1, o.P2}
+	if chosen.p1 < 0 || chosen.p2 < 0 {
 		fmt.Println("partitioning: benchmarking communication and searching configurations...")
 		bench, err := commbench.Run(net, []topo.Topology{topo.OneD{}}, commbench.DefaultGrid())
 		if err != nil {
@@ -80,6 +126,7 @@ func run(n int, variantName string, iters, p1, p2 int, runtime string, verify bo
 		}
 		chosen.p1, chosen.p2 = res.Config.Counts[0], res.Config.Counts[1]
 		vec = res.Vector
+		predictedTcMs = res.TcMs
 		fmt.Printf("partitioning: chose %v, predicted T_c %.3f ms/cycle (%d evaluations)\n",
 			res.Config, res.TcMs, res.Evaluations)
 	}
@@ -97,21 +144,31 @@ func run(n int, variantName string, iters, p1, p2 int, runtime string, verify bo
 	fmt.Printf("configuration  : sparc2:%d ipc:%d\n", chosen.p1, chosen.p2)
 	fmt.Printf("partition vec  : %v\n", vec)
 
+	verify := o.Verify
 	var grid [][]float64
-	switch runtime {
+	switch o.Runtime {
 	case "sim":
 		var rep spmdReport
-		switch mode {
+		switch o.Mode {
 		case "fixed":
-			res, err := stencil.RunSim(net, cfgCost, vec, variant, n, iters)
+			res, err := stencil.RunSimObserved(net, cfgCost, vec, variant, n, iters, metrics, rec)
 			if err != nil {
 				return err
 			}
 			grid = res.Grid
 			rep = res.Report
 			fmt.Printf("simulated time : %.1f ms (%d iterations, %s)\n", res.ElapsedMs, iters, variant)
+			if predictedTcMs > 0 && iters > 0 {
+				// Estimate-vs-measured drift: predicted per-cycle cost
+				// against the simulated per-cycle average.
+				measured := res.ElapsedMs / float64(iters)
+				drift := trace.DeviationPct(measured, predictedTcMs)
+				metrics.Gauge("stencil.drift_pct").Set(drift)
+				fmt.Printf("estimate drift : predicted %.3f vs measured %.3f ms/cycle (%+.1f%%)\n",
+					predictedTcMs, measured, drift)
+			}
 		case "converge":
-			res, err := stencil.RunSimUntil(net, cfgCost, vec, variant, n, tol, iters*100)
+			res, err := stencil.RunSimUntil(net, cfgCost, vec, variant, n, o.Tol, iters*100)
 			if err != nil {
 				return err
 			}
@@ -119,8 +176,8 @@ func run(n int, variantName string, iters, p1, p2 int, runtime string, verify bo
 			rep = res.Report
 			verify = false // iteration count is tolerance driven
 			fmt.Printf("simulated time : %.1f ms (converged to Δ≤%g in %d iterations, %s)\n",
-				res.ElapsedMs, tol, res.Iterations, variant)
-			wantGrid, wantIters, _ := stencil.SequentialUntil(stencil.NewGrid(n), tol, iters*100)
+				res.ElapsedMs, o.Tol, res.Iterations, variant)
+			wantGrid, wantIters, _ := stencil.SequentialUntil(stencil.NewGrid(n), o.Tol, iters*100)
 			if res.Iterations != wantIters {
 				return fmt.Errorf("converged in %d iterations, sequential needs %d", res.Iterations, wantIters)
 			}
@@ -134,8 +191,8 @@ func run(n int, variantName string, iters, p1, p2 int, runtime string, verify bo
 			fmt.Println("verification   : converged grid matches the sequential reference exactly")
 		case "adaptive":
 			slow := func(rank, iter int) float64 {
-				if rank == slowRank && iter >= iters/8 {
-					return slowFactor
+				if rank == o.SlowRank && iter >= iters/8 {
+					return o.SlowFactor
 				}
 				return 1
 			}
@@ -145,7 +202,8 @@ func run(n int, variantName string, iters, p1, p2 int, runtime string, verify bo
 				return err
 			}
 			res, err := stencil.RunSimAdaptive(net, cfgCost, vec, variant, n, iters,
-				stencil.AdaptiveOptions{Slowdown: slow, RebalanceEvery: iters / 8})
+				stencil.AdaptiveOptions{Slowdown: slow, RebalanceEvery: iters / 8,
+					Metrics: metrics, Trace: rec})
 			if err != nil {
 				return err
 			}
@@ -155,14 +213,14 @@ func run(n int, variantName string, iters, p1, p2 int, runtime string, verify bo
 				static.ElapsedMs, res.ElapsedMs, static.ElapsedMs/res.ElapsedMs, res.Rebalances, res.MigratedRows)
 			fmt.Printf("final vector   : %v\n", res.FinalVector)
 		default:
-			return fmt.Errorf("unknown mode %q", mode)
+			return fmt.Errorf("unknown mode %q", o.Mode)
 		}
 		for _, s := range rep.Segments {
 			fmt.Printf("  segment %-8s %6d msgs  %8d bytes  busy %.1f ms\n", s.Name, s.Messages, s.Bytes, s.BusyMs)
 		}
 	case "live":
 		tasks := chosen.p1 + chosen.p2
-		eps, err := mmps.NewUDPWorld(tasks, mmps.WithRecvTimeout(60*time.Second))
+		eps, err := mmps.NewUDPWorld(tasks, mmps.WithRecvTimeout(60*time.Second), mmps.WithMetrics(metrics))
 		if err != nil {
 			return err
 		}
@@ -183,7 +241,7 @@ func run(n int, variantName string, iters, p1, p2 int, runtime string, verify bo
 				factors[i] = 2
 			}
 		}
-		res, err := stencil.RunLive(world, vec, variant, n, iters, factors)
+		res, err := stencil.RunLiveObserved(world, vec, variant, n, iters, factors, metrics, rec)
 		if err != nil {
 			return err
 		}
@@ -191,7 +249,7 @@ func run(n int, variantName string, iters, p1, p2 int, runtime string, verify bo
 		fmt.Printf("wall-clock time: %v (%d iterations, %s, %d tasks over UDP)\n",
 			res.Elapsed, iters, variant, tasks)
 	default:
-		return fmt.Errorf("unknown runtime %q", runtime)
+		return fmt.Errorf("unknown runtime %q", o.Runtime)
 	}
 
 	if verify {
@@ -204,6 +262,33 @@ func run(n int, variantName string, iters, p1, p2 int, runtime string, verify bo
 			}
 		}
 		fmt.Println("verification   : distributed grid matches the sequential reference exactly")
+	}
+
+	if o.Metrics {
+		fmt.Println()
+		fmt.Print(metrics.Render())
+	}
+	if rec != nil {
+		if err := rec.Err(); err != nil {
+			return err
+		}
+		if traceOut != nil {
+			fmt.Printf("cycle trace    : %s (%d events)\n", o.TraceFile, rec.Len())
+		}
+		if o.ChromeFile != "" {
+			f, err := os.Create(o.ChromeFile)
+			if err != nil {
+				return err
+			}
+			if err := obs.WriteChromeTrace(f, rec.Events()); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("chrome trace   : %s (open in chrome://tracing)\n", o.ChromeFile)
+		}
 	}
 	return nil
 }

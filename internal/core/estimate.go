@@ -24,9 +24,19 @@ type Estimator struct {
 	// (ablation A6 in DESIGN.md). Default true.
 	RouterStation bool
 
+	// Observer, when non-nil, receives one Candidate per Estimate call plus
+	// the control-flow events the Partition* searches emit. Nil (the
+	// default) adds no work and no allocations to the estimate hot path.
+	Observer Observer
+
 	// evaluations counts Estimate calls, the paper's measure of partitioning
 	// overhead (each call recomputes Eq. 3 and Eq. 6 once).
 	evaluations int
+
+	// probeCluster/probeP label the next Estimate call with the search
+	// context (which cluster's count is being varied); set via EstimateFor.
+	probeCluster string
+	probeP       int
 }
 
 // NewEstimator returns an estimator with the paper's Section 3.0 semantics
@@ -170,7 +180,60 @@ func (e *Estimator) Estimate(cfg cost.Config) (Estimate, error) {
 	} else {
 		est.TcMs = est.TcompMs + est.TcommMs
 	}
+	if e.Observer != nil {
+		e.Observer.OnCandidate(Candidate{
+			Cluster:    e.probeCluster,
+			P:          e.probeP,
+			Config:     est.Config,
+			Shares:     est.Shares,
+			TcompMs:    est.TcompMs,
+			TcommMs:    est.TcommMs,
+			ToverlapMs: est.ToverlapMs,
+			TcMs:       est.TcMs,
+			StartupMs:  est.StartupMs,
+			Evaluation: e.evaluations,
+		})
+	}
 	return est, nil
+}
+
+// EstimateFor is Estimate with search context attached: the emitted
+// Candidate is labeled with the cluster whose count the search is varying
+// and the probed count p. Cost semantics are identical to Estimate.
+func (e *Estimator) EstimateFor(cfg cost.Config, cluster string, p int) (Estimate, error) {
+	e.probeCluster, e.probeP = cluster, p
+	est, err := e.Estimate(cfg)
+	e.probeCluster, e.probeP = "", 0
+	return est, err
+}
+
+// observeCached re-emits a memoized candidate so the decision record shows
+// every probe the search consulted, including memo hits that skipped the
+// Eq. 3/6 recomputation.
+func (e *Estimator) observeCached(cluster string, p int, est Estimate) {
+	if e.Observer == nil {
+		return
+	}
+	e.Observer.OnCandidate(Candidate{
+		Cluster:    cluster,
+		P:          p,
+		Config:     est.Config,
+		Shares:     est.Shares,
+		TcompMs:    est.TcompMs,
+		TcommMs:    est.TcommMs,
+		ToverlapMs: est.ToverlapMs,
+		TcMs:       est.TcMs,
+		StartupMs:  est.StartupMs,
+		Evaluation: e.evaluations,
+		Cached:     true,
+	})
+}
+
+// searchEvent forwards one search control-flow step to the observer.
+func (e *Estimator) searchEvent(ev SearchEvent) {
+	if e.Observer != nil {
+		e.Observer.OnSearch(ev)
+	}
 }
 
 // startupCost estimates T_startup: the first processor scatters each other

@@ -36,6 +36,7 @@ func PartitionGlobal(e *Estimator) (Result, error) {
 		return Result{}, err
 	}
 	e.ResetEvaluations()
+	e.searchEvent(SearchEvent{Kind: EvSearchStart, Strategy: "global"})
 
 	starts := [][]int{
 		append([]int(nil), heur.Config.Counts...),
@@ -152,6 +153,10 @@ func PartitionGlobal(e *Estimator) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	e.searchEvent(SearchEvent{
+		Kind: EvWinner, Strategy: "global", Config: best.Config,
+		P: best.Config.Total(), TcMs: best.TcMs, Evaluations: e.Evaluations(),
+	})
 	return Result{Estimate: best, Vector: vec, Evaluations: e.Evaluations()}, nil
 }
 

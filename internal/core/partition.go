@@ -36,6 +36,7 @@ func Partition(e *Estimator) (Result, error) {
 		cfg.Clusters[i] = c.Name
 	}
 	e.ResetEvaluations()
+	e.searchEvent(SearchEvent{Kind: EvSearchStart, Strategy: "bisect"})
 	numPDUs := e.Ann.NumPDUs()
 
 	var best Estimate
@@ -52,22 +53,28 @@ func Partition(e *Estimator) (Result, error) {
 		if hi < lo {
 			break
 		}
+		name := order[k].Name
+		e.searchEvent(SearchEvent{Kind: EvClusterOpen, Strategy: "bisect", Cluster: name, Lo: lo, Hi: hi})
 		memo := make(map[int]Estimate, hi-lo+1)
 		eval := func(p int) (Estimate, error) {
 			if est, ok := memo[p]; ok {
+				e.observeCached(name, p, est)
 				return est, nil
 			}
 			probe := cfg
 			probe.Counts = append([]int(nil), cfg.Counts...)
 			probe.Counts[k] = p
-			est, err := e.Estimate(probe)
+			est, err := e.EstimateFor(probe, name, p)
 			if err != nil {
 				return est, err
 			}
 			memo[p] = est
 			return est, nil
 		}
-		bestP, bestEst, err := bisectUnimodal(lo, hi, eval)
+		step := func(lo, hi, m int) {
+			e.searchEvent(SearchEvent{Kind: EvBisectStep, Strategy: "bisect", Cluster: name, Lo: lo, Hi: hi, P: m})
+		}
+		bestP, bestEst, err := bisectUnimodal(lo, hi, eval, step)
 		if err != nil {
 			return Result{}, err
 		}
@@ -76,14 +83,20 @@ func Partition(e *Estimator) (Result, error) {
 		if bestP < order[k].Available {
 			// The cluster was not exhausted: by the locality-first
 			// heuristic, opening a slower cluster cannot help.
+			e.searchEvent(SearchEvent{Kind: EvClusterSettle, Strategy: "bisect", Cluster: name, P: bestP, TcMs: bestEst.TcMs})
 			break
 		}
+		e.searchEvent(SearchEvent{Kind: EvClusterExhaust, Strategy: "bisect", Cluster: name, P: bestP, TcMs: bestEst.TcMs})
 	}
 
 	vec, err := e.vector(best.Config)
 	if err != nil {
 		return Result{}, err
 	}
+	e.searchEvent(SearchEvent{
+		Kind: EvWinner, Strategy: "bisect", Config: best.Config,
+		P: best.Config.Total(), TcMs: best.TcMs, Evaluations: e.Evaluations(),
+	})
 	return Result{Estimate: best, Vector: vec, Evaluations: e.Evaluations()}, nil
 }
 
@@ -101,13 +114,17 @@ func (e *Estimator) vector(cfg cost.Config) (Vector, error) {
 // [lo, hi], assuming f is unimodal (Fig. 3: decreasing, then increasing).
 // It bisects on the discrete slope sign — f(m) vs f(m+1) — so each step
 // halves the range with at most two new evaluations, the paper's log2 P
-// behavior.
-func bisectUnimodal(lo, hi int, f func(int) (Estimate, error)) (int, Estimate, error) {
+// behavior. step, if non-nil, is called before each probe with the current
+// range and midpoint.
+func bisectUnimodal(lo, hi int, f func(int) (Estimate, error), step func(lo, hi, m int)) (int, Estimate, error) {
 	if lo > hi {
 		return 0, Estimate{}, fmt.Errorf("core: empty search range [%d,%d]", lo, hi)
 	}
 	for lo < hi {
 		m := (lo + hi) / 2
+		if step != nil {
+			step(lo, hi, m)
+		}
 		em, err := f(m)
 		if err != nil {
 			return 0, Estimate{}, err
@@ -142,6 +159,7 @@ func PartitionLinear(e *Estimator) (Result, error) {
 		cfg.Clusters[i] = c.Name
 	}
 	e.ResetEvaluations()
+	e.searchEvent(SearchEvent{Kind: EvSearchStart, Strategy: "scan"})
 	numPDUs := e.Ann.NumPDUs()
 
 	var best Estimate
@@ -156,12 +174,16 @@ func PartitionLinear(e *Estimator) (Result, error) {
 		if k == 0 {
 			lo = 1
 		}
+		name := order[k].Name
+		if hi >= lo {
+			e.searchEvent(SearchEvent{Kind: EvClusterOpen, Strategy: "scan", Cluster: name, Lo: lo, Hi: hi})
+		}
 		bestP := -1
 		for p := lo; p <= hi; p++ {
 			probe := cfg
 			probe.Counts = append([]int(nil), cfg.Counts...)
 			probe.Counts[k] = p
-			est, err := e.Estimate(probe)
+			est, err := e.EstimateFor(probe, name, p)
 			if err != nil {
 				return Result{}, err
 			}
@@ -172,12 +194,17 @@ func PartitionLinear(e *Estimator) (Result, error) {
 			}
 		}
 		if bestP < 0 {
-			break // no improvement from this cluster
+			// No count in this cluster improved on the incumbent: it stays
+			// closed, and so do all slower ones.
+			e.searchEvent(SearchEvent{Kind: EvClusterSettle, Strategy: "scan", Cluster: name, P: 0, TcMs: bestTc})
+			break
 		}
 		cfg.Counts[k] = bestP
 		if bestP < order[k].Available {
+			e.searchEvent(SearchEvent{Kind: EvClusterSettle, Strategy: "scan", Cluster: name, P: bestP, TcMs: bestTc})
 			break
 		}
+		e.searchEvent(SearchEvent{Kind: EvClusterExhaust, Strategy: "scan", Cluster: name, P: bestP, TcMs: bestTc})
 	}
 	if math.IsInf(bestTc, 1) {
 		return Result{}, ErrNoProcessors
@@ -186,6 +213,10 @@ func PartitionLinear(e *Estimator) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	e.searchEvent(SearchEvent{
+		Kind: EvWinner, Strategy: "scan", Config: best.Config,
+		P: best.Config.Total(), TcMs: best.TcMs, Evaluations: e.Evaluations(),
+	})
 	return Result{Estimate: best, Vector: vec, Evaluations: e.Evaluations()}, nil
 }
 
@@ -202,6 +233,7 @@ func PartitionExhaustive(e *Estimator) (Result, error) {
 		avail[i] = c.Available
 	}
 	e.ResetEvaluations()
+	e.searchEvent(SearchEvent{Kind: EvSearchStart, Strategy: "exhaustive"})
 	numPDUs := e.Ann.NumPDUs()
 
 	var best Estimate
@@ -247,5 +279,9 @@ func PartitionExhaustive(e *Estimator) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	e.searchEvent(SearchEvent{
+		Kind: EvWinner, Strategy: "exhaustive", Config: best.Config,
+		P: best.Config.Total(), TcMs: best.TcMs, Evaluations: e.Evaluations(),
+	})
 	return Result{Estimate: best, Vector: vec, Evaluations: e.Evaluations()}, nil
 }

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math"
 
 	"netpart/internal/balance"
 	"netpart/internal/commbench"
@@ -14,6 +13,7 @@ import (
 	"netpart/internal/stencil"
 	"netpart/internal/stencil2d"
 	"netpart/internal/topo"
+	"netpart/internal/trace"
 )
 
 // AdaptiveResult is E9: the §7 future-work dynamic repartitioning,
@@ -548,24 +548,20 @@ func Noise(e *Env) ([]NoiseRow, error) {
 			}
 			return rep, nil
 		}
-		minMs := math.Inf(1)
-		for _, c := range Table2Configs {
+		var min trace.MinTracker
+		for i, c := range Table2Configs {
 			ms, err := measure(PaperConfig(c.P1, c.P2), 42)
 			if err != nil {
 				return nil, err
 			}
-			if ms < minMs {
-				minMs = ms
-			}
+			min.Observe(i, ms)
 		}
 		chosenMs, err := measure(res.Config, 42)
 		if err != nil {
 			return nil, err
 		}
-		if chosenMs < minMs {
-			minMs = chosenMs
-		}
-		row.GapPct = 100 * (chosenMs - minMs) / minMs
+		min.Observe(len(Table2Configs), chosenMs)
+		row.GapPct = trace.DeviationPct(chosenMs, min.Min())
 		rows = append(rows, row)
 	}
 	return rows, nil

@@ -7,6 +7,7 @@ import (
 	"netpart/internal/core"
 	"netpart/internal/model"
 	"netpart/internal/stencil"
+	"netpart/internal/trace"
 )
 
 // Fig3Point is one point of the Fig. 3 curve: estimated and simulated
@@ -53,21 +54,19 @@ func Fig3(e *Env, n int, v stencil.Variant) ([]Fig3Point, error) {
 			Procs: p, P1: p1, P2: p2,
 			EstimatedTcMs:  pe.TcMs,
 			SimulatedTcMs:  simTc,
-			EstimateErrPct: 100 * (pe.TcMs - simTc) / simTc,
+			EstimateErrPct: trace.DeviationPct(pe.TcMs, simTc),
 		})
 	}
 	// Mark regions around the simulated minimum.
-	minIdx := 0
+	var min trace.MinTracker
 	for i, pt := range pts {
-		if pt.SimulatedTcMs < pts[minIdx].SimulatedTcMs {
-			minIdx = i
-		}
+		min.Observe(i, pt.SimulatedTcMs)
 	}
 	for i := range pts {
 		switch {
-		case i < minIdx:
+		case i < min.Index():
 			pts[i].Region = "A"
-		case i == minIdx:
+		case i == min.Index():
 			pts[i].Region = "min"
 		default:
 			pts[i].Region = "B"

@@ -8,6 +8,7 @@ import (
 	"netpart/internal/core"
 	"netpart/internal/model"
 	"netpart/internal/stencil"
+	"netpart/internal/trace"
 )
 
 // Table2Cell is one measured configuration for one (N, variant).
@@ -64,7 +65,7 @@ func Table2(e *Env) ([]Table2Row, error) {
 			if err != nil {
 				return nil, err
 			}
-			minIdx, minMs := -1, math.Inf(1)
+			var min trace.MinTracker
 			for _, c := range Table2Configs {
 				cfg := PaperConfig(c.P1, c.P2)
 				cell := Table2Cell{P1: c.P1, P2: c.P2}
@@ -78,13 +79,10 @@ func Table2(e *Env) ([]Table2Row, error) {
 				}
 				cell.ElapsedMs = res.ElapsedMs
 				cell.Predicted = c.P1 == pred.Config.Counts[0] && c.P2 == pred.Config.Counts[1]
-				if cell.ElapsedMs < minMs {
-					minMs = cell.ElapsedMs
-					minIdx = len(row.Cells)
-				}
+				min.Observe(len(row.Cells), cell.ElapsedMs)
 				row.Cells = append(row.Cells, cell)
 			}
-			row.Cells[minIdx].MeasuredMin = true
+			row.Cells[min.Index()].MeasuredMin = true
 			// Gap between the predicted configuration and the measured
 			// minimum. When the prediction is outside the measured set
 			// (possible: the heuristic can choose e.g. 6+5), measure it.
@@ -104,11 +102,9 @@ func Table2(e *Env) ([]Table2Row, error) {
 					return nil, err
 				}
 				predMs = res.ElapsedMs
-				if predMs < minMs {
-					minMs = predMs
-				}
+				min.Observe(len(row.Cells), predMs)
 			}
-			row.PredictedGapPct = 100 * (predMs - minMs) / minMs
+			row.PredictedGapPct = trace.DeviationPct(predMs, min.Min())
 			// Equal-decomposition comparison at N=1200 on the full network.
 			if n == 1200 {
 				cfg := PaperConfig(6, 6)

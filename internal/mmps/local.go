@@ -17,6 +17,7 @@ type Local struct {
 type localWorld struct {
 	size        int
 	recvTimeout time.Duration
+	metrics     transportMetrics
 	mu          sync.Mutex
 	closed      []bool
 	// queues[dst][src] holds pending messages with a condition variable
@@ -37,6 +38,7 @@ func NewLocalWorld(n int, opts ...Option) ([]*Local, error) {
 	w := &localWorld{
 		size:        n,
 		recvTimeout: o.recvTimeout,
+		metrics:     o.metrics,
 		closed:      make([]bool, n),
 		queues:      make([]map[int][][]byte, n),
 		conds:       make([]*sync.Cond, n),
@@ -69,6 +71,8 @@ func (l *Local) Send(dst int, data []byte) error {
 	}
 	cp := append([]byte(nil), data...)
 	w.queues[dst][l.rank] = append(w.queues[dst][l.rank], cp)
+	w.metrics.msgsSent.Inc()
+	w.metrics.bytesSent.Add(int64(len(data)))
 	w.conds[dst].Broadcast()
 	return nil
 }
@@ -99,6 +103,8 @@ func (l *Local) Recv(src int) ([]byte, error) {
 		if len(q) > 0 {
 			msg := q[0]
 			w.queues[l.rank][src] = q[1:]
+			w.metrics.msgsRecv.Inc()
+			w.metrics.bytesRecv.Add(int64(len(msg)))
 			return msg, nil
 		}
 		if time.Now().After(deadline) {

@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"time"
+
+	"netpart/internal/obs"
 )
 
 // Transport is the communication endpoint handed to each SPMD task.
@@ -59,6 +61,30 @@ type options struct {
 	mtu          int
 	maxMessage   int
 	lossEveryNth int // test hook: drop every Nth outgoing data packet
+	metrics      transportMetrics
+}
+
+// Metric names WithMetrics records. The world's endpoints share one
+// registry, so counts are whole-world totals.
+const (
+	MetricMsgsSent    = "mmps.msgs_sent"
+	MetricMsgsRecv    = "mmps.msgs_received"
+	MetricBytesSent   = "mmps.bytes_sent"
+	MetricBytesRecv   = "mmps.bytes_received"
+	MetricPacketsSent = "mmps.packets_sent" // UDP data packets, first transmissions
+	MetricRetransmits = "mmps.retransmits"  // UDP data packets re-sent after an RTO
+)
+
+// transportMetrics holds pre-resolved instruments; the zero value (all nil
+// instruments) records nothing, so un-instrumented worlds pay only nil
+// checks.
+type transportMetrics struct {
+	msgsSent    *obs.Counter
+	msgsRecv    *obs.Counter
+	bytesSent   *obs.Counter
+	bytesRecv   *obs.Counter
+	packetsSent *obs.Counter
+	retransmits *obs.Counter
 }
 
 func defaultOptions() options {
@@ -97,6 +123,22 @@ func WithMTU(n int) Option {
 // hook; zero disables.
 func WithLossEveryNth(n int) Option {
 	return func(o *options) { o.lossEveryNth = n }
+}
+
+// WithMetrics records transport activity (the Metric* names) into r: message
+// and byte counts on both transports, plus packet and retransmission counts
+// on the UDP transport. Nil r disables.
+func WithMetrics(r *obs.Registry) Option {
+	return func(o *options) {
+		o.metrics = transportMetrics{
+			msgsSent:    r.Counter(MetricMsgsSent),
+			msgsRecv:    r.Counter(MetricMsgsRecv),
+			bytesSent:   r.Counter(MetricBytesSent),
+			bytesRecv:   r.Counter(MetricBytesRecv),
+			packetsSent: r.Counter(MetricPacketsSent),
+			retransmits: r.Counter(MetricRetransmits),
+		}
+	}
 }
 
 // rankCheck validates a peer rank.

@@ -125,6 +125,8 @@ func (c *Conn) Send(dst int, data []byte) error {
 	cp := append([]byte(nil), data...)
 	select {
 	case c.sendq[dst] <- cp:
+		c.opts.metrics.msgsSent.Inc()
+		c.opts.metrics.bytesSent.Add(int64(len(data)))
 		return nil
 	case <-c.done:
 		c.mu.Lock()
@@ -200,6 +202,11 @@ func (c *Conn) deliverReliably(dst int, data []byte) error {
 			needed := c.pending[keys[i]] && !c.closed
 			c.mu.Unlock()
 			if needed {
+				if attempt == 0 {
+					c.opts.metrics.packetsSent.Inc()
+				} else {
+					c.opts.metrics.retransmits.Inc()
+				}
 				c.transmit(f, dst)
 			}
 		}
@@ -359,6 +366,8 @@ func (c *Conn) Recv(src int) ([]byte, error) {
 		if q := c.inbox[src]; len(q) > 0 {
 			msg := q[0]
 			c.inbox[src] = q[1:]
+			c.opts.metrics.msgsRecv.Inc()
+			c.opts.metrics.bytesRecv.Add(int64(len(msg)))
 			return msg, nil
 		}
 		if c.err != nil {

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format's JSON array
+// form: a complete ("ph":"X") duration event. Timestamps are microseconds.
+// See the Trace Event Format spec; files load in chrome://tracing and
+// Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteChromeTrace converts the "span" events among events into the Chrome
+// trace-event JSON array format and writes it to w. Span times recorded in
+// milliseconds (ts_ms/dur_ms) become microseconds; non-span events are
+// skipped. The output loads directly into chrome://tracing ("Load") or
+// https://ui.perfetto.dev.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	out := make([]chromeEvent, 0, len(events))
+	for _, ev := range events {
+		if ev.Kind != "span" {
+			continue
+		}
+		ce := chromeEvent{Name: "span", Ph: "X", Pid: 1}
+		args := map[string]any{}
+		for k, v := range ev.Fields {
+			switch k {
+			case "name":
+				if s, ok := v.(string); ok {
+					ce.Name = s
+				}
+			case "tid":
+				ce.Tid = asInt(v)
+			case "ts_ms":
+				ce.Ts = asFloat(v) * 1000
+			case "dur_ms":
+				ce.Dur = asFloat(v) * 1000
+			default:
+				args[k] = v
+			}
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+func asFloat(v any) float64 {
+	switch x := v.(type) {
+	case float64:
+		return x
+	case float32:
+		return float64(x)
+	case int:
+		return float64(x)
+	case int64:
+		return float64(x)
+	}
+	return 0
+}
+
+func asInt(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case int64:
+		return int(x)
+	case float64:
+		return int(x)
+	}
+	return 0
+}

@@ -106,6 +106,20 @@ type Sim struct {
 	// functions are averages. Zero disables (fully deterministic).
 	jitterFrac float64
 	rngState   uint64
+
+	// onDeliver, when non-nil, observes every message at delivery time.
+	onDeliver func(Delivery)
+}
+
+// Delivery describes one delivered message for observers: who sent it,
+// who received it, its size, and its full virtual-time transit interval
+// (send initiation to mailbox arrival, including channel and router
+// queueing).
+type Delivery struct {
+	From, To      *Proc
+	Bytes         int
+	SentAtMs      float64
+	DeliveredAtMs float64
 }
 
 // Option configures a simulation.
@@ -121,6 +135,14 @@ func WithJitter(frac float64, seed uint64) Option {
 		s.jitterFrac = frac
 		s.rngState = seed | 1
 	}
+}
+
+// WithMessageObserver registers fn to be called at every message delivery
+// with the message's transit record. Observers let higher layers (spmd)
+// build latency histograms without the simulator depending on them; fn
+// runs on the scheduler goroutine and must not block.
+func WithMessageObserver(fn func(Delivery)) Option {
+	return func(s *Sim) { s.onDeliver = fn }
 }
 
 // jitterMul returns the next hold-time multiplier.
@@ -193,9 +215,11 @@ type Proc struct {
 	waitingOn int
 
 	// Stats.
-	computeMs float64
-	sent      int64
-	received  int64
+	computeMs     float64
+	sent          int64
+	received      int64
+	bytesSent     int64
+	bytesReceived int64
 }
 
 // Rank returns the task's rank (spawn order).
@@ -318,6 +342,7 @@ func (p *Proc) Send(dst *Proc, bytes int, payload interface{}) {
 		cpu += s.net.Coerce.PerByteMs * float64(bytes)
 	}
 	p.sent++
+	p.bytesSent += int64(bytes)
 	msg := &Message{From: p, Bytes: bytes, Payload: payload, SentAt: s.now + cpu}
 	// CPU initiation happens inline; the transmission is scheduled at its
 	// completion.
@@ -367,6 +392,13 @@ func (seg *segment) acquire(now, hold float64) float64 {
 // matching Recv.
 func (s *Sim) deliver(msg *Message, dst *Proc) {
 	msg.DeliveredAt = s.now
+	dst.bytesReceived += int64(msg.Bytes)
+	if s.onDeliver != nil {
+		s.onDeliver(Delivery{
+			From: msg.From, To: dst, Bytes: msg.Bytes,
+			SentAtMs: msg.SentAt, DeliveredAtMs: msg.DeliveredAt,
+		})
+	}
 	from := msg.From.rank
 	dst.mailboxes[from] = append(dst.mailboxes[from], msg)
 	if dst.waitingOn == from {
@@ -427,11 +459,13 @@ func (s *Sim) Stats() []SegmentStats {
 
 // ProcStats reports one task's activity.
 type ProcStats struct {
-	Name      string
-	Cluster   string
-	ComputeMs float64
-	Sent      int64
-	Received  int64
+	Name          string
+	Cluster       string
+	ComputeMs     float64
+	Sent          int64
+	Received      int64
+	BytesSent     int64
+	BytesReceived int64
 }
 
 // ProcStats returns per-task activity in rank order.
@@ -441,6 +475,7 @@ func (s *Sim) ProcStats() []ProcStats {
 		out = append(out, ProcStats{
 			Name: p.name, Cluster: p.cluster.Name,
 			ComputeMs: p.computeMs, Sent: p.sent, Received: p.received,
+			BytesSent: p.bytesSent, BytesReceived: p.bytesReceived,
 		})
 	}
 	return out

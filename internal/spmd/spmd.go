@@ -14,9 +14,51 @@ import (
 
 	"netpart/internal/core"
 	"netpart/internal/model"
+	"netpart/internal/obs"
 	"netpart/internal/simnet"
 	"netpart/internal/topo"
 )
+
+// Metric names this package records into Job.Metrics. Counters count
+// whole-job totals; histograms aggregate over every task and cycle.
+const (
+	MetricMsgsSent   = "spmd.msgs_sent"
+	MetricMsgsRecv   = "spmd.msgs_received"
+	MetricBytesSent  = "spmd.bytes_sent"
+	MetricBytesRecv  = "spmd.bytes_received"
+	MetricCycles     = "spmd.cycles"
+	MetricCycleMs    = "spmd.cycle_ms"    // per-task per-cycle virtual time
+	MetricExchangeMs = "spmd.exchange_ms" // border-exchange latency per task per cycle
+	MetricDeliveryMs = "spmd.delivery_ms" // per-message transit time (send to mailbox)
+	MetricElapsedMs  = "spmd.elapsed_ms"  // gauge: job elapsed virtual time
+)
+
+// jobMetrics holds the pre-resolved instruments one job records into.
+// With a nil registry every instrument is nil, and obs instruments are
+// nil-safe, so instrumented paths cost only nil checks when disabled.
+type jobMetrics struct {
+	msgsSent   *obs.Counter
+	msgsRecv   *obs.Counter
+	bytesSent  *obs.Counter
+	bytesRecv  *obs.Counter
+	cycles     *obs.Counter
+	cycleMs    *obs.Histogram
+	exchangeMs *obs.Histogram
+	deliveryMs *obs.Histogram
+}
+
+func resolveMetrics(r *obs.Registry) jobMetrics {
+	return jobMetrics{
+		msgsSent:   r.Counter(MetricMsgsSent),
+		msgsRecv:   r.Counter(MetricMsgsRecv),
+		bytesSent:  r.Counter(MetricBytesSent),
+		bytesRecv:  r.Counter(MetricBytesRecv),
+		cycles:     r.Counter(MetricCycles),
+		cycleMs:    r.Histogram(MetricCycleMs),
+		exchangeMs: r.Histogram(MetricExchangeMs),
+		deliveryMs: r.Histogram(MetricDeliveryMs),
+	}
+}
 
 // Task is the per-rank context handed to the program body. It wraps the
 // simulated processor and exposes rank-addressed communication over the
@@ -29,6 +71,11 @@ type Task struct {
 	proc   *simnet.Proc
 	peers  []*Task
 	tp     topo.Topology
+
+	m            jobMetrics
+	rec          *obs.Recorder
+	cycle        int
+	cycleStartMs float64
 }
 
 // Rank returns this task's rank (0-based, contiguous placement order).
@@ -65,13 +112,37 @@ func (t *Task) Neighbors() []int {
 // Send asynchronously sends bytes (with an optional payload carried for
 // application correctness, not charged to the network) to the given rank.
 func (t *Task) Send(dst int, bytes int, payload interface{}) {
+	t.m.msgsSent.Inc()
+	t.m.bytesSent.Add(int64(bytes))
 	t.proc.Send(t.peers[dst].proc, bytes, payload)
 }
 
 // Recv blocks for the next message from the given rank and returns its
 // payload.
 func (t *Task) Recv(src int) interface{} {
-	return t.proc.Recv(t.peers[src].proc).Payload
+	msg := t.proc.Recv(t.peers[src].proc)
+	t.m.msgsRecv.Inc()
+	t.m.bytesRecv.Add(int64(msg.Bytes))
+	return msg.Payload
+}
+
+// EndCycle marks the end of one SPMD cycle for this task: it folds the
+// cycle's virtual duration into the cycle histogram and, when the job has
+// a trace recorder, emits a span (one per task per cycle) for Chrome trace
+// export. Task bodies call it once per iteration; without a Metrics
+// registry or Trace recorder it only advances the task's cycle counter.
+func (t *Task) EndCycle() {
+	now := t.NowMs()
+	t.m.cycles.Inc()
+	t.m.cycleMs.Observe(now - t.cycleStartMs)
+	if t.rec != nil {
+		t.rec.Span("cycle", t.rank, t.cycleStartMs, now-t.cycleStartMs, map[string]any{
+			"iter":    t.cycle,
+			"cluster": t.Cluster().Name,
+		})
+	}
+	t.cycle++
+	t.cycleStartMs = now
 }
 
 // ExchangeBorders performs one synchronous communication cycle in the
@@ -80,6 +151,7 @@ func (t *Task) Recv(src int) interface{} {
 // payloads keyed by neighbor rank. payload(nb) supplies the data sent to
 // each neighbor.
 func (t *Task) ExchangeBorders(bytes int, payload func(nb int) interface{}) map[int]interface{} {
+	start := t.NowMs()
 	ns := t.Neighbors()
 	for _, nb := range ns {
 		var p interface{}
@@ -92,6 +164,7 @@ func (t *Task) ExchangeBorders(bytes int, payload func(nb int) interface{}) map[
 	for _, nb := range ns {
 		got[nb] = t.Recv(nb)
 	}
+	t.m.exchangeMs.Observe(t.NowMs() - start)
 	return got
 }
 
@@ -111,6 +184,12 @@ type Job struct {
 	Body func(*Task)
 	// SimOptions configure the underlying simulator (e.g. jitter).
 	SimOptions []simnet.Option
+	// Metrics, when non-nil, receives runtime counters and histograms (the
+	// Metric* names). Nil disables metric recording at no cost.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives per-cycle span events (via
+	// Task.EndCycle) suitable for obs.WriteChromeTrace.
+	Trace *obs.Recorder
 }
 
 // Execution errors.
@@ -140,7 +219,15 @@ func Run(job Job) (Report, error) {
 	if job.Body == nil {
 		return Report{}, errors.New("spmd: job has no body")
 	}
-	sim, err := simnet.New(job.Net, job.SimOptions...)
+	m := resolveMetrics(job.Metrics)
+	opts := job.SimOptions
+	if job.Metrics != nil {
+		opts = append(append([]simnet.Option(nil), opts...),
+			simnet.WithMessageObserver(func(d simnet.Delivery) {
+				m.deliveryMs.Observe(d.DeliveredAtMs - d.SentAtMs)
+			}))
+	}
+	sim, err := simnet.New(job.Net, opts...)
 	if err != nil {
 		return Report{}, err
 	}
@@ -154,6 +241,8 @@ func Run(job Job) (Report, error) {
 			offset: offset,
 			peers:  tasks,
 			tp:     job.Topology,
+			m:      m,
+			rec:    job.Trace,
 		}
 		offset += job.Vector[rank]
 	}
@@ -165,6 +254,7 @@ func Run(job Job) (Report, error) {
 	if err := sim.Run(); err != nil {
 		return Report{}, err
 	}
+	job.Metrics.Gauge(MetricElapsedMs).Set(sim.Now())
 	return Report{
 		ElapsedMs: sim.Now(),
 		Segments:  sim.Stats(),

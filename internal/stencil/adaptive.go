@@ -7,6 +7,7 @@ import (
 	"netpart/internal/core"
 	"netpart/internal/cost"
 	"netpart/internal/model"
+	"netpart/internal/obs"
 	"netpart/internal/spmd"
 	"netpart/internal/topo"
 )
@@ -22,6 +23,11 @@ type AdaptiveOptions struct {
 	// Slowdown injects external load: a multiplicative compute-time factor
 	// for (rank, iteration). Nil means none.
 	Slowdown func(rank, iter int) float64
+	// Metrics, when non-nil, receives the spmd runtime metrics plus
+	// rebalance counters (adaptive.rebalances, adaptive.migrated_rows).
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives per-cycle spans for Chrome export.
+	Trace *obs.Recorder
 }
 
 // AdaptiveResult extends SimResult with rebalancing statistics.
@@ -62,6 +68,8 @@ func RunSimAdaptive(net *model.Network, cfg cost.Config, vec core.Vector, v Vari
 		Placement: pl,
 		Vector:    vec,
 		Topology:  topo.OneD{},
+		Metrics:   opts.Metrics,
+		Trace:     opts.Trace,
 		Body: func(t *spmd.Task) {
 			runAdaptiveTask(t, initial, result, v, n, iters, opts, &out)
 		},
@@ -75,6 +83,8 @@ func RunSimAdaptive(net *model.Network, cfg cost.Config, vec core.Vector, v Vari
 			return AdaptiveResult{}, fmt.Errorf("stencil: row %d not produced", i)
 		}
 	}
+	opts.Metrics.Counter("adaptive.rebalances").Add(int64(out.Rebalances))
+	opts.Metrics.Counter("adaptive.migrated_rows").Add(int64(out.MigratedRows))
 	out.SimResult = SimResult{ElapsedMs: rep.ElapsedMs, Grid: result, Report: rep}
 	return out, nil
 }
@@ -183,6 +193,7 @@ func runAdaptiveTask(t *spmd.Task, initial, result [][]float64, v Variant, n, it
 			}
 		}
 		cur, next = next, cur
+		t.EndCycle()
 
 		if opts.RebalanceEvery <= 0 || (iter+1)%opts.RebalanceEvery != 0 || iter == iters-1 || nTasks == 1 {
 			continue

@@ -7,6 +7,15 @@ import (
 
 	"netpart/internal/core"
 	"netpart/internal/mmps"
+	"netpart/internal/obs"
+)
+
+// Metric names RunLiveObserved records. Live metrics measure wall-clock
+// time, unlike the spmd.Metric* virtual-time metrics.
+const (
+	MetricLiveCycleMs    = "live.cycle_ms"    // per-task per-cycle wall time
+	MetricLiveExchangeMs = "live.exchange_ms" // border exchange (send+recv) wall time
+	MetricLiveElapsedMs  = "live.elapsed_ms"  // gauge: whole-run wall time
 )
 
 // LiveResult is the outcome of a real (wall-clock) distributed execution
@@ -29,6 +38,15 @@ type LiveResult struct {
 // making a rank behave like a proportionally slower processor. Nil means
 // uniform speed.
 func RunLive(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, workFactor []int) (LiveResult, error) {
+	return RunLiveObserved(world, vec, v, n, iters, workFactor, nil, nil)
+}
+
+// RunLiveObserved is RunLive with observability attached: wall-clock
+// per-cycle and border-exchange histograms (the MetricLive* names) into m
+// and one span per task per cycle into rec, timestamped relative to the
+// iteration loop's start so the Chrome trace aligns all ranks. Either may
+// be nil to disable.
+func RunLiveObserved(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, workFactor []int, m *obs.Registry, rec *obs.Recorder) (LiveResult, error) {
 	if len(world) == 0 || len(world) != len(vec) {
 		return LiveResult{}, fmt.Errorf("stencil: %d transports for %d vector entries", len(world), len(vec))
 	}
@@ -50,6 +68,12 @@ func RunLive(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, w
 	errs := make([]error, len(world))
 	var wg sync.WaitGroup
 	start := time.Now()
+	lo := liveObs{
+		epoch:      start,
+		rec:        rec,
+		cycleMs:    m.Histogram(MetricLiveCycleMs),
+		exchangeMs: m.Histogram(MetricLiveExchangeMs),
+	}
 	for rank := range world {
 		rank := rank
 		wg.Add(1)
@@ -59,11 +83,12 @@ func RunLive(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, w
 			if workFactor != nil {
 				factor = workFactor[rank]
 			}
-			errs[rank] = runLiveTask(world[rank], vec[rank], offsets[rank], initial, result, v, n, iters, factor)
+			errs[rank] = runLiveTask(world[rank], vec[rank], offsets[rank], initial, result, v, n, iters, factor, lo)
 		}()
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
+	m.Gauge(MetricLiveElapsedMs).Set(float64(elapsed) / float64(time.Millisecond))
 	for rank, err := range errs {
 		if err != nil {
 			return LiveResult{}, fmt.Errorf("stencil: rank %d: %w", rank, err)
@@ -77,10 +102,24 @@ func RunLive(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, w
 	return LiveResult{Elapsed: elapsed, Grid: result}, nil
 }
 
+// liveObs carries the wall-clock observability hooks into runLiveTask.
+// Zero-valued hooks disable recording (obs instruments are nil-safe).
+type liveObs struct {
+	epoch      time.Time
+	rec        *obs.Recorder
+	cycleMs    *obs.Histogram
+	exchangeMs *obs.Histogram
+}
+
+// sinceMs is the wall time since the run epoch in milliseconds.
+func (lo liveObs) sinceMs() float64 {
+	return float64(time.Since(lo.epoch)) / float64(time.Millisecond)
+}
+
 // runLiveTask is the real-execution analogue of runTask: identical cycle
 // structure, but borders are marshaled through the transport and the row
 // update is executed for real.
-func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, v Variant, n, iters, workFactor int) error {
+func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, v Variant, n, iters, workFactor int, lo liveObs) error {
 	rank, size := tr.Rank(), tr.Size()
 	cur := make([][]float64, rows+2)
 	next := make([][]float64, rows+2)
@@ -153,16 +192,20 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, 
 	}
 
 	for it := 0; it < iters; it++ {
+		cycleStart := lo.sinceMs()
 		switch v {
 		case STEN1:
+			exchStart := lo.sinceMs()
 			if err := sendBorders(); err != nil {
 				return err
 			}
 			if err := recvGhosts(); err != nil {
 				return err
 			}
+			lo.exchangeMs.Observe(lo.sinceMs() - exchStart)
 			computeRows(1, rows)
 		case STEN2:
+			exchStart := lo.sinceMs()
 			if err := sendBorders(); err != nil {
 				return err
 			}
@@ -172,12 +215,18 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, 
 			if err := recvGhosts(); err != nil {
 				return err
 			}
+			lo.exchangeMs.Observe(lo.sinceMs() - exchStart)
 			computeRows(1, 1)
 			if rows > 1 {
 				computeRows(rows, rows)
 			}
 		}
 		cur, next = next, cur
+		now := lo.sinceMs()
+		lo.cycleMs.Observe(now - cycleStart)
+		if lo.rec != nil {
+			lo.rec.Span("cycle", rank, cycleStart, now-cycleStart, map[string]any{"iter": it})
+		}
 	}
 	for i := 0; i < rows; i++ {
 		result[off+i] = append([]float64(nil), cur[i+1]...)

@@ -16,6 +16,7 @@ import (
 	"netpart/internal/core"
 	"netpart/internal/cost"
 	"netpart/internal/model"
+	"netpart/internal/obs"
 	"netpart/internal/simnet"
 	"netpart/internal/spmd"
 	"netpart/internal/topo"
@@ -182,6 +183,14 @@ type SimResult struct {
 // Jacobi iterations. The final grid is assembled and returned for
 // verification against Sequential.
 func RunSim(net *model.Network, cfg cost.Config, vec core.Vector, v Variant, n, iters int) (SimResult, error) {
+	return RunSimObserved(net, cfg, vec, v, n, iters, nil, nil)
+}
+
+// RunSimObserved is RunSim with observability attached: per-cycle and
+// per-message runtime metrics (the spmd.Metric* names) recorded into m,
+// and one span per task per cycle into rec for Chrome trace export. Either
+// may be nil to disable.
+func RunSimObserved(net *model.Network, cfg cost.Config, vec core.Vector, v Variant, n, iters int, m *obs.Registry, rec *obs.Recorder) (SimResult, error) {
 	if vec.Sum() != n {
 		return SimResult{}, fmt.Errorf("stencil: vector sums to %d, want N=%d rows", vec.Sum(), n)
 	}
@@ -200,6 +209,8 @@ func RunSim(net *model.Network, cfg cost.Config, vec core.Vector, v Variant, n, 
 		Placement: pl,
 		Vector:    vec,
 		Topology:  topo.OneD{},
+		Metrics:   m,
+		Trace:     rec,
 		Body: func(t *spmd.Task) {
 			runTask(t, initial, result, v, n, iters)
 		},
@@ -325,6 +336,7 @@ func runTask(t *spmd.Task, initial, result [][]float64, v Variant, n, iters int)
 			}
 		}
 		cur, next = next, cur
+		t.EndCycle()
 	}
 	for i := 0; i < rows; i++ {
 		result[off+i] = append([]float64(nil), cur[i+1]...)

@@ -1,0 +1,51 @@
+package trace
+
+import "math"
+
+// DeviationPct reports how far v sits above ref as a percentage:
+// 100·(v−ref)/ref. It is the estimate-vs-measured drift and
+// prediction-vs-minimum gap measure used throughout the experiments and
+// the runtime metrics (negative means v is below the reference). A zero
+// or non-finite reference yields 0 rather than ±Inf.
+func DeviationPct(v, ref float64) float64 {
+	if ref == 0 || math.IsInf(ref, 0) || math.IsNaN(ref) {
+		return 0
+	}
+	return 100 * (v - ref) / ref
+}
+
+// MinTracker tracks a running minimum and the index it was observed at,
+// replacing the hand-rolled min loops the experiment tables used. The zero
+// value is ready to use; before any observation Min() is +Inf and Index()
+// is -1.
+type MinTracker struct {
+	min   float64
+	index int
+	seen  bool
+}
+
+// Observe folds in one (index, value) observation. Earlier observations
+// win ties, matching the paper tables' first-minimum convention.
+func (m *MinTracker) Observe(index int, v float64) {
+	if !m.seen || v < m.min {
+		m.min = v
+		m.index = index
+		m.seen = true
+	}
+}
+
+// Min reports the smallest observed value, or +Inf if none was observed.
+func (m *MinTracker) Min() float64 {
+	if !m.seen {
+		return math.Inf(1)
+	}
+	return m.min
+}
+
+// Index reports the index of the minimum, or -1 if none was observed.
+func (m *MinTracker) Index() int {
+	if !m.seen {
+		return -1
+	}
+	return m.index
+}

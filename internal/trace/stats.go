@@ -111,6 +111,21 @@ func (s *Sample) Percentile(q float64) float64 {
 	return s.values[lo]*(1-frac) + s.values[hi]*frac
 }
 
+// Quantile reports the q-th quantile (0 ≤ q ≤ 1) using linear
+// interpolation between order statistics — Percentile on the [0,1] scale,
+// the form the obs histograms consume. It returns 0 for an empty sample.
+func (s *Sample) Quantile(q float64) float64 { return s.Percentile(q * 100) }
+
+// Merge folds every observation of other into s. Merging nil or an empty
+// sample is a no-op; other is not modified.
+func (s *Sample) Merge(other *Sample) {
+	if other == nil || len(other.values) == 0 {
+		return
+	}
+	s.values = append(s.values, other.values...)
+	s.sorted = false
+}
+
 // Median reports the 50th percentile.
 func (s *Sample) Median() float64 { return s.Percentile(50) }
 

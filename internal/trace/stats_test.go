@@ -68,6 +68,121 @@ func TestPercentiles(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	tests := []struct {
+		name   string
+		values []float64
+		q      float64
+		want   float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"empty-zero", nil, 0, 0},
+		{"single", []float64{7}, 0.5, 7},
+		{"single-extremes", []float64{7}, 1, 7},
+		{"two-midpoint", []float64{1, 3}, 0.5, 2},
+		{"interpolated", []float64{10, 20, 30, 40}, 0.25, 17.5},
+		{"duplicate-heavy", []float64{5, 5, 5, 5, 5, 5, 9}, 0.5, 5},
+		{"duplicate-heavy-tail", []float64{5, 5, 5, 5, 5, 5, 9}, 1, 9},
+		{"all-duplicates", []float64{2, 2, 2, 2}, 0.9, 2},
+		{"below-range", []float64{1, 2, 3}, -0.5, 1},
+		{"above-range", []float64{1, 2, 3}, 1.5, 3},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var s Sample
+			s.AddAll(tc.values...)
+			if got := s.Quantile(tc.q); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestMerge(t *testing.T) {
+	tests := []struct {
+		name       string
+		a, b       []float64
+		wantN      int
+		wantMedian float64
+	}{
+		{"both-empty", nil, nil, 0, 0},
+		{"empty-into-full", []float64{1, 2, 3}, nil, 3, 2},
+		{"full-into-empty", nil, []float64{1, 2, 3}, 3, 2},
+		{"single-into-single", []float64{1}, []float64{9}, 2, 5},
+		{"duplicate-heavy", []float64{4, 4, 4}, []float64{4, 4, 4, 4}, 7, 4},
+		{"interleaved", []float64{1, 5, 9}, []float64{2, 6}, 5, 5},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var a, b Sample
+			a.AddAll(tc.a...)
+			b.AddAll(tc.b...)
+			bBefore := b.N()
+			a.Merge(&b)
+			if a.N() != tc.wantN {
+				t.Errorf("merged N = %d, want %d", a.N(), tc.wantN)
+			}
+			if got := a.Median(); math.Abs(got-tc.wantMedian) > 1e-12 {
+				t.Errorf("merged median = %v, want %v", got, tc.wantMedian)
+			}
+			if b.N() != bBefore {
+				t.Errorf("Merge modified the source sample: n=%d", b.N())
+			}
+		})
+	}
+	// Merging nil must not panic.
+	var s Sample
+	s.Add(1)
+	s.Merge(nil)
+	if s.N() != 1 {
+		t.Errorf("Merge(nil) changed the sample: n=%d", s.N())
+	}
+	// Merge after a sort (Percentile) must re-sort lazily.
+	var sorted, extra Sample
+	sorted.AddAll(3, 1, 2)
+	_ = sorted.Median()
+	extra.Add(0)
+	sorted.Merge(&extra)
+	if got := sorted.Min(); got != 0 {
+		t.Errorf("post-sort merge Min = %v, want 0", got)
+	}
+	if got := sorted.Quantile(0); got != 0 {
+		t.Errorf("post-sort merge Quantile(0) = %v, want 0", got)
+	}
+}
+
+func TestDeviationPct(t *testing.T) {
+	tests := []struct {
+		v, ref, want float64
+	}{
+		{110, 100, 10},
+		{90, 100, -10},
+		{5, 0, 0},
+		{5, math.Inf(1), 0},
+		{5, math.NaN(), 0},
+		{100, 100, 0},
+	}
+	for _, tc := range tests {
+		if got := DeviationPct(tc.v, tc.ref); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("DeviationPct(%v, %v) = %v, want %v", tc.v, tc.ref, got, tc.want)
+		}
+	}
+}
+
+func TestMinTracker(t *testing.T) {
+	var m MinTracker
+	if !math.IsInf(m.Min(), 1) || m.Index() != -1 {
+		t.Errorf("zero tracker: min=%v index=%d", m.Min(), m.Index())
+	}
+	m.Observe(0, 5)
+	m.Observe(1, 3)
+	m.Observe(2, 3) // tie: the earlier index wins
+	m.Observe(3, 8)
+	if m.Min() != 3 || m.Index() != 1 {
+		t.Errorf("tracker: min=%v index=%d, want 3/1", m.Min(), m.Index())
+	}
+}
+
 func TestValuesReturnsCopy(t *testing.T) {
 	var s Sample
 	s.AddAll(1, 2, 3)

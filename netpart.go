@@ -24,6 +24,7 @@
 //   - cluster managers and the availability protocol (internal/manager)
 //   - the evaluation applications (internal/stencil, internal/gauss)
 //   - decomposition baselines (internal/balance)
+//   - metrics and structured trace recording (internal/obs)
 //
 // Quick start:
 //
@@ -46,6 +47,7 @@ import (
 	"netpart/internal/manager"
 	"netpart/internal/mmps"
 	"netpart/internal/model"
+	"netpart/internal/obs"
 	"netpart/internal/particles"
 	"netpart/internal/stencil"
 	"netpart/internal/stencil2d"
@@ -373,3 +375,76 @@ func RunStencilLiveAdaptive(world []Transport, vec Vector, v StencilVariant, n, 
 func RunStencilSimUntil(net *Network, cfg Config, vec Vector, v StencilVariant, n int, tol float64, maxIters int) (stencil.ConvergeResult, error) {
 	return stencil.RunSimUntil(net, cfg, vec, v, n, tol, maxIters)
 }
+
+// Observability types: search tracing for the partitioner and runtime
+// metrics for the SPMD executions.
+type (
+	// Observer receives every candidate evaluation and search step of a
+	// partitioning run (set it on an Estimator before searching).
+	Observer = core.Observer
+	// PartitionCandidate is one evaluated (configuration, cluster, p) point
+	// with its full cost breakdown.
+	PartitionCandidate = core.Candidate
+	// PartitionSearchEvent is one search transition: cluster opened,
+	// bisection step, settle/exhaust, winner.
+	PartitionSearchEvent = core.SearchEvent
+	// SearchTrace is an in-memory Observer: it records candidates and
+	// events and can explain the decision or dump per-cluster T_c curves.
+	SearchTrace = core.SearchTrace
+	// MultiObserver fans observations out to several observers.
+	MultiObserver = core.MultiObserver
+	// Metrics is a registry of named counters, gauges, and latency
+	// histograms (nil-safe: a nil registry records nothing).
+	Metrics = obs.Registry
+	// TraceRecorder streams structured events as JSONL and retains them in
+	// memory for later export.
+	TraceRecorder = obs.Recorder
+	// TraceEvent is one recorded event.
+	TraceEvent = obs.Event
+	// CurvePoint is one point of a recorded per-cluster T_c(p) curve.
+	CurvePoint = core.CurvePoint
+)
+
+// Unimodal reports whether a recorded T_c(p) curve weakly decreases to a
+// single minimum and then weakly increases — the Fig. 3 shape the
+// bisection search depends on.
+func Unimodal(points []CurvePoint) bool { return core.Unimodal(points) }
+
+// PartitionWith runs the Section 5.0 heuristic on a caller-built estimator;
+// use this instead of Partition to attach an Observer (or tune the
+// estimator) before searching.
+func PartitionWith(est *Estimator) (Result, error) { return core.Partition(est) }
+
+// SinkObserver adapts a TraceRecorder into an Observer that streams every
+// candidate evaluation and search step as structured events.
+func SinkObserver(rec *TraceRecorder) Observer { return core.SinkObserver{Sink: rec} }
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewTraceRecorder creates an event recorder; w may be nil for memory-only
+// recording, otherwise each event is also written as one JSON line.
+func NewTraceRecorder(w io.Writer) *TraceRecorder { return obs.NewRecorder(w) }
+
+// WriteChromeTrace converts recorded span events to the Chrome trace-event
+// JSON format (open the output in chrome://tracing or Perfetto).
+func WriteChromeTrace(w io.Writer, events []TraceEvent) error {
+	return obs.WriteChromeTrace(w, events)
+}
+
+// RunStencilSimObserved is RunStencilSim with instrumentation: per-cycle
+// timings, message/byte counters, and delivery latencies land in m, and a
+// per-task-cycle span stream lands in rec (either may be nil).
+func RunStencilSimObserved(net *Network, cfg Config, vec Vector, v StencilVariant, n, iters int, m *Metrics, rec *TraceRecorder) (stencil.SimResult, error) {
+	return stencil.RunSimObserved(net, cfg, vec, v, n, iters, m, rec)
+}
+
+// RunStencilLiveObserved is RunStencilLive with wall-clock cycle/exchange
+// instrumentation.
+func RunStencilLiveObserved(world []Transport, vec Vector, v StencilVariant, n, iters int, workFactor []int, m *Metrics, rec *TraceRecorder) (stencil.LiveResult, error) {
+	return stencil.RunLiveObserved(world, vec, v, n, iters, workFactor, m, rec)
+}
+
+// WithTransportMetrics counts messages, bytes, packets, and retransmissions
+// of an mmps world into a metrics registry.
+func WithTransportMetrics(m *Metrics) mmps.Option { return mmps.WithMetrics(m) }
