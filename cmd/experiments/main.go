@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	experiments [-experiment all|table1|table2|fig1|fig2|fig3|costfit|overhead|gauss|ablations]
+//	experiments [-experiment all|table1|table2|fig1|fig2|fig3|costfit|overhead|gauss|ablations|faulttol]
 //	            [-constants paper|fitted] [-n 600]
 package main
 
@@ -21,7 +21,7 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "all", "experiment to run: all, table1, table2, fig1, fig2, fig3, costfit, overhead, gauss, ablations, adaptive, metasystem, startup, implselect, particles, selectioncost, noise")
+	which := flag.String("experiment", "all", "experiment to run: all, table1, table2, fig1, fig2, fig3, costfit, overhead, gauss, ablations, adaptive, metasystem, startup, implselect, particles, selectioncost, noise, faulttol")
 	constants := flag.String("constants", "paper", "cost table for table1: 'paper' (published constants) or 'fitted' (benchmarked from the simulator)")
 	n := flag.Int("n", 600, "problem size for fig3 and gauss")
 	showMetrics := flag.Bool("metrics", false, "print per-section wall-clock metrics at exit")
@@ -199,6 +199,14 @@ func run(which, constants string, n int, showMetrics bool) error {
 			return err
 		}
 		fmt.Print(experiments.RenderNoise(rows))
+	}
+	if all || which == "faulttol" {
+		section("E16: fault tolerance — node loss mid-run, recovery on the live runtime")
+		r, err := experiments.FaultTol(env, 96, 30)
+		if err != nil {
+			return err
+		}
+		fmt.Print(experiments.RenderFaultTol(r))
 	}
 	if all || which == "startup" {
 		section("E11: initial-distribution cost (T_startup) and amortization")

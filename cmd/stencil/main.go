@@ -10,6 +10,13 @@
 //	        [-runtime sim|live]          simulated network or real goroutines+UDP
 //	        [-verify]                    check against the sequential solver
 //	        [-metrics] [-trace out.jsonl] [-chrome out.json]
+//	        [-faults "crash:3@12;drop:0.05"] [-faultseed 1] [-ckpt 8]
+//
+// With -faults, the sim runtime injects packet faults below the simulated
+// reliability layer (RunSimFaulty), and the live runtime switches to the
+// fault-tolerant protocol (RunLiveFT): buddy checkpointing every -ckpt
+// cycles, failure detection, and recovery by re-running the paper's
+// partitioning algorithm over the survivors.
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"netpart/internal/commbench"
 	"netpart/internal/core"
 	"netpart/internal/cost"
+	"netpart/internal/faults"
 	"netpart/internal/mmps"
 	"netpart/internal/model"
 	"netpart/internal/obs"
@@ -48,6 +56,9 @@ type runOptions struct {
 	Metrics    bool   // print the runtime metrics table at exit
 	TraceFile  string // per-cycle span events as JSONL ("" = off)
 	ChromeFile string // chrome://tracing export of the same spans ("" = off)
+	Faults     string // fault schedule ("" = none)
+	FaultSeed  uint64 // deterministic injector seed
+	Ckpt       int    // checkpoint period for the fault-tolerant live runtime
 }
 
 func main() {
@@ -66,6 +77,9 @@ func main() {
 	flag.BoolVar(&o.Metrics, "metrics", false, "print per-cycle runtime metrics (cycle/exchange timings, messages, bytes)")
 	flag.StringVar(&o.TraceFile, "trace", "", "write per-cycle span events (one JSON object per line) to this file")
 	flag.StringVar(&o.ChromeFile, "chrome", "", "write a chrome://tracing trace-event file of the run's cycles")
+	flag.StringVar(&o.Faults, "faults", "", `fault schedule, e.g. "crash:3@12;drop:0.05;delay:0.1,2;part:6@100-200"`)
+	flag.Uint64Var(&o.FaultSeed, "faultseed", 1, "seed for the deterministic fault injector")
+	flag.IntVar(&o.Ckpt, "ckpt", 8, "checkpoint period (cycles) for the fault-tolerant live runtime")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -151,17 +165,38 @@ func run(o runOptions) error {
 		var rep spmdReport
 		switch o.Mode {
 		case "fixed":
-			res, err := stencil.RunSimObserved(net, cfgCost, vec, variant, n, iters, metrics, rec)
-			if err != nil {
-				return err
+			var grid2 [][]float64
+			var elapsedMs float64
+			if o.Faults != "" {
+				sched, err := faults.Parse(o.Faults)
+				if err != nil {
+					return err
+				}
+				sched = sched.Sanitize(chosen.p1+chosen.p2, iters)
+				if len(sched.Crashes) > 0 {
+					return fmt.Errorf("crash faults need the fault-tolerant live runtime (-runtime live)")
+				}
+				eng := faults.NewEngine(sched, o.FaultSeed, metrics)
+				fmt.Printf("fault schedule : %s (seed %d)\n", sched.String(), o.FaultSeed)
+				res, err := stencil.RunSimFaulty(net, cfgCost, vec, variant, n, iters, eng, 10,
+					stencil.AdaptiveOptions{Metrics: metrics, Trace: rec})
+				if err != nil {
+					return err
+				}
+				grid2, elapsedMs, rep = res.Grid, res.ElapsedMs, res.Report
+			} else {
+				res, err := stencil.RunSimObserved(net, cfgCost, vec, variant, n, iters, metrics, rec)
+				if err != nil {
+					return err
+				}
+				grid2, elapsedMs, rep = res.Grid, res.ElapsedMs, res.Report
 			}
-			grid = res.Grid
-			rep = res.Report
-			fmt.Printf("simulated time : %.1f ms (%d iterations, %s)\n", res.ElapsedMs, iters, variant)
+			grid = grid2
+			fmt.Printf("simulated time : %.1f ms (%d iterations, %s)\n", elapsedMs, iters, variant)
 			if predictedTcMs > 0 && iters > 0 {
 				// Estimate-vs-measured drift: predicted per-cycle cost
 				// against the simulated per-cycle average.
-				measured := res.ElapsedMs / float64(iters)
+				measured := elapsedMs / float64(iters)
 				drift := trace.DeviationPct(measured, predictedTcMs)
 				metrics.Gauge("stencil.drift_pct").Set(drift)
 				fmt.Printf("estimate drift : predicted %.3f vs measured %.3f ms/cycle (%+.1f%%)\n",
@@ -220,7 +255,19 @@ func run(o runOptions) error {
 		}
 	case "live":
 		tasks := chosen.p1 + chosen.p2
-		eps, err := mmps.NewUDPWorld(tasks, mmps.WithRecvTimeout(60*time.Second), mmps.WithMetrics(metrics))
+		worldOpts := []mmps.Option{mmps.WithRecvTimeout(60 * time.Second), mmps.WithMetrics(metrics)}
+		var eng *faults.Engine
+		if o.Faults != "" {
+			sched, err := faults.Parse(o.Faults)
+			if err != nil {
+				return err
+			}
+			sched = sched.Sanitize(tasks, iters)
+			eng = faults.NewEngine(sched, o.FaultSeed, metrics)
+			worldOpts = append(worldOpts, mmps.WithInjector(eng))
+			fmt.Printf("fault schedule : %s (seed %d)\n", sched.String(), o.FaultSeed)
+		}
+		eps, err := mmps.NewUDPWorld(tasks, worldOpts...)
 		if err != nil {
 			return err
 		}
@@ -241,13 +288,44 @@ func run(o runOptions) error {
 				factors[i] = 2
 			}
 		}
-		res, err := stencil.RunLiveObserved(world, vec, variant, n, iters, factors, metrics, rec)
-		if err != nil {
-			return err
+		if eng != nil {
+			// Fault-tolerant runtime: buddy checkpoints, detection, and
+			// recovery by re-partitioning over the survivors.
+			placement := make([]string, 0, tasks)
+			for i := 0; i < chosen.p1; i++ {
+				placement = append(placement, model.Sparc2Cluster)
+			}
+			for i := 0; i < chosen.p2; i++ {
+				placement = append(placement, model.IPCCluster)
+			}
+			res, err := stencil.RunLiveFT(world, vec, variant, n, iters, stencil.FTOptions{
+				Injector:        eng,
+				Repartition:     stencil.Repartitioner(net, cost.PaperTable(), variant, n, iters, placement),
+				CheckpointEvery: o.Ckpt,
+				WorkFactor:      factors,
+				Metrics:         metrics,
+				Trace:           rec,
+			})
+			if err != nil {
+				return err
+			}
+			grid = res.Grid
+			fmt.Printf("wall-clock time: %v (%d iterations, %s, %d tasks over UDP, fault-tolerant)\n",
+				res.Elapsed, iters, variant, tasks)
+			fmt.Printf("fault tolerance: %d recoveries, failed ranks %v\n", res.Recoveries, res.Failed)
+			for _, ev := range res.Events {
+				fmt.Printf("  epoch %d: dead %v, rolled back to cycle %d, recovery latency %.1f ms, vector %v\n",
+					ev.Epoch, ev.Dead, ev.RollbackCycle, ev.LatencyMs, ev.Vector)
+			}
+		} else {
+			res, err := stencil.RunLiveObserved(world, vec, variant, n, iters, factors, metrics, rec)
+			if err != nil {
+				return err
+			}
+			grid = res.Grid
+			fmt.Printf("wall-clock time: %v (%d iterations, %s, %d tasks over UDP)\n",
+				res.Elapsed, iters, variant, tasks)
 		}
-		grid = res.Grid
-		fmt.Printf("wall-clock time: %v (%d iterations, %s, %d tasks over UDP)\n",
-			res.Elapsed, iters, variant, tasks)
 	default:
 		return fmt.Errorf("unknown runtime %q", o.Runtime)
 	}

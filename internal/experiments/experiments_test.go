@@ -467,3 +467,29 @@ func TestNoiseExperiment(t *testing.T) {
 		t.Error("render malformed")
 	}
 }
+
+func TestFaultTolExperiment(t *testing.T) {
+	e := env(t)
+	r, err := FaultTol(e, 96, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Exact {
+		t.Fatal("recovered grid does not match the sequential reference")
+	}
+	if r.VectorAfter[r.CrashRank] != 0 {
+		t.Fatalf("crashed rank still owns rows after recovery: %v", r.VectorAfter)
+	}
+	if r.VectorAfter.Sum() != r.N {
+		t.Fatalf("post-recovery vector sums to %d, want %d", r.VectorAfter.Sum(), r.N)
+	}
+	if r.RecoveryLatencyMs <= 0 {
+		t.Fatalf("recovery latency = %v ms", r.RecoveryLatencyMs)
+	}
+	if r.RollbackCycle >= r.CrashCycle {
+		t.Fatalf("rollback cycle %d not before crash cycle %d", r.RollbackCycle, r.CrashCycle)
+	}
+	if out := RenderFaultTol(r); !strings.Contains(out, "recovery latency") {
+		t.Error("render malformed")
+	}
+}

@@ -1,0 +1,226 @@
+// Chaos suite: the paper's STEN-1/STEN-2 testbed runs under every fault
+// class the schedule grammar can express, and every run must converge to
+// the bit-for-bit sequential result. Packet faults ride below the
+// transport's reliability layer (drops retransmit, delays arrive late,
+// duplicates dedup), crash faults exercise the full detect → agree →
+// re-partition → rollback pipeline, and the partition case checks that a
+// healed network cut shorter than the detection budget causes no
+// split-brain. Seeded via CHAOS_SEED (default 1) so CI can sweep seeds
+// while any single run stays reproducible.
+package faults_test
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+
+	"netpart/internal/core"
+	"netpart/internal/cost"
+	"netpart/internal/faults"
+	"netpart/internal/mmps"
+	"netpart/internal/model"
+	"netpart/internal/stencil"
+)
+
+// chaosSeed reads CHAOS_SEED so CI can run the same table under several
+// seeds; any fixed seed gives a fully deterministic fault sequence.
+func chaosSeed(t *testing.T) uint64 {
+	t.Helper()
+	s := os.Getenv("CHAOS_SEED")
+	if s == "" {
+		return 1
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		t.Fatalf("CHAOS_SEED=%q: %v", s, err)
+	}
+	return v
+}
+
+// paperSetup derives the 12-rank paper-testbed partition vector and the
+// rank → cluster placement (6 Sparc2 + 6 IPC).
+func paperSetup(t *testing.T, n int) (*model.Network, core.Vector, []string) {
+	t.Helper()
+	net := model.PaperTestbed()
+	cfg := cost.Config{
+		Clusters: []string{model.Sparc2Cluster, model.IPCCluster},
+		Counts:   []int{6, 6},
+	}
+	vec, err := core.Decompose(net, cfg, n, model.OpFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement := make([]string, 0, 12)
+	for i := 0; i < 6; i++ {
+		placement = append(placement, model.Sparc2Cluster)
+	}
+	for i := 0; i < 6; i++ {
+		placement = append(placement, model.IPCCluster)
+	}
+	return net, vec, placement
+}
+
+// chaosWorld builds a 12-endpoint in-process world with every packet
+// routed through the injector.
+func chaosWorld(t *testing.T, n int, inj faults.Injector) []mmps.Transport {
+	t.Helper()
+	locals, err := mmps.NewLocalWorld(n, mmps.WithInjector(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := make([]mmps.Transport, n)
+	for i, l := range locals {
+		world[i] = l
+	}
+	t.Cleanup(func() {
+		for _, l := range locals {
+			l.Close()
+		}
+	})
+	return world
+}
+
+func requireGridsEqual(t *testing.T, got, want [][]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("grid of %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("grid[%d][%d] = %v, want %v (must be bit-for-bit)", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestChaosMatrix runs both paper stencils under one fault class at a
+// time. Crash is the only class allowed to trigger recovery; every other
+// class must be absorbed by the transport (or, for the short partition,
+// outlasted by the detection budget) with zero recoveries — a recovery
+// there would mean a live rank was wrongly excommunicated.
+func TestChaosMatrix(t *testing.T) {
+	const n, iters, ckptEvery = 96, 30, 8
+	const crashRank = 3
+	seed := chaosSeed(t)
+
+	cases := []struct {
+		name     string
+		schedule string
+		crashes  bool
+	}{
+		// One node dies at cycle 12: detect, re-partition over 11, roll
+		// back to the cycle-8 checkpoint, finish.
+		{"crash", "crash:3@12", true},
+		// Steady 8% packet loss: every drop costs a retransmission
+		// round-trip but the reliability layer hides it.
+		{"drop", "drop:0.08", false},
+		// A quarter of packets arrive 3ms late; ordering is preserved by
+		// the per-stream sequencing.
+		{"delay", "delay:0.25,3", false},
+		// Duplicated packets must be suppressed exactly once.
+		{"dup", "dup:0.25", false},
+		// Rank 2 computes 4× slower for cycles 5–20; neighbors block on
+		// its borders but its keepalives prevent a false verdict.
+		{"slowdown", "slow:2,4@5-20", false},
+		// The network splits between the Sparc2 and IPC clusters for
+		// 100ms, shorter than the 180ms detection budget, then heals;
+		// retransmissions drain the cut with no split-brain. The window
+		// opens at 0ms — a fault-free run can finish in under 5ms, so any
+		// later start would let fast runs skip the cut entirely.
+		{"partition-heal", "part:6@0-100", false},
+	}
+	variants := []struct {
+		name string
+		v    stencil.Variant
+	}{{"STEN1", stencil.STEN1}, {"STEN2", stencil.STEN2}}
+
+	net, vec, placement := paperSetup(t, n)
+	want := stencil.Sequential(stencil.NewGrid(n), iters)
+
+	for _, vt := range variants {
+		vt := vt
+		for _, tc := range cases {
+			tc := tc
+			t.Run(vt.name+"/"+tc.name, func(t *testing.T) {
+				t.Parallel()
+				sched := faults.MustParse(tc.schedule).Sanitize(12, iters)
+				eng := faults.NewEngine(sched, seed, nil)
+				world := chaosWorld(t, 12, eng)
+				res, err := stencil.RunLiveFT(world, vec, vt.v, n, iters, stencil.FTOptions{
+					Injector:        eng,
+					Repartition:     stencil.Repartitioner(net, cost.PaperTable(), vt.v, n, iters, placement),
+					CheckpointEvery: ckptEvery,
+					DetectTimeout:   60 * time.Millisecond,
+					DetectRetries:   2,
+				})
+				if err != nil {
+					t.Fatalf("RunLiveFT under %q: %v", tc.schedule, err)
+				}
+				if tc.crashes {
+					if res.Recoveries < 1 {
+						t.Fatalf("recoveries = %d, want at least 1", res.Recoveries)
+					}
+					if len(res.Failed) != 1 || res.Failed[0] != crashRank {
+						t.Fatalf("failed = %v, want [%d]", res.Failed, crashRank)
+					}
+					if res.FinalVector[crashRank] != 0 {
+						t.Fatalf("dead rank still owns rows: %v", res.FinalVector)
+					}
+					if res.FinalVector.Sum() != n {
+						t.Fatalf("final vector sums to %d, want %d", res.FinalVector.Sum(), n)
+					}
+				} else {
+					if res.Recoveries != 0 || len(res.Failed) != 0 {
+						t.Fatalf("fault class %q triggered recovery (recoveries=%d failed=%v): live rank wrongly excommunicated",
+							tc.name, res.Recoveries, res.Failed)
+					}
+				}
+				requireGridsEqual(t, res.Grid, want)
+			})
+		}
+	}
+}
+
+// TestChaosCrashDeterminism: the same seed replays the identical recovery
+// decision sequence — same rollback cycle, same re-partition vector, same
+// bit-for-bit grid.
+func TestChaosCrashDeterminism(t *testing.T) {
+	const n, iters = 96, 30
+	seed := chaosSeed(t)
+	net, vec, placement := paperSetup(t, n)
+	want := stencil.Sequential(stencil.NewGrid(n), iters)
+
+	run := func() stencil.FTResult {
+		sched := faults.MustParse("crash:3@12").Sanitize(12, iters)
+		eng := faults.NewEngine(sched, seed, nil)
+		world := chaosWorld(t, 12, eng)
+		res, err := stencil.RunLiveFT(world, vec, stencil.STEN2, n, iters, stencil.FTOptions{
+			Injector:        eng,
+			Repartition:     stencil.Repartitioner(net, cost.PaperTable(), stencil.STEN2, n, iters, placement),
+			CheckpointEvery: 8,
+			DetectTimeout:   60 * time.Millisecond,
+			DetectRetries:   2,
+		})
+		if err != nil {
+			t.Fatalf("RunLiveFT: %v", err)
+		}
+		return res
+	}
+
+	a, b := run(), run()
+	if len(a.Events) == 0 || len(b.Events) == 0 {
+		t.Fatalf("runs recorded %d and %d recovery events, want ≥1 each", len(a.Events), len(b.Events))
+	}
+	if a.Events[0].RollbackCycle != b.Events[0].RollbackCycle {
+		t.Fatalf("rollback cycles differ: %d vs %d", a.Events[0].RollbackCycle, b.Events[0].RollbackCycle)
+	}
+	for r := range a.FinalVector {
+		if a.FinalVector[r] != b.FinalVector[r] {
+			t.Fatalf("final vectors differ: %v vs %v", a.FinalVector, b.FinalVector)
+		}
+	}
+	requireGridsEqual(t, a.Grid, want)
+	requireGridsEqual(t, b.Grid, want)
+}

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+func TestParseAllClauseKinds(t *testing.T) {
+	sched, err := Parse("crash:3@12; drop:0.1@50-200; delay:0.2,8; dup:0.05; slow:2,4@5-15; part:6@100-220")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sched.Crashes) != 1 || sched.Crashes[0] != (Crash{Rank: 3, Cycle: 12}) {
+		t.Fatalf("crashes = %+v", sched.Crashes)
+	}
+	if len(sched.Drops) != 1 || sched.Drops[0] != (Drop{Prob: 0.1, FromMs: 50, ToMs: 200}) {
+		t.Fatalf("drops = %+v", sched.Drops)
+	}
+	if len(sched.Delays) != 1 || sched.Delays[0] != (Delay{Prob: 0.2, Ms: 8, FromMs: 0, ToMs: math.MaxFloat64}) {
+		t.Fatalf("delays = %+v", sched.Delays)
+	}
+	if len(sched.Dups) != 1 || sched.Dups[0] != (Dup{Prob: 0.05}) {
+		t.Fatalf("dups = %+v", sched.Dups)
+	}
+	if len(sched.Slows) != 1 || sched.Slows[0] != (Slow{Rank: 2, Factor: 4, FromCycle: 5, ToCycle: 15}) {
+		t.Fatalf("slows = %+v", sched.Slows)
+	}
+	if len(sched.Parts) != 1 || sched.Parts[0] != (Part{Cut: 6, FromMs: 100, ToMs: 220}) {
+		t.Fatalf("parts = %+v", sched.Parts)
+	}
+}
+
+func TestParseEmptyAndWhitespace(t *testing.T) {
+	for _, s := range []string{"", "  ", ";;", " ; ; "} {
+		sched, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !sched.Empty() {
+			t.Fatalf("Parse(%q) = %+v, want empty", s, sched)
+		}
+	}
+}
+
+func TestParseRejectsBadClauses(t *testing.T) {
+	bad := []string{
+		"crash:3",            // missing cycle
+		"crash:-1@5",         // negative rank
+		"drop:1.5",           // probability out of range
+		"drop:0.1@200-50",    // window out of order
+		"delay:0.2",          // missing ms
+		"delay:0.2,-5",       // negative delay
+		"slow:2",             // missing factor
+		"slow:2,0.5",         // factor below 1
+		"part:6",             // missing window
+		"part:0@10-20",       // cut must be positive
+		"dup:nan",            // not a number
+		"launch:missiles@99", // unknown kind
+		"noclausecolon",      // no colon
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", s)
+		}
+	}
+}
+
+func TestScheduleStringRoundTrip(t *testing.T) {
+	inputs := []string{
+		"crash:3@12;drop:0.1@50-200;delay:0.2,8;dup:0.05;slow:2,4@5-15;part:6@100-220",
+		"drop:0.25",
+		"slow:0,2",
+		"",
+	}
+	for _, s := range inputs {
+		first := MustParse(s)
+		again, err := Parse(first.String())
+		if err != nil {
+			t.Fatalf("re-Parse(%q → %q): %v", s, first.String(), err)
+		}
+		if got, want := again.String(), first.String(); got != want {
+			t.Fatalf("round trip of %q: %q != %q", s, got, want)
+		}
+	}
+}
+
+func TestSanitizeBoundsSchedule(t *testing.T) {
+	sched := MustParse("crash:99@1000;crash:5@2;drop:1;delay:1,100000;dup:1;slow:7,5000;part:40@0-100000")
+	out := sched.Sanitize(6, 12)
+	if len(out.Crashes) != 1 {
+		t.Fatalf("sanitize kept %d crashes, want 1", len(out.Crashes))
+	}
+	if c := out.Crashes[0]; c.Rank < 0 || c.Rank >= 6 || c.Cycle < 1 || c.Cycle >= 12 {
+		t.Fatalf("crash out of bounds: %+v", c)
+	}
+	if p := out.Drops[0].Prob; p > 0.15 {
+		t.Fatalf("drop prob %v above cap", p)
+	}
+	if d := out.Delays[0]; d.Prob > 0.3 || d.Ms > 5 {
+		t.Fatalf("delay %+v above caps", d)
+	}
+	if p := out.Dups[0].Prob; p > 0.3 {
+		t.Fatalf("dup prob %v above cap", p)
+	}
+	if sl := out.Slows[0]; sl.Rank < 0 || sl.Rank >= 6 || sl.Factor > 4 {
+		t.Fatalf("slow out of bounds: %+v", sl)
+	}
+	if p := out.Parts[0]; p.Cut < 1 || p.Cut >= 6 || p.ToMs-p.FromMs > 120 {
+		t.Fatalf("part out of bounds: %+v", p)
+	}
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	sched := MustParse("drop:0.2;delay:0.3,4;dup:0.1")
+	a := NewEngine(sched, 42, nil)
+	b := NewEngine(sched, 42, nil)
+	for i := 0; i < 500; i++ {
+		src, dst := i%4, (i+1)%4
+		fa := a.Packet(src, dst, float64(i))
+		fb := b.Packet(src, dst, float64(i))
+		if fa != fb {
+			t.Fatalf("packet %d: %+v != %+v (same seed must give same fates)", i, fa, fb)
+		}
+	}
+	c := NewEngine(sched, 43, nil)
+	diff := false
+	for i := 0; i < 500; i++ {
+		if a2, c2 := a.Packet(0, 1, 0), c.Packet(0, 1, 0); a2 != c2 {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("seeds 42 and 43 produced identical fate streams")
+	}
+}

@@ -4,11 +4,18 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"netpart/internal/faults"
 )
 
 // Local is the in-memory transport: reliable and ordered by construction,
 // sharing the Transport interface with the UDP implementation so higher
-// layers can be tested deterministically.
+// layers can be tested deterministically. With WithInjector it emulates
+// the UDP transport's behavior under packet faults — a dropped packet is
+// retried every RTO until the injector lets it through (so an unhealed
+// partition stalls the stream, and a healed one resumes it), a delayed
+// packet arrives late, and a duplicated packet is suppressed — while still
+// guaranteeing reliable in-order per-sender delivery.
 type Local struct {
 	rank  int
 	world *localWorld
@@ -17,6 +24,9 @@ type Local struct {
 type localWorld struct {
 	size        int
 	recvTimeout time.Duration
+	rto         time.Duration
+	inj         faults.Injector
+	epoch       time.Time
 	metrics     transportMetrics
 	mu          sync.Mutex
 	closed      []bool
@@ -24,6 +34,16 @@ type localWorld struct {
 	// per destination for blocking receives.
 	queues []map[int][][]byte
 	conds  []*sync.Cond
+	// streams[src][dst] sequences faulted deliveries so per-sender order
+	// survives drops and delays. Nil without an injector.
+	streams [][]*localStream
+}
+
+// localStream orders one (src,dst) message stream under injected faults.
+type localStream struct {
+	nextSeq     uint64
+	nextDeliver uint64
+	held        map[uint64][]byte // out-of-order arrivals; nil = tombstone
 }
 
 // NewLocalWorld creates n connected in-memory endpoints.
@@ -38,6 +58,9 @@ func NewLocalWorld(n int, opts ...Option) ([]*Local, error) {
 	w := &localWorld{
 		size:        n,
 		recvTimeout: o.recvTimeout,
+		rto:         o.rto,
+		inj:         o.injector,
+		epoch:       time.Now(),
 		metrics:     o.metrics,
 		closed:      make([]bool, n),
 		queues:      make([]map[int][][]byte, n),
@@ -49,6 +72,15 @@ func NewLocalWorld(n int, opts ...Option) ([]*Local, error) {
 		w.conds[i] = sync.NewCond(&w.mu)
 		eps[i] = &Local{rank: i, world: w}
 	}
+	if w.inj != nil {
+		w.streams = make([][]*localStream, n)
+		for i := 0; i < n; i++ {
+			w.streams[i] = make([]*localStream, n)
+			for j := 0; j < n; j++ {
+				w.streams[i][j] = &localStream{held: make(map[uint64][]byte)}
+			}
+		}
+	}
 	return eps, nil
 }
 
@@ -58,23 +90,90 @@ func (l *Local) Rank() int { return l.rank }
 // Size returns the world size.
 func (l *Local) Size() int { return l.world.size }
 
-// Send copies data into dst's queue.
+// Send copies data into dst's queue (immediately, or through the fault
+// injector's emulated network when the world has one).
 func (l *Local) Send(dst int, data []byte) error {
 	if err := rankCheck(dst, l.world.size); err != nil {
 		return err
 	}
 	w := l.world
 	w.mu.Lock()
-	defer w.mu.Unlock()
 	if w.closed[l.rank] || w.closed[dst] {
+		w.mu.Unlock()
 		return ErrClosed
 	}
 	cp := append([]byte(nil), data...)
-	w.queues[dst][l.rank] = append(w.queues[dst][l.rank], cp)
 	w.metrics.msgsSent.Inc()
 	w.metrics.bytesSent.Add(int64(len(data)))
-	w.conds[dst].Broadcast()
+	if w.inj == nil {
+		w.queues[dst][l.rank] = append(w.queues[dst][l.rank], cp)
+		w.conds[dst].Broadcast()
+		w.mu.Unlock()
+		return nil
+	}
+	st := w.streams[l.rank][dst]
+	seq := st.nextSeq
+	st.nextSeq++
+	w.mu.Unlock()
+	w.route(l.rank, dst, seq, cp)
 	return nil
+}
+
+// route consults the injector for one message and schedules its delivery:
+// drops retry after an RTO (re-consulting the injector, so a healed
+// partition lets the retry through), delays deliver late, duplicates are
+// suppressed (this transport is reliable; the engine still counts them).
+func (w *localWorld) route(src, dst int, seq uint64, data []byte) {
+	nowMs := float64(time.Since(w.epoch)) / float64(time.Millisecond)
+	fate := w.inj.Packet(src, dst, nowMs)
+	switch {
+	case fate.Drop:
+		time.AfterFunc(w.rto, func() {
+			w.mu.Lock()
+			dead := w.closed[src] || w.closed[dst]
+			w.mu.Unlock()
+			if dead {
+				w.deliverSeq(src, dst, seq, nil) // tombstone: unblock the stream
+				return
+			}
+			w.route(src, dst, seq, data)
+		})
+	case fate.DelayMs > 0:
+		time.AfterFunc(time.Duration(fate.DelayMs*float64(time.Millisecond)), func() {
+			w.deliverSeq(src, dst, seq, data)
+		})
+	default:
+		w.deliverSeq(src, dst, seq, data)
+	}
+}
+
+// deliverSeq hands one sequenced message to the (src,dst) stream and
+// drains every in-order message into dst's queue. A nil data tombstones
+// the sequence number (abandoned delivery) so later messages still flow.
+func (w *localWorld) deliverSeq(src, dst int, seq uint64, data []byte) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	st := w.streams[src][dst]
+	if seq < st.nextDeliver {
+		return
+	}
+	st.held[seq] = data
+	delivered := false
+	for {
+		d, ok := st.held[st.nextDeliver]
+		if !ok {
+			break
+		}
+		delete(st.held, st.nextDeliver)
+		st.nextDeliver++
+		if d != nil && !w.closed[dst] {
+			w.queues[dst][src] = append(w.queues[dst][src], d)
+			delivered = true
+		}
+	}
+	if delivered {
+		w.conds[dst].Broadcast()
+	}
 }
 
 // Recv blocks for the next message from src.
@@ -109,6 +208,43 @@ func (l *Local) Recv(src int) ([]byte, error) {
 		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("%w: from rank %d", ErrTimeout, src)
+		}
+		w.conds[l.rank].Wait()
+	}
+}
+
+// RecvAny blocks for the next message from any peer, scanning queues in
+// ascending rank order. d <= 0 means the world's receive timeout.
+func (l *Local) RecvAny(d time.Duration) (int, []byte, error) {
+	if d <= 0 {
+		d = l.world.recvTimeout
+	}
+	w := l.world
+	deadline := time.Now().Add(d)
+	timer := time.AfterFunc(d, func() {
+		w.mu.Lock()
+		w.conds[l.rank].Broadcast()
+		w.mu.Unlock()
+	})
+	defer timer.Stop()
+
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for {
+		if w.closed[l.rank] {
+			return -1, nil, ErrClosed
+		}
+		for src := 0; src < w.size; src++ {
+			if q := w.queues[l.rank][src]; len(q) > 0 {
+				msg := q[0]
+				w.queues[l.rank][src] = q[1:]
+				w.metrics.msgsRecv.Inc()
+				w.metrics.bytesRecv.Add(int64(len(msg)))
+				return src, msg, nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return -1, nil, ErrTimeout
 		}
 		w.conds[l.rank].Wait()
 	}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"netpart/internal/faults"
 	"netpart/internal/obs"
 )
 
@@ -35,6 +36,11 @@ type Transport interface {
 	// Recv blocks until the next message from src arrives, honoring the
 	// world's receive timeout.
 	Recv(src int) ([]byte, error)
+	// RecvAny blocks until a message from any peer arrives, returning the
+	// sender's rank with the message. d bounds the wait; d <= 0 means the
+	// world's receive timeout. Fault-tolerant runtimes use it to service
+	// control traffic from non-neighbors.
+	RecvAny(d time.Duration) (int, []byte, error)
 	// Close releases the endpoint. Further operations fail.
 	Close() error
 }
@@ -61,6 +67,7 @@ type options struct {
 	mtu          int
 	maxMessage   int
 	lossEveryNth int // test hook: drop every Nth outgoing data packet
+	injector     faults.Injector
 	metrics      transportMetrics
 }
 
@@ -123,6 +130,15 @@ func WithMTU(n int) Option {
 // hook; zero disables.
 func WithLossEveryNth(n int) Option {
 	return func(o *options) { o.lossEveryNth = n }
+}
+
+// WithInjector routes every packet through a fault injector. Faults are
+// applied below the reliability layer: dropped packets are retransmitted,
+// delayed packets arrive late, duplicated packets are deduplicated — so
+// application results are unchanged, only timing and retransmission
+// behavior shift. Nil disables.
+func WithInjector(inj faults.Injector) Option {
+	return func(o *options) { o.injector = inj }
 }
 
 // WithMetrics records transport activity (the Metric* names) into r: message

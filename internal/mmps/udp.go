@@ -19,10 +19,16 @@ type Conn struct {
 	peers []*net.UDPAddr
 	done  chan struct{} // closed by Close
 
+	epoch time.Time // world creation, the injector's time origin
+
 	mu     sync.Mutex
 	cond   *sync.Cond // broadcast on delivery, ack, error, close
 	closed bool
-	err    error // first asynchronous send failure
+	// sendErr[dst] is the latest unreported delivery failure to dst. It is
+	// scoped per destination so one dead peer cannot poison traffic with
+	// the survivors, and it is one-shot: Send(dst) and Flush report it and
+	// clear it, after which the stream to dst may be retried.
+	sendErr []error
 
 	nextSeq  []uint32            // per destination: next message sequence
 	expected []uint32            // per source: next message to deliver
@@ -46,6 +52,7 @@ type reasm struct {
 	fragCount uint32
 	got       uint32
 	frags     [][]byte
+	lastFrag  time.Time // arrival time of the most recent fragment
 }
 
 // NewUDPWorld creates n endpoints on loopback UDP sockets, fully meshed.
@@ -59,6 +66,7 @@ func NewUDPWorld(n int, opts ...Option) ([]*Conn, error) {
 	}
 	conns := make([]*Conn, n)
 	addrs := make([]*net.UDPAddr, n)
+	epoch := time.Now()
 	for i := 0; i < n; i++ {
 		sock, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 		if err != nil {
@@ -67,12 +75,13 @@ func NewUDPWorld(n int, opts ...Option) ([]*Conn, error) {
 			}
 			return nil, fmt.Errorf("mmps: binding endpoint %d: %w", i, err)
 		}
-		conns[i] = &Conn{rank: i, size: n, opts: o, sock: sock, done: make(chan struct{})}
+		conns[i] = &Conn{rank: i, size: n, opts: o, sock: sock, done: make(chan struct{}), epoch: epoch}
 		addrs[i] = sock.LocalAddr().(*net.UDPAddr)
 	}
 	for _, c := range conns {
 		c.peers = addrs
 		c.cond = sync.NewCond(&c.mu)
+		c.sendErr = make([]error, n)
 		c.nextSeq = make([]uint32, n)
 		c.expected = make([]uint32, n)
 		c.reasm = make([]map[uint32]*reasm, n)
@@ -114,8 +123,8 @@ func (c *Conn) Send(dst int, data []byte) error {
 		c.mu.Unlock()
 		return ErrClosed
 	}
-	if c.err != nil {
-		err := c.err
+	if err := c.sendErr[dst]; err != nil {
+		c.sendErr[dst] = nil
 		c.mu.Unlock()
 		return err
 	}
@@ -146,8 +155,8 @@ func (c *Conn) sender(dst int) {
 			err := c.deliverReliably(dst, data)
 			c.mu.Lock()
 			c.inflight--
-			if err != nil && c.err == nil && !c.closed {
-				c.err = err
+			if err != nil && c.sendErr[dst] == nil && !c.closed {
+				c.sendErr[dst] = err
 			}
 			c.cond.Broadcast()
 			c.mu.Unlock()
@@ -260,7 +269,10 @@ func (c *Conn) waitWithDeadline(deadline time.Time) {
 }
 
 // transmit writes one packet, honoring the loss-injection test hook for
-// data packets.
+// data packets and, when the world has a fault injector, the injected
+// per-packet fate (drop, delay, duplicate). Faults apply below the
+// reliability layer — acks included — so they surface only as
+// retransmissions and latency.
 func (c *Conn) transmit(p *packet, dst int) {
 	if p.kind == kindData && c.opts.lossEveryNth >= 2 {
 		c.mu.Lock()
@@ -271,7 +283,25 @@ func (c *Conn) transmit(p *packet, dst int) {
 			return
 		}
 	}
-	c.sock.WriteToUDP(p.encode(), c.peers[dst])
+	buf := p.encode()
+	if inj := c.opts.injector; inj != nil {
+		nowMs := float64(time.Since(c.epoch)) / float64(time.Millisecond)
+		fate := inj.Packet(c.rank, dst, nowMs)
+		if fate.Drop {
+			return
+		}
+		write := func() { c.sock.WriteToUDP(buf, c.peers[dst]) }
+		if fate.Duplicate {
+			write()
+		}
+		if fate.DelayMs > 0 {
+			time.AfterFunc(time.Duration(fate.DelayMs*float64(time.Millisecond)), write)
+			return
+		}
+		write()
+		return
+	}
+	c.sock.WriteToUDP(buf, c.peers[dst])
 }
 
 // reader receives datagrams and dispatches data and ack packets until the
@@ -309,8 +339,9 @@ func (c *Conn) reader() {
 // complete messages in per-sender order.
 func (c *Conn) handleData(p *packet) {
 	// Always acknowledge, even duplicates (the original ack may be lost).
+	// Acks route through transmit so injected faults apply to them too.
 	ack := &packet{kind: kindAck, src: c.rank, dst: p.src, seq: p.seq, fragIdx: p.fragIdx}
-	c.sock.WriteToUDP(ack.encode(), c.peers[p.src])
+	c.transmit(ack, p.src)
 
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -330,6 +361,7 @@ func (c *Conn) handleData(p *packet) {
 	}
 	r.frags[p.fragIdx] = append([]byte(nil), p.payload...)
 	r.got++
+	r.lastFrag = time.Now()
 	// Deliver in-order complete messages.
 	for {
 		next, ok := c.reasm[p.src][c.expected[p.src]]
@@ -352,11 +384,16 @@ func (c *Conn) handleData(p *packet) {
 }
 
 // Recv blocks for the next message from src, up to the receive timeout.
+// When the timeout expires, reassembly state from src that made no
+// progress during the whole wait is discarded before ErrTimeout is
+// returned, so a retried Recv starts from a clean stream instead of
+// splicing stale fragments of an abandoned message with fresh ones.
 func (c *Conn) Recv(src int) ([]byte, error) {
 	if err := rankCheck(src, c.size); err != nil {
 		return nil, err
 	}
-	deadline := time.Now().Add(c.opts.recvTimeout)
+	start := time.Now()
+	deadline := start.Add(c.opts.recvTimeout)
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
@@ -370,29 +407,131 @@ func (c *Conn) Recv(src int) ([]byte, error) {
 			c.opts.metrics.bytesRecv.Add(int64(len(msg)))
 			return msg, nil
 		}
-		if c.err != nil {
-			return nil, c.err
-		}
 		if !time.Now().Before(deadline) {
+			if c.resetStaleLocked(src, start) && len(c.inbox[src]) > 0 {
+				continue // the reset unblocked a complete later message
+			}
 			return nil, fmt.Errorf("%w: from rank %d", ErrTimeout, src)
 		}
 		c.waitWithDeadline(deadline)
 	}
 }
 
-// Flush blocks until every send queued so far has been acknowledged (or a
-// delivery has failed).
+// resetStaleLocked discards partial reassembly state from src that
+// received no fragment since the given instant (the sender abandoned the
+// message, e.g. after exhausting retries) and, when the head of the
+// stream was among the casualties, advances delivery past the gap so
+// complete later messages become receivable. It reports whether anything
+// changed. Safe only because abandoned fragments are never retransmitted:
+// the receive timeout (seconds) dwarfs the RTO (milliseconds), so a
+// message whose fragments are all older than a full receive window is
+// dead. Caller holds mu.
+func (c *Conn) resetStaleLocked(src int, since time.Time) bool {
+	m := c.reasm[src]
+	changed := false
+	for seq, r := range m {
+		if r.got < r.fragCount && r.lastFrag.Before(since) {
+			delete(m, seq)
+			changed = true
+		}
+	}
+	if len(m) == 0 {
+		return changed
+	}
+	// Skip the expected counter forward to the oldest surviving message;
+	// anything before it is a gap no sender will fill.
+	min := uint32(0)
+	first := true
+	for seq := range m {
+		if first || seq < min {
+			min, first = seq, false
+		}
+	}
+	if min > c.expected[src] {
+		c.expected[src] = min
+		changed = true
+	}
+	// Drain in-order complete messages now receivable.
+	for {
+		next, ok := m[c.expected[src]]
+		if !ok || next.got != next.fragCount {
+			break
+		}
+		total := 0
+		for _, f := range next.frags {
+			total += len(f)
+		}
+		msg := make([]byte, 0, total)
+		for _, f := range next.frags {
+			msg = append(msg, f...)
+		}
+		delete(m, c.expected[src])
+		c.expected[src]++
+		c.inbox[src] = append(c.inbox[src], msg)
+		changed = true
+	}
+	if changed {
+		c.cond.Broadcast()
+	}
+	return changed
+}
+
+// RecvAny blocks for the next message from any peer, scanning inboxes in
+// ascending rank order. d <= 0 means the world's receive timeout.
+func (c *Conn) RecvAny(d time.Duration) (int, []byte, error) {
+	if d <= 0 {
+		d = c.opts.recvTimeout
+	}
+	start := time.Now()
+	deadline := start.Add(d)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return -1, nil, ErrClosed
+		}
+		for src := 0; src < c.size; src++ {
+			if q := c.inbox[src]; len(q) > 0 {
+				msg := q[0]
+				c.inbox[src] = q[1:]
+				c.opts.metrics.msgsRecv.Inc()
+				c.opts.metrics.bytesRecv.Add(int64(len(msg)))
+				return src, msg, nil
+			}
+		}
+		if !time.Now().Before(deadline) {
+			delivered := false
+			for src := 0; src < c.size; src++ {
+				if c.resetStaleLocked(src, start) && len(c.inbox[src]) > 0 {
+					delivered = true
+				}
+			}
+			if delivered {
+				continue
+			}
+			return -1, nil, ErrTimeout
+		}
+		c.waitWithDeadline(deadline)
+	}
+}
+
+// Flush blocks until every send queued so far has been acknowledged or
+// failed, then reports (and clears) the first pending per-destination
+// delivery failure, if any.
 func (c *Conn) Flush() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for {
-		if c.err != nil {
-			return c.err
-		}
 		if c.closed {
 			return ErrClosed
 		}
 		if c.inflight == 0 {
+			for dst, err := range c.sendErr {
+				if err != nil {
+					c.sendErr[dst] = nil
+					return err
+				}
+			}
 			return nil
 		}
 		c.waitWithDeadline(time.Now().Add(10 * time.Millisecond))

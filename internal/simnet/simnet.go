@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"sort"
 
+	"netpart/internal/faults"
 	"netpart/internal/model"
 )
 
@@ -109,6 +110,28 @@ type Sim struct {
 
 	// onDeliver, when non-nil, observes every message at delivery time.
 	onDeliver func(Delivery)
+
+	// inj, when non-nil, decides per-message fates (drop → retransmit
+	// after injRtoMs, delay → later transmission); see WithFaultInjector.
+	inj        faults.Injector
+	injRtoMs   float64
+	injStreams map[[2]int]*injStream
+}
+
+// injStream serializes fault-injected transmissions per (src, dst) pair,
+// emulating a reliable in-order transport: at most one message is in its
+// loss/retry phase at a time, and successors wait behind it. A dropped
+// head therefore delays everything after it (head-of-line blocking), so
+// injected loss costs latency without ever reordering delivery.
+type injStream struct {
+	queue []*injPending
+	busy  bool
+}
+
+type injPending struct {
+	msg  *Message
+	from *model.Cluster
+	dst  *Proc
 }
 
 // Delivery describes one delivered message for observers: who sent it,
@@ -145,6 +168,27 @@ func WithMessageObserver(fn func(Delivery)) Option {
 	return func(s *Sim) { s.onDeliver = fn }
 }
 
+// simMaxRetries bounds injected-drop retransmissions per message; a
+// message dropped more often is lost, and the blocked receiver shows up
+// in Run's deadlock report instead of the run hanging.
+const simMaxRetries = 200
+
+// WithFaultInjector routes every simulated message through a fault
+// injector, emulating a reliable transport over a faulty network in
+// virtual time: a dropped message is retransmitted retransmitMs later
+// (re-consulting the injector, so healed partitions resume delivery), a
+// delayed message transits late, and duplicates are suppressed. Runs stay
+// fully deterministic for a deterministic injector.
+func WithFaultInjector(inj faults.Injector, retransmitMs float64) Option {
+	return func(s *Sim) {
+		s.inj = inj
+		s.injRtoMs = retransmitMs
+		if s.injRtoMs <= 0 {
+			s.injRtoMs = 1
+		}
+	}
+}
+
 // jitterMul returns the next hold-time multiplier.
 func (s *Sim) jitterMul() float64 {
 	if s.jitterFrac <= 0 {
@@ -173,9 +217,10 @@ func New(net *model.Network, opts ...Option) (*Sim, error) {
 		return nil, err
 	}
 	s := &Sim{
-		net:      net,
-		segments: make(map[string]*segment, len(net.Segments)),
-		parked:   make(chan parkReason),
+		net:        net,
+		segments:   make(map[string]*segment, len(net.Segments)),
+		parked:     make(chan parkReason),
+		injStreams: make(map[[2]int]*injStream),
 	}
 	for _, seg := range net.Segments {
 		s.segments[seg.Name] = &segment{spec: seg}
@@ -213,6 +258,10 @@ type Proc struct {
 	mailboxes map[int][]*Message
 	// waitingOn is the sender rank a blocked Recv is waiting for, or -1.
 	waitingOn int
+	// waitGen increments at every blocking wait, so a RecvWithin deadline
+	// event can tell whether the wait it armed for is still the current
+	// one (and not a later wait on the same sender).
+	waitGen uint64
 
 	// Stats.
 	computeMs     float64
@@ -350,9 +399,70 @@ func (p *Proc) Send(dst *Proc, bytes int, payload interface{}) {
 	s.transmit(msg, p.cluster, dst)
 }
 
-// transmit pushes msg through the sender's segment, then (if needed) the
-// router and the destination segment, and finally delivers it.
+// transmit routes one message: straight through the substrate, or through
+// the fault injector's reliable-stream emulation when one is configured.
 func (s *Sim) transmit(msg *Message, from *model.Cluster, dst *Proc) {
+	if s.inj == nil {
+		s.transmitClean(msg, from, dst)
+		return
+	}
+	key := [2]int{msg.From.rank, dst.rank}
+	st := s.injStreams[key]
+	if st == nil {
+		st = &injStream{}
+		s.injStreams[key] = st
+	}
+	st.queue = append(st.queue, &injPending{msg: msg, from: from, dst: dst})
+	if !st.busy {
+		s.injPump(st)
+	}
+}
+
+// injPump starts the loss/retry phase for the stream head. Only one
+// message per (src, dst) pair is in this phase at a time: that is what
+// makes injected drops cost wall time — every retransmission RTO pushes
+// back the head's entry into the channel and, transitively, every
+// successor's.
+func (s *Sim) injPump(st *injStream) {
+	if len(st.queue) == 0 {
+		st.busy = false
+		return
+	}
+	st.busy = true
+	p := st.queue[0]
+	st.queue = st.queue[1:]
+	s.injAttempt(st, p, 0)
+}
+
+// injAttempt consults the injector for one transmission attempt of the
+// stream head. Injected drops model a lost datagram: the reliability
+// layer retries one RTO later, so the drop costs latency, never data.
+// Injected delays add transit time; duplicates are suppressed (reliable
+// delivery semantics). A message dropped past simMaxRetries is lost and
+// stalls its stream, surfacing as a blocked receiver in Run's deadlock
+// report — the behavior of a reliable transport over a dead link.
+func (s *Sim) injAttempt(st *injStream, p *injPending, attempt int) {
+	fate := s.inj.Packet(p.msg.From.rank, p.dst.rank, s.now)
+	switch {
+	case fate.Drop:
+		if attempt >= simMaxRetries {
+			return // lost: stream stalls, Run reports the blocked receiver
+		}
+		s.schedule(s.now+s.injRtoMs, func() { s.injAttempt(st, p, attempt+1) })
+	case fate.DelayMs > 0:
+		s.schedule(s.now+fate.DelayMs, func() {
+			s.transmitClean(p.msg, p.from, p.dst)
+			s.injPump(st)
+		})
+	default:
+		s.transmitClean(p.msg, p.from, p.dst)
+		s.injPump(st)
+	}
+}
+
+// transmitClean pushes msg through the sender's segment, then (if needed)
+// the router and the destination segment, and finally delivers it.
+func (s *Sim) transmitClean(msg *Message, from *model.Cluster, dst *Proc) {
 	b := float64(msg.Bytes)
 	src := s.segments[from.Segment]
 	hold := (from.MsgOverheadMs + b*(1/src.spec.BytesPerMs+from.HostPerByteMs)) * s.jitterMul()
@@ -413,6 +523,7 @@ func (s *Sim) deliver(msg *Message, dst *Proc) {
 func (p *Proc) Recv(src *Proc) *Message {
 	for len(p.mailboxes[src.rank]) == 0 {
 		p.waitingOn = src.rank
+		p.waitGen++
 		p.park()
 	}
 	q := p.mailboxes[src.rank]
@@ -421,6 +532,33 @@ func (p *Proc) Recv(src *Proc) *Message {
 	p.received++
 	p.Advance(RecvCPUMs)
 	return msg
+}
+
+// RecvWithin is Recv bounded by a virtual-time deadline: it blocks until
+// a message from src is available or ms milliseconds of virtual time
+// elapse, returning (nil, false) on timeout. Failure detectors build on
+// it: unlike Recv, a dead sender costs bounded virtual time instead of a
+// deadlock.
+func (p *Proc) RecvWithin(src *Proc, ms float64) (*Message, bool) {
+	if len(p.mailboxes[src.rank]) > 0 {
+		return p.Recv(src), true
+	}
+	s := p.sim
+	p.waitingOn = src.rank
+	p.waitGen++
+	gen := p.waitGen
+	s.schedule(s.now+ms, func() {
+		// Wake the task only if it is still in this exact wait.
+		if !p.done && p.waitGen == gen && p.waitingOn == src.rank {
+			p.waitingOn = -1
+			s.step(p)
+		}
+	})
+	p.park()
+	if len(p.mailboxes[src.rank]) == 0 {
+		return nil, false
+	}
+	return p.Recv(src), true
 }
 
 // TryRecv consumes a pending message from src without blocking, returning

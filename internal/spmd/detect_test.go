@@ -1,0 +1,85 @@
+package spmd
+
+import (
+	"errors"
+	"testing"
+
+	"netpart/internal/core"
+	"netpart/internal/model"
+	"netpart/internal/obs"
+	"netpart/internal/topo"
+)
+
+// TestRecvDetectVerdict: a crashed peer (body returns without sending)
+// must produce a NodeFailedError verdict within the retry budget instead
+// of deadlocking the run.
+func TestRecvDetectVerdict(t *testing.T) {
+	reg := obs.NewRegistry()
+	var verdict error
+	var payload interface{}
+	job := Job{
+		Net:       model.PaperTestbed(),
+		Placement: mustPlacement(t, []string{model.Sparc2Cluster}, []int{2}),
+		Vector:    core.Vector{1, 1},
+		Topology:  topo.OneD{},
+		Metrics:   reg,
+		Body: func(task *Task) {
+			switch task.Rank() {
+			case 0:
+				payload, verdict = task.RecvDetect(1, 10, 3)
+			case 1:
+				// Crash: return immediately without ever sending.
+			}
+		},
+	}
+	if _, err := Run(job); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	var nf NodeFailedError
+	if !errors.As(verdict, &nf) || nf.Rank != 1 {
+		t.Fatalf("RecvDetect = (%v, %v), want NodeFailedError{1}", payload, verdict)
+	}
+	if got := reg.Counter(MetricNodeVerdicts).Value(); got != 1 {
+		t.Fatalf("node verdicts = %d, want 1", got)
+	}
+	if got := reg.Counter(MetricRecvTimeouts).Value(); got != 4 {
+		t.Fatalf("recv timeouts = %d, want 4 (initial wait + 3 retries)", got)
+	}
+}
+
+// TestRecvDetectDeliveredLate: a slow but alive peer beats the backoff
+// budget and no verdict is issued.
+func TestRecvDetectDeliveredLate(t *testing.T) {
+	var got interface{}
+	var err error
+	job := Job{
+		Net:       model.PaperTestbed(),
+		Placement: mustPlacement(t, []string{model.Sparc2Cluster}, []int{2}),
+		Vector:    core.Vector{1, 1},
+		Topology:  topo.OneD{},
+		Body: func(task *Task) {
+			switch task.Rank() {
+			case 0:
+				got, err = task.RecvDetect(1, 10, 4)
+			case 1:
+				task.Compute(100000, model.OpFloat) // ~30 ms on a Sparc2
+				task.Send(0, 100, "alive after all")
+			}
+		},
+	}
+	if _, runErr := Run(job); runErr != nil {
+		t.Fatalf("Run: %v", runErr)
+	}
+	if err != nil || got != "alive after all" {
+		t.Fatalf("RecvDetect = (%v, %v), want late delivery", got, err)
+	}
+}
+
+func mustPlacement(t *testing.T, names []string, counts []int) topo.Placement {
+	t.Helper()
+	pl, err := topo.Contiguous(names, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}

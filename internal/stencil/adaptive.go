@@ -6,8 +6,10 @@ import (
 	"netpart/internal/balance"
 	"netpart/internal/core"
 	"netpart/internal/cost"
+	"netpart/internal/faults"
 	"netpart/internal/model"
 	"netpart/internal/obs"
+	"netpart/internal/simnet"
 	"netpart/internal/spmd"
 	"netpart/internal/topo"
 )
@@ -28,6 +30,9 @@ type AdaptiveOptions struct {
 	Metrics *obs.Registry
 	// Trace, when non-nil, receives per-cycle spans for Chrome export.
 	Trace *obs.Recorder
+	// SimOptions configure the underlying simulator (jitter, fault
+	// injection, message observers).
+	SimOptions []simnet.Option
 }
 
 // AdaptiveResult extends SimResult with rebalancing statistics.
@@ -64,12 +69,13 @@ func RunSimAdaptive(net *model.Network, cfg cost.Config, vec core.Vector, v Vari
 	result := make([][]float64, n)
 	out := AdaptiveResult{FinalVector: append(core.Vector(nil), vec...)}
 	job := spmd.Job{
-		Net:       net,
-		Placement: pl,
-		Vector:    vec,
-		Topology:  topo.OneD{},
-		Metrics:   opts.Metrics,
-		Trace:     opts.Trace,
+		Net:        net,
+		Placement:  pl,
+		Vector:     vec,
+		Topology:   topo.OneD{},
+		Metrics:    opts.Metrics,
+		Trace:      opts.Trace,
+		SimOptions: opts.SimOptions,
 		Body: func(t *spmd.Task) {
 			runAdaptiveTask(t, initial, result, v, n, iters, opts, &out)
 		},
@@ -87,6 +93,30 @@ func RunSimAdaptive(net *model.Network, cfg cost.Config, vec core.Vector, v Vari
 	opts.Metrics.Counter("adaptive.migrated_rows").Add(int64(out.MigratedRows))
 	out.SimResult = SimResult{ElapsedMs: rep.ElapsedMs, Grid: result, Report: rep}
 	return out, nil
+}
+
+// RunSimFaulty executes the simulated stencil under a fault schedule.
+// Packet faults are injected below the simulator's reliability layer —
+// drops cost retransmission round-trips and delays stretch delivery, but
+// messages still arrive intact and in order — and slowdown faults stretch
+// compute times, composing with any Slowdown already in opts. Crashes are
+// not meaningful under the virtual-time simulator; failure recovery
+// belongs to the live runtime (RunLiveFT). retransmitMs is the simulated
+// retransmission timeout a dropped packet costs.
+func RunSimFaulty(net *model.Network, cfg cost.Config, vec core.Vector, v Variant, n, iters int, inj faults.Injector, retransmitMs float64, opts AdaptiveOptions) (AdaptiveResult, error) {
+	if inj != nil {
+		opts.SimOptions = append(append([]simnet.Option(nil), opts.SimOptions...),
+			simnet.WithFaultInjector(inj, retransmitMs))
+		injected := faults.SlowdownFunc(inj)
+		if base := opts.Slowdown; base != nil {
+			opts.Slowdown = func(rank, iter int) float64 {
+				return base(rank, iter) * injected(rank, iter)
+			}
+		} else {
+			opts.Slowdown = injected
+		}
+	}
+	return RunSimAdaptive(net, cfg, vec, v, n, iters, opts)
 }
 
 // owners derives per-row ownership from a partition vector: prefix[r] is

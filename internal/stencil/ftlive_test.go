@@ -1,0 +1,231 @@
+package stencil
+
+import (
+	"testing"
+	"time"
+
+	"netpart/internal/core"
+	"netpart/internal/cost"
+	"netpart/internal/faults"
+	"netpart/internal/mmps"
+	"netpart/internal/model"
+	"netpart/internal/obs"
+)
+
+// ftWorld builds a local transport world as []mmps.Transport.
+func ftWorld(t *testing.T, n int) []mmps.Transport {
+	t.Helper()
+	locals, err := mmps.NewLocalWorld(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := make([]mmps.Transport, n)
+	for i, l := range locals {
+		world[i] = l
+	}
+	t.Cleanup(func() {
+		for _, l := range locals {
+			l.Close()
+		}
+	})
+	return world
+}
+
+func fastDetect() (time.Duration, int) { return 60 * time.Millisecond, 2 }
+
+// paperVector derives the 12-rank paper-testbed partition vector and the
+// rank → cluster placement.
+func paperVector(t *testing.T, n, iters int, v Variant) (*model.Network, core.Vector, []string) {
+	t.Helper()
+	net := model.PaperTestbed()
+	cfg := cost.Config{
+		Clusters: []string{model.Sparc2Cluster, model.IPCCluster},
+		Counts:   []int{6, 6},
+	}
+	vec, err := core.Decompose(net, cfg, n, model.OpFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placement := make([]string, 0, 12)
+	for i := 0; i < 6; i++ {
+		placement = append(placement, model.Sparc2Cluster)
+	}
+	for i := 0; i < 6; i++ {
+		placement = append(placement, model.IPCCluster)
+	}
+	_ = iters
+	_ = v
+	return net, vec, placement
+}
+
+func gridsMatch(t *testing.T, got, want [][]float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("grid of %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("grid[%d][%d] = %v, want %v (must be bit-for-bit)", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+// TestRunLiveFTFaultFree: with no faults the FT runtime is just RunLive
+// with extra bookkeeping — identical results, zero recoveries.
+func TestRunLiveFTFaultFree(t *testing.T) {
+	const n, iters = 32, 20
+	world := ftWorld(t, 4)
+	dt, dr := fastDetect()
+	res, err := RunLiveFT(world, core.Vector{8, 8, 8, 8}, STEN1, n, iters, FTOptions{
+		DetectTimeout: dt, DetectRetries: dr, CheckpointEvery: 5,
+	})
+	if err != nil {
+		t.Fatalf("RunLiveFT: %v", err)
+	}
+	if res.Recoveries != 0 || len(res.Failed) != 0 {
+		t.Fatalf("fault-free run reported %d recoveries, failed=%v", res.Recoveries, res.Failed)
+	}
+	gridsMatch(t, res.Grid, Sequential(NewGrid(n), iters))
+}
+
+// TestRunLiveFTCrashRecovery is the acceptance scenario: a STEN-2 run on
+// the paper testbed (12 ranks) with one node crashed mid-run detects the
+// failure, re-partitions over the surviving 11 via the paper's algorithm,
+// rolls back to the last checkpoint, and still produces the bit-for-bit
+// fault-free result — deterministically.
+func TestRunLiveFTCrashRecovery(t *testing.T) {
+	const n, iters = 96, 30
+	const crashRank, crashCycle = 3, 12
+	net, vec, placement := paperVector(t, n, iters, STEN2)
+	want := Sequential(NewGrid(n), iters)
+
+	run := func() FTResult {
+		world := ftWorld(t, 12)
+		inj := faults.NewEngine(faults.Schedule{
+			Crashes: []faults.Crash{{Rank: crashRank, Cycle: crashCycle}},
+		}, 1, nil)
+		dt, dr := fastDetect()
+		reg := obs.NewRegistry()
+		res, err := RunLiveFT(world, vec, STEN2, n, iters, FTOptions{
+			Injector:        inj,
+			Repartition:     Repartitioner(net, cost.PaperTable(), STEN2, n, iters, placement),
+			CheckpointEvery: 8,
+			DetectTimeout:   dt,
+			DetectRetries:   dr,
+			Metrics:         reg,
+		})
+		if err != nil {
+			t.Fatalf("RunLiveFT: %v", err)
+		}
+		if got := reg.Counter(MetricFTRecoveries).Value(); got != 1 {
+			t.Fatalf("ft.recoveries = %d, want 1", got)
+		}
+		if reg.Counter(MetricFTFailures).Value() == 0 {
+			t.Fatal("ft.failures_detected = 0, want at least one verdict")
+		}
+		return res
+	}
+
+	res := run()
+	if res.Recoveries != 1 || len(res.Events) != 1 {
+		t.Fatalf("recoveries = %d (events %v), want 1", res.Recoveries, res.Events)
+	}
+	ev := res.Events[0]
+	if len(ev.Dead) != 1 || ev.Dead[0] != crashRank {
+		t.Fatalf("dead = %v, want [%d]", ev.Dead, crashRank)
+	}
+	if ev.RollbackCycle != 8 {
+		t.Fatalf("rollback cycle = %d, want 8 (last checkpoint before crash at %d)", ev.RollbackCycle, crashCycle)
+	}
+	if res.FinalVector[crashRank] != 0 {
+		t.Fatalf("final vector still assigns %d rows to the dead rank: %v", res.FinalVector[crashRank], res.FinalVector)
+	}
+	if sum := res.FinalVector.Sum(); sum != n {
+		t.Fatalf("final vector sums to %d, want %d", sum, n)
+	}
+	if len(res.Failed) != 1 || res.Failed[0] != crashRank {
+		t.Fatalf("failed = %v, want [%d]", res.Failed, crashRank)
+	}
+	gridsMatch(t, res.Grid, want)
+
+	// Determinism: the recovery decision sequence repeats exactly.
+	res2 := run()
+	if len(res2.Events) != 1 || res2.Events[0].RollbackCycle != ev.RollbackCycle {
+		t.Fatalf("second run events %v differ from first %v", res2.Events, res.Events)
+	}
+	for r := range res.FinalVector {
+		if res.FinalVector[r] != res2.FinalVector[r] {
+			t.Fatalf("final vectors differ: %v vs %v", res.FinalVector, res2.FinalVector)
+		}
+	}
+	gridsMatch(t, res2.Grid, want)
+}
+
+// TestRunLiveFTCrashOverUDP runs the crash scenario over the real UDP
+// transport.
+func TestRunLiveFTCrashOverUDP(t *testing.T) {
+	const n, iters = 24, 12
+	conns, err := mmps.NewUDPWorld(4, mmps.WithRecvTimeout(2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	world := make([]mmps.Transport, len(conns))
+	for i, c := range conns {
+		world[i] = c
+	}
+	inj := faults.NewEngine(faults.Schedule{
+		Crashes: []faults.Crash{{Rank: 1, Cycle: 5}},
+	}, 7, nil)
+	res, err := RunLiveFT(world, core.Vector{6, 6, 6, 6}, STEN1, n, iters, FTOptions{
+		Injector:        inj,
+		CheckpointEvery: 4,
+		DetectTimeout:   150 * time.Millisecond,
+		DetectRetries:   2,
+	})
+	if err != nil {
+		t.Fatalf("RunLiveFT: %v", err)
+	}
+	if res.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", res.Recoveries)
+	}
+	gridsMatch(t, res.Grid, Sequential(NewGrid(n), iters))
+}
+
+// TestRepartitionerReducedNetwork: the policy drops dead processors from
+// the network and returns a full-size vector over the survivors only.
+func TestRepartitionerReducedNetwork(t *testing.T) {
+	const n, iters = 96, 30
+	net, _, placement := paperVector(t, n, iters, STEN2)
+	rp := Repartitioner(net, cost.PaperTable(), STEN2, n, iters, placement)
+	alive := []int{0, 1, 2, 4, 5, 6, 7, 8, 9, 10, 11} // rank 3 dead
+	vec, err := rp(alive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vec) != 12 {
+		t.Fatalf("vector over %d ranks, want 12", len(vec))
+	}
+	if vec[3] != 0 {
+		t.Fatalf("dead rank 3 still assigned %d rows: %v", vec[3], vec)
+	}
+	if vec.Sum() != n {
+		t.Fatalf("vector sums to %d, want %d", vec.Sum(), n)
+	}
+	// Memoized path returns the identical assignment.
+	vec2, err := rp([]int{0, 1, 2, 4, 5, 6, 7, 8, 9, 10, 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range vec {
+		if vec[r] != vec2[r] {
+			t.Fatalf("memoized repartition differs: %v vs %v", vec, vec2)
+		}
+	}
+}

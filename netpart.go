@@ -43,6 +43,7 @@ import (
 	"netpart/internal/commbench"
 	"netpart/internal/core"
 	"netpart/internal/cost"
+	"netpart/internal/faults"
 	"netpart/internal/gauss"
 	"netpart/internal/manager"
 	"netpart/internal/mmps"
@@ -448,3 +449,69 @@ func RunStencilLiveObserved(world []Transport, vec Vector, v StencilVariant, n, 
 // WithTransportMetrics counts messages, bytes, packets, and retransmissions
 // of an mmps world into a metrics registry.
 func WithTransportMetrics(m *Metrics) mmps.Option { return mmps.WithMetrics(m) }
+
+// Fault injection and tolerance types.
+type (
+	// FaultSchedule is a parsed fault scenario: crashes, packet drops,
+	// delays, duplications, compute slowdowns, and network partitions.
+	FaultSchedule = faults.Schedule
+	// FaultInjector decides packet fates and rank fault schedules;
+	// FaultEngine is its deterministic seedable implementation.
+	FaultInjector = faults.Injector
+	// FaultEngine is the deterministic injector over a FaultSchedule.
+	FaultEngine = faults.Engine
+	// FTOptions configures the fault-tolerant live stencil runtime.
+	FTOptions = stencil.FTOptions
+	// FTResult is its outcome, including recovery events.
+	FTResult = stencil.FTResult
+	// RecoveryEvent records one completed failure recovery.
+	RecoveryEvent = stencil.RecoveryEvent
+	// Fault clause types, for building schedules programmatically instead
+	// of via ParseFaultSchedule.
+	FaultCrash = faults.Crash
+	FaultDrop  = faults.Drop
+	FaultDelay = faults.Delay
+	FaultDup   = faults.Dup
+	FaultSlow  = faults.Slow
+	FaultPart  = faults.Part
+)
+
+// ParseFaultSchedule parses the schedule grammar, e.g.
+// "crash:3@12; drop:0.05; delay:0.1,2; dup:0.1; slow:2,4@5-15; part:6@100-200".
+func ParseFaultSchedule(s string) (FaultSchedule, error) { return faults.Parse(s) }
+
+// NewFaultEngine builds the deterministic injector for a schedule: the same
+// seed always yields the same fault sequence. m may be nil.
+func NewFaultEngine(sched FaultSchedule, seed uint64, m *Metrics) *FaultEngine {
+	return faults.NewEngine(sched, seed, m)
+}
+
+// WithFaultInjector routes every packet of an mmps world (UDP or local)
+// through a fault injector, below the reliability layer: results are
+// unchanged, only timing and retransmissions shift — except for crash
+// faults, which the fault-tolerant runtime turns into recoveries.
+func WithFaultInjector(inj FaultInjector) mmps.Option { return mmps.WithInjector(inj) }
+
+// RunStencilLiveFT executes the live stencil with failure detection and
+// recovery: buddy checkpointing, bounded-silence verdicts, a recovery
+// barrier, re-partitioning over the survivors, and rollback to the last
+// complete checkpoint. The result is bit-for-bit identical to a fault-free
+// run.
+func RunStencilLiveFT(world []Transport, vec Vector, v StencilVariant, n, iters int, opts FTOptions) (FTResult, error) {
+	return stencil.RunLiveFT(world, vec, v, n, iters, opts)
+}
+
+// StencilRepartitioner builds the FTOptions.Repartition policy that re-runs
+// the paper's partitioning method over the surviving processors (placement
+// maps each rank to its cluster name).
+func StencilRepartitioner(net *Network, costs *CostTable, v StencilVariant, n, iters int, placement []string) func(alive []int) (Vector, error) {
+	return stencil.Repartitioner(net, costs, v, n, iters, placement)
+}
+
+// RunStencilSimFaulty is RunStencilSim under packet and slowdown faults:
+// drops cost retransmission round-trips (retransmitMs each), delays stretch
+// delivery, slowdowns stretch compute. Crashes are rejected here — failure
+// recovery belongs to the live runtime (RunStencilLiveFT).
+func RunStencilSimFaulty(net *Network, cfg Config, vec Vector, v StencilVariant, n, iters int, inj FaultInjector, retransmitMs float64, opts StencilAdaptiveOptions) (stencil.AdaptiveResult, error) {
+	return stencil.RunSimFaulty(net, cfg, vec, v, n, iters, inj, retransmitMs, opts)
+}

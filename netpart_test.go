@@ -164,3 +164,70 @@ func TestFacadeClusterManager(t *testing.T) {
 		t.Error("cluster not updated")
 	}
 }
+
+// TestFacadeFaultTolerance drives the fault-injection and recovery surface:
+// parse a schedule, build the deterministic engine, run the fault-tolerant
+// live stencil through a crash, and verify the recovered result.
+func TestFacadeFaultTolerance(t *testing.T) {
+	sched, err := netpart.ParseFaultSchedule("crash:1@5;dup:0.1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := netpart.NewFaultEngine(sched.Sanitize(4, 12), 1, netpart.NewMetrics())
+	world, err := netpart.NewLocalWorld(4, netpart.WithFaultInjector(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, tr := range world {
+			tr.Close()
+		}
+	}()
+	const n, iters = 24, 12
+	res, err := netpart.RunStencilLiveFT(world, netpart.Vector{6, 6, 6, 6}, netpart.STEN1, n, iters,
+		netpart.FTOptions{Injector: eng, CheckpointEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries != 1 || len(res.Failed) != 1 {
+		t.Fatalf("recoveries = %d, failed = %v, want one crash survived", res.Recoveries, res.Failed)
+	}
+	want := netpart.SequentialStencil(netpart.NewStencilGrid(n), iters)
+	for i := range want {
+		for j := range want[i] {
+			if res.Grid[i][j] != want[i][j] {
+				t.Fatalf("grid[%d][%d] = %v, want %v", i, j, res.Grid[i][j], want[i][j])
+			}
+		}
+	}
+
+	// Simulated counterpart: packet faults stretch time, not results.
+	net := netpart.PaperTestbed()
+	cfg := netpart.Config{Clusters: []string{"sparc2"}, Counts: []int{4}}
+	vec, err := netpart.Decompose(net, cfg, n, netpart.OpFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := netpart.NewFaultEngine(netpart.FaultSchedule{
+		Drops: []netpart.FaultDrop{{Prob: 0.1, ToMs: 1e18}},
+	}, 7, nil)
+	sim, err := netpart.RunStencilSimFaulty(net, cfg, vec, netpart.STEN1, n, iters, lossy, 10,
+		netpart.StencilAdaptiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := netpart.RunStencilSim(net, cfg, vec, netpart.STEN1, n, iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.ElapsedMs <= clean.ElapsedMs {
+		t.Errorf("lossy sim %.1f ms not slower than clean %.1f ms", sim.ElapsedMs, clean.ElapsedMs)
+	}
+	for i := range clean.Grid {
+		for j := range clean.Grid[i] {
+			if sim.Grid[i][j] != clean.Grid[i][j] {
+				t.Fatalf("faulty sim diverged at (%d,%d)", i, j)
+			}
+		}
+	}
+}
