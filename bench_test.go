@@ -6,6 +6,7 @@
 package netpart_test
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -58,6 +59,25 @@ func BenchmarkTable2Elapsed(b *testing.B) {
 		if _, err := experiments.Table2(e); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkTable2Jobs pins the parallel experiment engine at explicit
+// worker counts — the speedup curve reported in EXPERIMENTS.md E17. The
+// output is byte-identical at every count (TestParallelDeterminism); only
+// the wall clock changes, and only on a multi-core runner.
+func BenchmarkTable2Jobs(b *testing.B) {
+	for _, j := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			e := benchEnv(b).Clone()
+			e.Jobs = j
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Table2(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,249 @@
+// Command benchdiff turns `go test -bench -benchmem` output into a JSON
+// snapshot and compares two snapshots for regressions. It is the guard rail
+// behind BENCH_baseline.json: CI (and developers) regenerate a snapshot and
+// diff it against the committed baseline.
+//
+// Usage:
+//
+//	go test -bench . -benchmem ./... | benchdiff parse > BENCH_pr.json
+//	benchdiff compare [-threshold 0.30] [-soft] BENCH_baseline.json BENCH_pr.json
+//
+// compare exits 1 when any benchmark present in both snapshots regressed
+// beyond the threshold in time (ns/op) or allocations (allocs/op); -soft
+// downgrades regressions to warnings (exit 0), the mode CI uses on shared
+// noisy runners.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Metrics is one benchmark's measurement.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// HaveMem records whether -benchmem columns were present (a zero
+	// allocs/op is meaningful only when they were).
+	HaveMem bool `json:"have_mem,omitempty"`
+}
+
+// Snapshot maps "package/BenchmarkName" to its metrics.
+type Snapshot map[string]Metrics
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "parse":
+		if err := runParse(os.Args[2:], os.Stdin, os.Stdout); err != nil {
+			fatal(err)
+		}
+	case "compare":
+		code, err := runCompare(os.Args[2:], os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		os.Exit(code)
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: benchdiff parse [bench-output-file] | benchdiff compare [-threshold 0.30] [-soft] baseline.json current.json")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(2)
+}
+
+func runParse(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	in := stdin
+	if fs.NArg() > 0 {
+		f, err := os.Open(fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	snap, err := parseBench(in)
+	if err != nil {
+		return err
+	}
+	if len(snap) == 0 {
+		return fmt.Errorf("no benchmark lines found in input")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkPartitionOverhead-8   200   8109 ns/op   818 B/op   29 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+
+// parseBench extracts benchmark results from `go test -bench` output,
+// keying each by the enclosing package (the "pkg:" header lines) plus the
+// benchmark name with the GOMAXPROCS suffix stripped.
+func parseBench(r io.Reader) (Snapshot, error) {
+	snap := Snapshot{}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "pkg: "); ok {
+			pkg = strings.TrimSpace(rest)
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		var met Metrics
+		met.NsPerOp, _ = strconv.ParseFloat(m[2], 64)
+		if m[3] != "" {
+			met.BytesPerOp, _ = strconv.ParseFloat(m[3], 64)
+			met.AllocsPerOp, _ = strconv.ParseFloat(m[4], 64)
+			met.HaveMem = true
+		}
+		key := m[1]
+		if pkg != "" {
+			key = pkg + "/" + key
+		}
+		snap[key] = met
+	}
+	return snap, sc.Err()
+}
+
+// Finding is one comparison outcome worth reporting.
+type Finding struct {
+	Name   string
+	Metric string // "ns/op" or "allocs/op"
+	Base   float64
+	Cur    float64
+	// Regressed marks findings beyond the threshold in the bad direction.
+	Regressed bool
+}
+
+func (f Finding) String() string {
+	ratio := "∞"
+	if f.Base > 0 {
+		ratio = fmt.Sprintf("%+.1f%%", 100*(f.Cur-f.Base)/f.Base)
+	}
+	verdict := "improved"
+	if f.Regressed {
+		verdict = "REGRESSED"
+	}
+	return fmt.Sprintf("%s %s: %s %.4g -> %.4g (%s)", verdict, f.Name, f.Metric, f.Base, f.Cur, ratio)
+}
+
+// compare diffs two snapshots. Only benchmarks present in both are
+// considered. A regression is a ns/op or allocs/op increase beyond
+// threshold (fractional, e.g. 0.30 = 30%); allocs/op growing from a zero
+// baseline is always a regression (the zero-allocation guarantees are
+// absolute). Improvements beyond the threshold are reported informationally.
+func compare(base, cur Snapshot, threshold float64) []Finding {
+	var findings []Finding
+	names := make([]string, 0, len(base))
+	for name := range base {
+		if _, ok := cur[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, c := base[name], cur[name]
+		if b.NsPerOp > 0 {
+			switch {
+			case c.NsPerOp > b.NsPerOp*(1+threshold):
+				findings = append(findings, Finding{name, "ns/op", b.NsPerOp, c.NsPerOp, true})
+			case c.NsPerOp < b.NsPerOp*(1-threshold):
+				findings = append(findings, Finding{name, "ns/op", b.NsPerOp, c.NsPerOp, false})
+			}
+		}
+		if !b.HaveMem || !c.HaveMem {
+			continue
+		}
+		switch {
+		case b.AllocsPerOp == 0 && c.AllocsPerOp > 0:
+			findings = append(findings, Finding{name, "allocs/op", 0, c.AllocsPerOp, true})
+		case c.AllocsPerOp > b.AllocsPerOp*(1+threshold):
+			findings = append(findings, Finding{name, "allocs/op", b.AllocsPerOp, c.AllocsPerOp, true})
+		case b.AllocsPerOp > 0 && c.AllocsPerOp < b.AllocsPerOp*(1-threshold):
+			findings = append(findings, Finding{name, "allocs/op", b.AllocsPerOp, c.AllocsPerOp, false})
+		}
+	}
+	return findings
+}
+
+func runCompare(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.30, "fractional regression threshold (0.30 = 30%)")
+	soft := fs.Bool("soft", false, "report regressions but exit 0 (for noisy shared runners)")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 2 {
+		return 2, fmt.Errorf("compare needs exactly two snapshot files, got %d", fs.NArg())
+	}
+	base, err := loadSnapshot(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	cur, err := loadSnapshot(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+	findings := compare(base, cur, *threshold)
+	regressions := 0
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+		if f.Regressed {
+			regressions++
+		}
+	}
+	shared := 0
+	for name := range base {
+		if _, ok := cur[name]; ok {
+			shared++
+		}
+	}
+	fmt.Fprintf(out, "benchdiff: %d benchmarks compared, %d regressions (threshold %.0f%%)\n",
+		shared, regressions, *threshold*100)
+	if regressions > 0 && !*soft {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func loadSnapshot(path string) (Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: netpart
+cpu: some shared runner
+BenchmarkPartitionOverhead-8   	  142608	      8109 ns/op	     818 B/op	      29 allocs/op
+BenchmarkTable2Elapsed-8       	       2	 512345678 ns/op	 1234567 B/op	    4321 allocs/op
+PASS
+ok  	netpart	3.456s
+pkg: netpart/internal/core
+BenchmarkEstimateObserver/disabled-8 	 2745732	       434.4 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	netpart/internal/core	1.234s
+`
+
+func TestParseBench(t *testing.T) {
+	snap, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %v", len(snap), snap)
+	}
+	po, ok := snap["netpart/BenchmarkPartitionOverhead"]
+	if !ok {
+		t.Fatalf("missing package-qualified PartitionOverhead key in %v", snap)
+	}
+	if po.NsPerOp != 8109 || po.BytesPerOp != 818 || po.AllocsPerOp != 29 || !po.HaveMem {
+		t.Fatalf("PartitionOverhead metrics = %+v", po)
+	}
+	eo, ok := snap["netpart/internal/core/BenchmarkEstimateObserver/disabled"]
+	if !ok {
+		t.Fatalf("missing sub-benchmark key in %v", snap)
+	}
+	if eo.NsPerOp != 434.4 || eo.AllocsPerOp != 0 || !eo.HaveMem {
+		t.Fatalf("EstimateObserver metrics = %+v", eo)
+	}
+}
+
+func TestParseBenchWithoutBenchmem(t *testing.T) {
+	snap, err := parseBench(strings.NewReader("pkg: p\nBenchmarkX-4   100   250 ns/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := snap["p/BenchmarkX"]
+	if m.NsPerOp != 250 || m.HaveMem {
+		t.Fatalf("metrics = %+v, want ns only", m)
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := Snapshot{
+		"p/BenchmarkSlow":  {NsPerOp: 1000, AllocsPerOp: 10, HaveMem: true},
+		"p/BenchmarkAlloc": {NsPerOp: 1000, AllocsPerOp: 0, HaveMem: true},
+		"p/BenchmarkFine":  {NsPerOp: 1000, AllocsPerOp: 10, HaveMem: true},
+		"p/BenchmarkFast":  {NsPerOp: 1000, AllocsPerOp: 10, HaveMem: true},
+		"p/BenchmarkGone":  {NsPerOp: 1000, HaveMem: false},
+	}
+	cur := Snapshot{
+		"p/BenchmarkSlow":  {NsPerOp: 1500, AllocsPerOp: 10, HaveMem: true}, // +50% time
+		"p/BenchmarkAlloc": {NsPerOp: 1000, AllocsPerOp: 1, HaveMem: true},  // zero-alloc guarantee broken
+		"p/BenchmarkFine":  {NsPerOp: 1100, AllocsPerOp: 11, HaveMem: true}, // within threshold
+		"p/BenchmarkFast":  {NsPerOp: 400, AllocsPerOp: 2, HaveMem: true},   // improvement
+		"p/BenchmarkNew":   {NsPerOp: 5, HaveMem: false},                    // only in current: ignored
+	}
+	findings := compare(base, cur, 0.30)
+	regressed := map[string]bool{}
+	improved := 0
+	for _, f := range findings {
+		if f.Regressed {
+			regressed[f.Name+" "+f.Metric] = true
+		} else {
+			improved++
+		}
+	}
+	if !regressed["p/BenchmarkSlow ns/op"] {
+		t.Errorf("missing ns/op regression for BenchmarkSlow: %v", findings)
+	}
+	if !regressed["p/BenchmarkAlloc allocs/op"] {
+		t.Errorf("zero-alloc baseline growing to 1 alloc must regress: %v", findings)
+	}
+	if len(regressed) != 2 {
+		t.Errorf("got regressions %v, want exactly 2", regressed)
+	}
+	if improved != 2 { // BenchmarkFast improves on both metrics
+		t.Errorf("got %d improvements, want 2: %v", improved, findings)
+	}
+}
+
+// TestCompareExitCode is the acceptance check: a synthetic injected
+// regression must make `benchdiff compare` exit non-zero, and -soft must
+// downgrade the same regression to a warning (exit 0).
+func TestCompareExitCode(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, s Snapshot) string {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", Snapshot{"p/BenchmarkX": {NsPerOp: 100, AllocsPerOp: 5, HaveMem: true}})
+	bad := write("bad.json", Snapshot{"p/BenchmarkX": {NsPerOp: 300, AllocsPerOp: 5, HaveMem: true}})
+	good := write("good.json", Snapshot{"p/BenchmarkX": {NsPerOp: 101, AllocsPerOp: 5, HaveMem: true}})
+
+	var out strings.Builder
+	code, err := runCompare([]string{base, bad}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == 0 {
+		t.Fatalf("synthetic regression exited 0; output:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("regression not reported:\n%s", out.String())
+	}
+
+	out.Reset()
+	code, err = runCompare([]string{"-soft", base, bad}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("-soft exited %d, want 0; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSED") {
+		t.Fatalf("-soft must still report the regression:\n%s", out.String())
+	}
+
+	out.Reset()
+	code, err = runCompare([]string{base, good}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("clean comparison exited %d, want 0; output:\n%s", code, out.String())
+	}
+}
+
+func TestRunParseRoundTrip(t *testing.T) {
+	var out strings.Builder
+	if err := runParse(nil, strings.NewReader(sampleOutput), &out); err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(out.String()), &snap); err != nil {
+		t.Fatalf("parse output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if snap["netpart/BenchmarkPartitionOverhead"].AllocsPerOp != 29 {
+		t.Fatalf("round-trip lost metrics: %v", snap)
+	}
+}
+
+func TestRunParseEmptyInput(t *testing.T) {
+	var out strings.Builder
+	if err := runParse(nil, strings.NewReader("no benchmarks here\n"), &out); err == nil {
+		t.Fatal("empty input must error")
+	}
+}

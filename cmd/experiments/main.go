@@ -24,16 +24,17 @@ func main() {
 	which := flag.String("experiment", "all", "experiment to run: all, table1, table2, fig1, fig2, fig3, costfit, overhead, gauss, ablations, adaptive, metasystem, startup, implselect, particles, selectioncost, noise, faulttol")
 	constants := flag.String("constants", "paper", "cost table for table1: 'paper' (published constants) or 'fitted' (benchmarked from the simulator)")
 	n := flag.Int("n", 600, "problem size for fig3 and gauss")
+	jobs := flag.Int("j", 0, "worker pool size for the parallel experiment engine (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
 	showMetrics := flag.Bool("metrics", false, "print per-section wall-clock metrics at exit")
 	flag.Parse()
 
-	if err := run(*which, *constants, *n, *showMetrics); err != nil {
+	if err := run(*which, *constants, *n, *jobs, *showMetrics); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which, constants string, n int, showMetrics bool) error {
+func run(which, constants string, n, jobs int, showMetrics bool) error {
 	var metrics *obs.Registry
 	if showMetrics {
 		metrics = obs.NewRegistry()
@@ -45,6 +46,7 @@ func run(which, constants string, n int, showMetrics bool) error {
 	if err != nil {
 		return err
 	}
+	env.Jobs = jobs
 	metrics.Gauge("experiments.env_ms").Set(msSince(runStart))
 	tbl := env.Paper
 	if constants == "fitted" {

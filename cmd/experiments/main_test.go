@@ -6,20 +6,20 @@ func TestRunSingleExperiments(t *testing.T) {
 	// The cheap experiments exercise the full dispatch path (each builds
 	// the benchmarked environment).
 	for _, which := range []string{"fig1", "fig2", "costfit", "overhead"} {
-		if err := run(which, "paper", 60, false); err != nil {
+		if err := run(which, "paper", 60, 0, false); err != nil {
 			t.Fatalf("%s: %v", which, err)
 		}
 	}
 }
 
 func TestRunTable1Fitted(t *testing.T) {
-	if err := run("table1", "fitted", 60, true); err != nil {
+	if err := run("table1", "fitted", 60, 0, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", "paper", 60, false); err == nil {
+	if err := run("bogus", "paper", 60, 0, false); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }

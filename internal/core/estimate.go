@@ -12,6 +12,11 @@ import (
 // Estimator computes the per-cycle elapsed-time estimate T_c (Eq. 4–6) for
 // candidate processor configurations, using the program's callbacks and the
 // benchmarked communication cost functions.
+//
+// An Estimator is not safe for concurrent use: Estimate reuses internal
+// scratch buffers and mutates the evaluation counter. Use Clone to give
+// each goroutine its own instance (they share the read-only network, cost
+// table, and annotations).
 type Estimator struct {
 	Net   *model.Network
 	Costs *cost.Table
@@ -26,7 +31,9 @@ type Estimator struct {
 
 	// Observer, when non-nil, receives one Candidate per Estimate call plus
 	// the control-flow events the Partition* searches emit. Nil (the
-	// default) adds no work and no allocations to the estimate hot path.
+	// default) adds no work and no allocations to the estimate hot path;
+	// a non-nil observer pays for an independent copy of each candidate's
+	// configuration and shares.
 	Observer Observer
 
 	// evaluations counts Estimate calls, the paper's measure of partitioning
@@ -37,6 +44,29 @@ type Estimator struct {
 	// context (which cluster's count is being varied); set via EstimateFor.
 	probeCluster string
 	probeP       int
+
+	// clusterOf caches name → cluster resolution for the estimator's
+	// network (built lazily; Network.Cluster is a linear scan).
+	clusterOf map[string]*model.Cluster
+
+	// lastComm/lastTopo cache the topology dispatch for the dominant
+	// communication phase, hoisting the registry lookup out of the search's
+	// inner T_c(p) loop. Revalidated per call by phase identity, so
+	// annotations whose dominance shifts between calls stay correct.
+	lastComm *CommunicationPhase
+	lastTopo topo.Topology
+
+	// scratch holds the reusable buffers behind the zero-allocation
+	// estimate path. Estimate returns Shares aliased into scratch.shares;
+	// see the Estimate doc comment for the resulting ownership rule.
+	scratch struct {
+		times  []float64 // per-cluster op times (Eq. 3 denominator pass)
+		shares []float64 // per-cluster real shares (Estimate.Shares)
+		names  []string  // active cluster names, placement order
+		counts []int     // active cluster counts
+		actIdx []int     // index of each active cluster in Config.Clusters
+		probe  []int     // search probe vector (probeCounts/scratchCounts)
+	}
 }
 
 // NewEstimator returns an estimator with the paper's Section 3.0 semantics
@@ -51,11 +81,28 @@ func NewEstimator(net *model.Network, costs *cost.Table, ann *Annotations) (*Est
 	return &Estimator{Net: net, Costs: costs, Ann: ann, RouterStation: true}, nil
 }
 
+// Clone returns an independent estimator over the same network, cost table,
+// and annotations (all treated as read-only), with its own scratch buffers
+// and a fresh evaluation counter. The Observer is deliberately not carried
+// over — observers are rarely goroutine-safe; attach one per clone if
+// needed. Clone is how per-worker estimators are derived when searches run
+// in parallel.
+func (e *Estimator) Clone() *Estimator {
+	return &Estimator{
+		Net:           e.Net,
+		Costs:         e.Costs,
+		Ann:           e.Ann,
+		RouterStation: e.RouterStation,
+	}
+}
+
 // Estimate is the cost breakdown of one candidate configuration.
 type Estimate struct {
 	Config cost.Config
 	// Shares are the Eq. 3 real PDU shares per cluster (indexed like
-	// Config.Clusters).
+	// Config.Clusters). The slice aliases the estimator's scratch buffer
+	// and is valid until the estimator's next Estimate call; callers that
+	// retain an Estimate across calls must copy it (see Detach).
 	Shares []float64
 	// TcompMs is the per-cycle computation time of the dominant computation
 	// phase (equal across processors by load balance).
@@ -75,6 +122,15 @@ type Estimate struct {
 	// domain from the first processor (zero unless the annotations declare
 	// StartupBytesPerPDU).
 	StartupMs float64
+}
+
+// Detach returns the estimate with its own copies of the slices that may
+// alias estimator scratch (Shares) or a reused search probe vector
+// (Config.Counts), making it safe to retain across further Estimate calls.
+func (est Estimate) Detach() Estimate {
+	est.Config.Counts = append([]int(nil), est.Config.Counts...)
+	est.Shares = append([]float64(nil), est.Shares...)
+	return est
 }
 
 // ElapsedMs extrapolates total elapsed time for the annotated cycle count:
@@ -100,6 +156,17 @@ func (e *Estimator) Evaluations() int { return e.evaluations }
 // ResetEvaluations zeroes the evaluation counter.
 func (e *Estimator) ResetEvaluations() { e.evaluations = 0 }
 
+// cluster resolves a cluster by name through the lazily built cache.
+func (e *Estimator) cluster(name string) *model.Cluster {
+	if e.clusterOf == nil {
+		e.clusterOf = make(map[string]*model.Cluster, len(e.Net.Clusters))
+		for _, c := range e.Net.Clusters {
+			e.clusterOf[c.Name] = c
+		}
+	}
+	return e.clusterOf[name]
+}
+
 // Estimate computes T_c for the given configuration.
 //
 // Per Section 5.0: the partition vector follows from Eq. 3 (or the general
@@ -108,6 +175,10 @@ func (e *Estimator) ResetEvaluations() { e.evaluations = 0 }
 // benchmarked cost function selected by the dominant communication phase's
 // topology, and T_overlap = min(T_comp, T_comm) if that phase is overlapped
 // with the dominant computation phase.
+//
+// The returned Estimate's Shares alias the estimator's reusable scratch
+// buffer (the nil-Observer path performs no heap allocations); they are
+// valid until the next Estimate call on this estimator. Retain with Detach.
 func (e *Estimator) Estimate(cfg cost.Config) (Estimate, error) {
 	e.evaluations++
 	est := Estimate{Config: cfg}
@@ -117,12 +188,14 @@ func (e *Estimator) Estimate(cfg cost.Config) (Estimate, error) {
 	comp := e.Ann.DominantCompute()
 	numPDUs := e.Ann.NumPDUs()
 
-	shares, err := RealShares(e.Net, cfg, numPDUs, comp.Class)
+	shares, err := e.realSharesInto(cfg, numPDUs, comp.Class)
 	if err != nil {
 		return est, err
 	}
 	if comp.TotalOps != nil {
 		// Non-linear balance: recompute shares so S_i·ops(A_i) equalizes.
+		// This path allocates (nested bisection); the linear Eq. 3 form is
+		// the hot one.
 		shares, err = generalShares(e.Net, cfg, numPDUs, comp.Class, comp.TotalOps)
 		if err != nil {
 			return est, err
@@ -136,14 +209,14 @@ func (e *Estimator) Estimate(cfg cost.Config) (Estimate, error) {
 		if cfg.Counts[i] == 0 {
 			continue
 		}
-		c := e.Net.Cluster(name)
+		c := e.cluster(name)
 		est.TcompMs = c.OpTime(comp.Class) * comp.Ops(shares[i])
 		break
 	}
 
 	comm := e.Ann.DominantComm()
 	if comm != nil {
-		tp, err := topo.ByName(comm.Topology)
+		tp, err := e.topologyOf(comm)
 		if err != nil {
 			return est, err
 		}
@@ -181,11 +254,16 @@ func (e *Estimator) Estimate(cfg cost.Config) (Estimate, error) {
 		est.TcMs = est.TcompMs + est.TcommMs
 	}
 	if e.Observer != nil {
+		// Observed candidates are retained (e.g. SearchTrace), so they get
+		// copies of the scratch-aliased slices.
 		e.Observer.OnCandidate(Candidate{
-			Cluster:    e.probeCluster,
-			P:          e.probeP,
-			Config:     est.Config,
-			Shares:     est.Shares,
+			Cluster: e.probeCluster,
+			P:       e.probeP,
+			Config: cost.Config{
+				Clusters: cfg.Clusters,
+				Counts:   append([]int(nil), cfg.Counts...),
+			},
+			Shares:     append([]float64(nil), est.Shares...),
 			TcompMs:    est.TcompMs,
 			TcommMs:    est.TcommMs,
 			ToverlapMs: est.ToverlapMs,
@@ -195,6 +273,68 @@ func (e *Estimator) Estimate(cfg cost.Config) (Estimate, error) {
 		})
 	}
 	return est, nil
+}
+
+// realSharesInto computes Eq. 3 into the estimator's scratch buffer with
+// arithmetic identical to RealShares (same accumulation order, so results
+// are bit-for-bit equal), but without allocating.
+func (e *Estimator) realSharesInto(cfg cost.Config, numPDUs int, class model.OpClass) ([]float64, error) {
+	k := len(cfg.Clusters)
+	s := &e.scratch
+	if cap(s.times) < k {
+		s.times = make([]float64, k)
+		s.shares = make([]float64, k)
+	}
+	times := s.times[:k]
+	shares := s.shares[:k]
+	denom := 0.0
+	for i, name := range cfg.Clusters {
+		c := e.cluster(name)
+		if c == nil {
+			return nil, fmt.Errorf("core: unknown cluster %q", name)
+		}
+		times[i] = c.OpTime(class)
+		denom += float64(cfg.Counts[i]) / times[i]
+	}
+	for i := range shares {
+		shares[i] = 0
+		if cfg.Counts[i] > 0 {
+			shares[i] = float64(numPDUs) / (times[i] * denom)
+		}
+	}
+	return shares, nil
+}
+
+// activeInto fills the scratch active-cluster views: names and counts of
+// the clusters with nonzero counts in placement order, plus each one's
+// index into cfg.Clusters.
+func (e *Estimator) activeInto(cfg cost.Config) (names []string, counts, actIdx []int) {
+	s := &e.scratch
+	s.names = s.names[:0]
+	s.counts = s.counts[:0]
+	s.actIdx = s.actIdx[:0]
+	for i, n := range cfg.Counts {
+		if n > 0 {
+			s.names = append(s.names, cfg.Clusters[i])
+			s.counts = append(s.counts, n)
+			s.actIdx = append(s.actIdx, i)
+		}
+	}
+	return s.names, s.counts, s.actIdx
+}
+
+// topologyOf resolves the communication phase's topology, caching the
+// dispatch per phase identity so repeated probes skip the registry.
+func (e *Estimator) topologyOf(comm *CommunicationPhase) (topo.Topology, error) {
+	if comm == e.lastComm && e.lastTopo != nil {
+		return e.lastTopo, nil
+	}
+	tp, err := topo.ByName(comm.Topology)
+	if err != nil {
+		return nil, err
+	}
+	e.lastComm, e.lastTopo = comm, tp
+	return tp, nil
 }
 
 // EstimateFor is Estimate with search context attached: the emitted
@@ -207,9 +347,30 @@ func (e *Estimator) EstimateFor(cfg cost.Config, cluster string, p int) (Estimat
 	return est, err
 }
 
+// probeCounts copies counts into the reusable probe buffer with entry k
+// replaced by p — the search's per-probe configuration vector, built
+// without allocating. The buffer is valid until the next probeCounts or
+// scratchCounts call.
+func (e *Estimator) probeCounts(counts []int, k, p int) []int {
+	probe := e.scratchCounts(counts)
+	probe[k] = p
+	return probe
+}
+
+// scratchCounts copies counts into the reusable probe buffer.
+func (e *Estimator) scratchCounts(counts []int) []int {
+	s := &e.scratch
+	if cap(s.probe) < len(counts) {
+		s.probe = make([]int, len(counts))
+	}
+	s.probe = s.probe[:len(counts)]
+	copy(s.probe, counts)
+	return s.probe
+}
+
 // observeCached re-emits a memoized candidate so the decision record shows
 // every probe the search consulted, including memo hits that skipped the
-// Eq. 3/6 recomputation.
+// Eq. 3/6 recomputation. The estimate must already be detached.
 func (e *Estimator) observeCached(cluster string, p int, est Estimate) {
 	if e.Observer == nil {
 		return
@@ -243,7 +404,7 @@ func (e *Estimator) searchEvent(ev SearchEvent) {
 // destination is on another segment; the transmissions serialize through
 // the root's channel, so the costs sum.
 func (e *Estimator) startupCost(cfg cost.Config, shares []float64) float64 {
-	names, counts := cfg.Active()
+	names, counts, actIdx := e.activeInto(cfg)
 	if len(names) == 0 || cfg.Total() <= 1 {
 		return 0
 	}
@@ -262,10 +423,6 @@ func (e *Estimator) startupCost(cfg cost.Config, shares []float64) float64 {
 		}
 	}
 	total := 0.0
-	shareOf := make(map[string]float64, len(cfg.Clusters))
-	for i, name := range cfg.Clusters {
-		shareOf[name] = shares[i]
-	}
 	for i, name := range names {
 		tasks := counts[i]
 		if i == 0 {
@@ -274,7 +431,7 @@ func (e *Estimator) startupCost(cfg cost.Config, shares []float64) float64 {
 		if tasks <= 0 {
 			continue
 		}
-		b := shareOf[name] * e.Ann.StartupBytesPerPDU
+		b := shares[actIdx[i]] * e.Ann.StartupBytesPerPDU
 		// The fitted per-station increment (C2 + b·C4) covers one cycle's
 		// messages per station — two for the 1-D pattern the constants are
 		// fitted on — so one scatter message costs half of it.
@@ -290,35 +447,42 @@ func (e *Estimator) startupCost(cfg cost.Config, shares []float64) float64 {
 	return total
 }
 
-// commCost applies the Eq. 2 composition, honoring the RouterStation flag.
+// commCost applies the Eq. 2 composition, honoring the RouterStation flag:
+// with it set, a cluster whose tasks communicate across the router is
+// charged one extra contending station (Section 3.0, matching
+// cost.Table.CommCost bit for bit); without it, Section 6.0's composition
+// omits the extra station. Border detection uses topo.SegmentCrosses on the
+// contiguous placement's rank ranges, so no placement is materialized and
+// the path stays allocation-free.
 func (e *Estimator) commCost(tp topo.Topology, b float64, cfg cost.Config) (float64, error) {
-	if e.RouterStation {
-		return e.Costs.CommCost(e.Net, tp, b, cfg)
-	}
-	// Section 6.0 composition: max over clusters at their own p, plus the
-	// router penalty when the configuration spans segments.
-	names, counts := cfg.Active()
+	names, counts, _ := e.activeInto(cfg)
 	if len(names) == 0 || (len(names) == 1 && counts[0] == 1) {
-		return 0, nil
+		return 0, nil // a single task exchanges no messages
 	}
-	pl, err := topo.Contiguous(names, counts)
-	if err != nil {
-		return 0, err
-	}
-	border := topo.BorderTasks(tp, pl)
+	tpName := tp.Name()
+	bandwidthLimited := tp.BandwidthLimited()
 	total := cfg.Total()
 	worst := 0.0
+	lo := 0
 	for i, name := range names {
-		params, err := e.Costs.Comm(name, tp.Name())
+		params, err := e.Costs.Comm(name, tpName)
 		if err != nil {
 			return 0, err
 		}
+		hi := lo + counts[i]
+		crosses := topo.SegmentCrosses(tp, lo, hi, total)
+		lo = hi
 		p := counts[i]
-		if tp.BandwidthLimited() {
+		if bandwidthLimited {
+			// Broadcast-like: offered load scales with the total number of
+			// participants regardless of segment locality.
 			p = total
 		}
+		if crosses && e.RouterStation {
+			p++ // the router is one more station on this segment
+		}
 		c := params.Eval(b, p)
-		if border[name] > 0 {
+		if crosses {
 			c += e.crossPenalty(names, name, b)
 		}
 		if c > worst {

@@ -1,0 +1,192 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"netpart/internal/cost"
+	"netpart/internal/model"
+	"netpart/internal/topo"
+)
+
+// TestEstimateNilObserverZeroAllocs pins the zero-allocation guarantee of
+// the estimate fast path: with a nil Observer, Estimate performs no heap
+// allocations once the estimator's scratch buffers are warm.
+func TestEstimateNilObserverZeroAllocs(t *testing.T) {
+	e, err := NewEstimator(model.PaperTestbed(), cost.PaperTable(), stencilAnnotations(600, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := cost.Config{
+		Clusters: []string{model.Sparc2Cluster, model.IPCCluster},
+		Counts:   []int{4, 2},
+	}
+	// Warm the scratch buffers (first call sizes them).
+	if _, err := e.Estimate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := e.Estimate(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Estimate with nil observer allocates %.1f/op, want 0", allocs)
+	}
+
+	// Startup modeling must not break the guarantee either.
+	ann := stencilAnnotations(600, false)
+	ann.StartupBytesPerPDU = 4 * 600
+	es, err := NewEstimator(model.PaperTestbed(), cost.PaperTable(), ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.Estimate(cfg); err != nil {
+		t.Fatal(err)
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		if _, err := es.Estimate(cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Estimate with startup modeling allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestEstimateSharesDetach documents the scratch-aliasing contract: an
+// Estimate's Shares are overwritten by the next Estimate call, and Detach
+// makes them durable.
+func TestEstimateSharesDetach(t *testing.T) {
+	e, err := NewEstimator(model.PaperTestbed(), cost.PaperTable(), stencilAnnotations(600, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := func(p1, p2 int) cost.Config {
+		return cost.Config{
+			Clusters: []string{model.Sparc2Cluster, model.IPCCluster},
+			Counts:   []int{p1, p2},
+		}
+	}
+	first, err := e.Estimate(cfg(6, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := first.Detach()
+	want := append([]float64(nil), first.Shares...)
+	if _, err := e.Estimate(cfg(1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if kept.Shares[i] != want[i] {
+			t.Fatalf("detached shares changed: %v, want %v", kept.Shares, want)
+		}
+	}
+}
+
+// TestCommCostMatchesTable cross-checks the estimator's allocation-free
+// Eq. 2 composition against the reference cost.Table.CommCost over every
+// topology and a grid of configurations: the fast path must be bit-for-bit
+// identical (RouterStation semantics).
+func TestCommCostMatchesTable(t *testing.T) {
+	net := model.PaperTestbed()
+	tbl := cost.PaperTable()
+	for _, name := range topo.Names() {
+		// The paper table only fits 1-D; give every topology the same
+		// constants so each pattern's composition is exercised.
+		tbl.SetComm(model.Sparc2Cluster, name, cost.Params{C1: 0.1, C2: 1.1, C3: -0.0055, C4: 0.00283})
+		tbl.SetComm(model.IPCCluster, name, cost.Params{C1: 0.2, C2: 1.9, C3: -0.0123, C4: 0.00457})
+	}
+	e, err := NewEstimator(net, tbl, stencilAnnotations(600, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range topo.Names() {
+		tp, err := topo.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p1 := 0; p1 <= 6; p1++ {
+			for p2 := 0; p2 <= 6; p2++ {
+				if p1+p2 == 0 {
+					continue
+				}
+				cfg := cost.Config{
+					Clusters: []string{model.Sparc2Cluster, model.IPCCluster},
+					Counts:   []int{p1, p2},
+				}
+				for _, b := range []float64{0, 240, 2400} {
+					got, err := e.commCost(tp, b, cfg)
+					if err != nil {
+						t.Fatalf("%s %v b=%v: %v", name, cfg, b, err)
+					}
+					want, err := tbl.CommCost(net, tp, b, cfg)
+					if err != nil {
+						t.Fatalf("%s %v b=%v reference: %v", name, cfg, b, err)
+					}
+					if got != want {
+						t.Errorf("%s %v b=%v: fast path %v, reference %v", name, cfg, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCloneConcurrentPartitions is the -race proof for per-worker estimator
+// cloning: clones of one estimator run full Partition searches concurrently
+// and must agree with the serial result, with independent evaluation
+// counters (the shared counter was the data race the Clone API removes).
+func TestCloneConcurrentPartitions(t *testing.T) {
+	e, err := NewEstimator(model.PaperTestbed(), cost.PaperTable(), stencilAnnotations(1200, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Partition(e.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	results := make([]Result, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			clone := e.Clone()
+			for i := 0; i < 5; i++ { // repeat to stress scratch reuse
+				results[w], errs[w] = Partition(clone)
+				if errs[w] != nil {
+					return
+				}
+			}
+			if got := clone.Evaluations(); got != serial.Evaluations {
+				errs[w] = fmt.Errorf("clone counted %d evaluations, want %d", got, serial.Evaluations)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			t.Fatalf("worker %d: %v", w, errs[w])
+		}
+		r := results[w]
+		if r.TcMs != serial.TcMs || r.Config.String() != serial.Config.String() {
+			t.Errorf("worker %d diverged: %v (T_c %v) vs %v (T_c %v)",
+				w, r.Config, r.TcMs, serial.Config, serial.TcMs)
+		}
+		for i, v := range r.Vector {
+			if serial.Vector[i] != v {
+				t.Errorf("worker %d vector %v, want %v", w, r.Vector, serial.Vector)
+				break
+			}
+		}
+	}
+	// The original estimator was never used by the workers: still zero.
+	if e.Evaluations() != 0 {
+		t.Errorf("parent estimator counter moved to %d; clones must not share it", e.Evaluations())
+	}
+}

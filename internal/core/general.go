@@ -74,17 +74,18 @@ func PartitionGlobal(e *Estimator) (Result, error) {
 		if tc, ok := memo[k]; ok {
 			return tc, true, nil
 		}
-		est, err := e.Estimate(cost.Config{Clusters: names, Counts: append([]int(nil), counts...)})
+		est, err := e.Estimate(cost.Config{Clusters: names, Counts: e.scratchCounts(counts)})
 		if err != nil {
 			return 0, false, err
 		}
 		memo[k] = est.TcMs
 		if est.TcMs < bestTc {
-			best, bestTc = est, est.TcMs
+			best, bestTc = est.Detach(), est.TcMs
 		}
 		return est.TcMs, true, nil
 	}
 
+	probe := make([]int, len(order)) // reused per-probe vector (evalCfg copies)
 	for _, start := range starts {
 		cur := append([]int(nil), start...)
 		curTc, ok, err := evalCfg(cur)
@@ -106,7 +107,7 @@ func PartitionGlobal(e *Estimator) (Result, error) {
 						if k != l && pl > avail[l] {
 							break
 						}
-						probe := append([]int(nil), cur...)
+						copy(probe, cur)
 						probe[k] = pk
 						if k != l {
 							probe[l] = pl

@@ -62,12 +62,14 @@ func Partition(e *Estimator) (Result, error) {
 				return est, nil
 			}
 			probe := cfg
-			probe.Counts = append([]int(nil), cfg.Counts...)
-			probe.Counts[k] = p
+			probe.Counts = e.probeCounts(cfg.Counts, k, p)
 			est, err := e.EstimateFor(probe, name, p)
 			if err != nil {
 				return est, err
 			}
+			// Detach before memoizing: est aliases the reusable probe
+			// vector and the estimator's shares scratch.
+			est = est.Detach()
 			memo[p] = est
 			return est, nil
 		}
@@ -181,15 +183,14 @@ func PartitionLinear(e *Estimator) (Result, error) {
 		bestP := -1
 		for p := lo; p <= hi; p++ {
 			probe := cfg
-			probe.Counts = append([]int(nil), cfg.Counts...)
-			probe.Counts[k] = p
+			probe.Counts = e.probeCounts(cfg.Counts, k, p)
 			est, err := e.EstimateFor(probe, name, p)
 			if err != nil {
 				return Result{}, err
 			}
 			if est.TcMs < bestTc {
 				bestTc = est.TcMs
-				best = est
+				best = est.Detach()
 				bestP = p
 			}
 		}
@@ -249,14 +250,14 @@ func PartitionExhaustive(e *Estimator) (Result, error) {
 			if total == 0 || total > numPDUs {
 				return nil
 			}
-			cfg := cost.Config{Clusters: names, Counts: append([]int(nil), counts...)}
+			cfg := cost.Config{Clusters: names, Counts: e.scratchCounts(counts)}
 			est, err := e.Estimate(cfg)
 			if err != nil {
 				return err
 			}
 			if est.TcMs < bestTc {
 				bestTc = est.TcMs
-				best = est
+				best = est.Detach()
 			}
 			return nil
 		}

@@ -24,6 +24,11 @@ type Env struct {
 	Fitted *cost.Table
 	// Fits carries the commbench diagnostics behind Fitted.
 	Fits []commbench.ClusterFit
+	// Jobs bounds the worker pool the parallel experiment engine uses when
+	// fanning out independent simulator runs (see runner.go). Zero means
+	// GOMAXPROCS; 1 forces the serial path. Output is byte-identical at any
+	// setting.
+	Jobs int
 }
 
 // NewEnv builds the environment, running the offline benchmarking step.

@@ -206,62 +206,82 @@ func RenderStartup(rows []StartupRow) string {
 	return t.String() + "(amortize = startup ≤ 10% of I·T_c; the paper's I=10 does not amortize large N)\n"
 }
 
-// ExtendedAblations runs A6 (router-station composition) and A7 (global
-// search vs locality-first heuristic).
+// ExtendedAblations runs A6 (router-station composition, at two problem
+// sizes) and A7 (global search vs locality-first heuristic) as three
+// independent units on the worker pool.
 func ExtendedAblations(e *Env) ([]AblationRow, error) {
-	var rows []AblationRow
-
-	// A6: §3.0 composition (router as extra station) vs §6.0 composition.
-	for _, n := range []int{300, 1200} {
-		est, err := core.NewEstimator(e.Net, e.Paper, stencil.Annotations(n, stencil.STEN1, Iterations))
-		if err != nil {
-			return nil, err
-		}
-		with, err := core.Partition(est)
-		if err != nil {
-			return nil, err
-		}
-		est.RouterStation = false
-		est.ResetEvaluations()
-		without, err := core.Partition(est)
-		if err != nil {
-			return nil, err
-		}
-		rows = append(rows, AblationRow{
-			Name: fmt.Sprintf("A6 router-station N=%d", n),
-			Detail: fmt.Sprintf("§3.0 (+1 station) chooses %v Tc=%.2f; §6.0 (no station) chooses %v Tc=%.2f",
-				with.Config, with.TcMs, without.Config, without.TcMs),
-			BaseMs: with.TcMs, AltMs: without.TcMs,
-			Speedup: with.TcMs / without.TcMs,
-		})
+	units := []func(*Env) (AblationRow, error){
+		func(e *Env) (AblationRow, error) { return ablationRouterStation(e, 300) },
+		func(e *Env) (AblationRow, error) { return ablationRouterStation(e, 1200) },
+		ablationGlobal,
 	}
-
-	// A7: locality-first heuristic vs the general (global) search on the
-	// multimodal N=300 instance.
-	est, err := core.NewEstimator(e.Net, e.Paper, stencil.Annotations(300, stencil.STEN2, Iterations))
+	rows := make([]AblationRow, len(units))
+	err := ParallelFor(e.workers(), len(units), func(i int) error {
+		row, err := units[i](e.Clone())
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
 	if err != nil {
 		return nil, err
+	}
+	return rows, nil
+}
+
+// ablationRouterStation is A6: §3.0 composition (router as extra station)
+// vs §6.0 composition.
+func ablationRouterStation(e *Env, n int) (AblationRow, error) {
+	est, err := core.NewEstimator(e.Net, e.Paper, stencil.Annotations(n, stencil.STEN1, Iterations))
+	if err != nil {
+		return AblationRow{}, err
+	}
+	with, err := core.Partition(est)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	est.RouterStation = false
+	est.ResetEvaluations()
+	without, err := core.Partition(est)
+	if err != nil {
+		return AblationRow{}, err
+	}
+	return AblationRow{
+		Name: fmt.Sprintf("A6 router-station N=%d", n),
+		Detail: fmt.Sprintf("§3.0 (+1 station) chooses %v Tc=%.2f; §6.0 (no station) chooses %v Tc=%.2f",
+			with.Config, with.TcMs, without.Config, without.TcMs),
+		BaseMs: with.TcMs, AltMs: without.TcMs,
+		Speedup: with.TcMs / without.TcMs,
+	}, nil
+}
+
+// ablationGlobal is A7: locality-first heuristic vs the general (global)
+// search on the multimodal N=300 instance.
+func ablationGlobal(e *Env) (AblationRow, error) {
+	est, err := core.NewEstimator(e.Net, e.Paper, stencil.Annotations(300, stencil.STEN2, Iterations))
+	if err != nil {
+		return AblationRow{}, err
 	}
 	heur, err := core.Partition(est)
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
 	est2, err := core.NewEstimator(e.Net, e.Paper, stencil.Annotations(300, stencil.STEN2, Iterations))
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
 	global, err := core.PartitionGlobal(est2)
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
-	rows = append(rows, AblationRow{
+	return AblationRow{
 		Name: "A7 heuristic-vs-global",
 		Detail: fmt.Sprintf("N=300 STEN-2: heuristic %v (%d evals) vs global %v (%d evals)",
 			heur.Config, heur.Evaluations, global.Config, global.Evaluations),
 		BaseMs: heur.TcMs, AltMs: global.TcMs,
 		Speedup: heur.TcMs / global.TcMs,
-	})
-	return rows, nil
+	}, nil
 }
 
 // ImplSelectRow is E12: estimator-driven implementation selection between
@@ -287,35 +307,43 @@ func ImplSelect(e *Env) ([]ImplSelectRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []ImplSelectRow
-	for _, n := range ProblemSizes {
-		oneD, twoD, err := stencil2d.CompareImplementations(e.Net, bench.Table, n, Iterations)
+	// The shared 2-D benchmark above runs once; the per-size comparisons
+	// (two searches plus two simulator runs each) are independent units.
+	rows := make([]ImplSelectRow, len(ProblemSizes))
+	err = ParallelFor(e.workers(), len(ProblemSizes), func(i int) error {
+		env := e.Clone()
+		n := ProblemSizes[i]
+		oneD, twoD, err := stencil2d.CompareImplementations(env.Net, bench.Table, n, Iterations)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := ImplSelectRow{
 			N:          n,
 			OneDConfig: oneD.Config, OneDTcMs: oneD.TcMs,
 			TwoDConfig: twoD.Config, TwoDTcMs: twoD.TcMs,
 		}
-		vec, err := core.Decompose(e.Net, oneD.Config, n, model.OpFloat)
+		vec, err := core.Decompose(env.Net, oneD.Config, n, model.OpFloat)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		r1, err := stencil.RunSim(e.Net, oneD.Config, vec, stencil.STEN1, n, Iterations)
+		r1, err := stencil.RunSim(env.Net, oneD.Config, vec, stencil.STEN1, n, Iterations)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		r2, err := stencil2d.RunSim(e.Net, twoD.Config, n, Iterations)
+		r2, err := stencil2d.RunSim(env.Net, twoD.Config, n, Iterations)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row.OneDSimMs, row.TwoDSimMs = r1.ElapsedMs, r2.ElapsedMs
 		row.Winner = "1-D"
 		if row.TwoDTcMs < row.OneDTcMs {
 			row.Winner = "2-D"
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -438,38 +466,58 @@ func SelectionCost(e *Env, n int) (*SelectionCostResult, error) {
 		PartitionConfig: part.Config,
 		PartitionEvals:  part.Evaluations,
 	}
-	run := func(cfg cost.Config) (float64, error) {
-		vec, err := core.Decompose(e.Net, cfg, n, model.OpFloat)
+	run := func(env *Env, cfg cost.Config) (float64, error) {
+		vec, err := core.Decompose(env.Net, cfg, n, model.OpFloat)
 		if err != nil {
 			return 0, err
 		}
-		res, err := stencil.RunSim(e.Net, cfg, vec, stencil.STEN2, n, iters)
+		res, err := stencil.RunSim(env.Net, cfg, vec, stencil.STEN2, n, iters)
 		if err != nil {
 			return 0, err
 		}
 		return res.ElapsedMs, nil
 	}
-	pickMs, err := run(part.Config)
-	if err != nil {
-		return nil, err
-	}
-	out.PartitionPickMs = pickMs
-
 	var candidates []cost.Config
 	for _, c := range Table2Configs {
 		candidates = append(candidates, PaperConfig(c.P1, c.P2))
 	}
-	best, _, probeMs, err := balance.Benchmarked(candidates, run)
+	// Fan out the partitioner's pick plus every candidate probe — each is
+	// one full simulator run. Benchmarked then replays the probes from the
+	// precomputed times in candidate order, so its selection logic (and the
+	// reported probe total) is exactly the serial strategy's.
+	runs := append(append([]cost.Config(nil), candidates...), part.Config)
+	times := make([]float64, len(runs))
+	err = ParallelFor(e.workers(), len(runs), func(i int) error {
+		ms, err := run(e.Clone(), runs[i])
+		if err != nil {
+			return err
+		}
+		times[i] = ms
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.PartitionPickMs = times[len(candidates)]
+
+	replay := 0
+	best, _, probeMs, err := balance.Benchmarked(candidates, func(cost.Config) (float64, error) {
+		ms := times[replay]
+		replay++
+		return ms, nil
+	})
 	if err != nil {
 		return nil, err
 	}
 	out.BenchmarkConfig = best
 	out.BenchmarkProbeMs = probeMs
-	bestMs, err := run(best)
-	if err != nil {
-		return nil, err
+	// The winner's measured elapsed: the simulator is deterministic, so the
+	// probe already holds the value re-running it would produce.
+	for i, c := range candidates {
+		if c.String() == best.String() {
+			out.BenchmarkPickMs = times[i]
+		}
 	}
-	out.BenchmarkPickMs = bestMs
 	return out, nil
 }
 
@@ -502,69 +550,85 @@ type NoiseRow struct {
 	GapPct float64
 }
 
-// Noise runs E15 at N=600 STEN-2 across jitter levels.
+// Noise runs E15 at N=600 STEN-2 across jitter levels. Each level is a
+// self-contained unit (its own offline benchmark, fit, search, and eight
+// noisy measurement runs), so the levels fan out over the worker pool.
 func Noise(e *Env) ([]NoiseRow, error) {
-	const n = 600
-	var rows []NoiseRow
-	for _, jitter := range []float64{0, 0.1, 0.3, 0.5} {
-		grid := commbench.DefaultGrid()
-		grid.Jitter = jitter
-		grid.Seed = 0x9e3779b97f4a7c15
-		bench, err := commbench.Run(e.Net, []topo.Topology{topo.OneD{}}, grid)
+	jitters := []float64{0, 0.1, 0.3, 0.5}
+	rows := make([]NoiseRow, len(jitters))
+	err := ParallelFor(e.workers(), len(jitters), func(i int) error {
+		row, err := noiseLevel(e.Clone(), jitters[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
-		row := NoiseRow{Jitter: jitter}
-		for _, f := range bench.Fits {
-			if f.Cluster == model.Sparc2Cluster && f.Topology == "1-D" {
-				row.FitR2 = f.Quality.R2
-			}
-		}
-		est, err := core.NewEstimator(e.Net, bench.Table, stencil.Annotations(n, stencil.STEN2, Iterations))
-		if err != nil {
-			return nil, err
-		}
-		res, err := core.Partition(est)
-		if err != nil {
-			return nil, err
-		}
-		row.Chosen = res.Config
-		// Measure every Table 2 configuration and the chosen one on an
-		// equally noisy simulator (different seed: a different day on the
-		// same flaky network).
-		measure := func(cfg cost.Config, seed uint64) (float64, error) {
-			vec, err := core.Decompose(e.Net, cfg, n, model.OpFloat)
-			if err != nil {
-				return 0, err
-			}
-			names, counts := cfg.Active()
-			pl, err := topo.Contiguous(names, counts)
-			if err != nil {
-				return 0, err
-			}
-			rep, err := runStencilNoisy(e.Net, pl, vec, n, jitter, seed)
-			if err != nil {
-				return 0, err
-			}
-			return rep, nil
-		}
-		var min trace.MinTracker
-		for i, c := range Table2Configs {
-			ms, err := measure(PaperConfig(c.P1, c.P2), 42)
-			if err != nil {
-				return nil, err
-			}
-			min.Observe(i, ms)
-		}
-		chosenMs, err := measure(res.Config, 42)
-		if err != nil {
-			return nil, err
-		}
-		min.Observe(len(Table2Configs), chosenMs)
-		row.GapPct = trace.DeviationPct(chosenMs, min.Min())
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
+}
+
+// noiseLevel runs one jitter level of E15.
+func noiseLevel(e *Env, jitter float64) (NoiseRow, error) {
+	const n = 600
+	grid := commbench.DefaultGrid()
+	grid.Jitter = jitter
+	grid.Seed = 0x9e3779b97f4a7c15
+	bench, err := commbench.Run(e.Net, []topo.Topology{topo.OneD{}}, grid)
+	if err != nil {
+		return NoiseRow{}, err
+	}
+	row := NoiseRow{Jitter: jitter}
+	for _, f := range bench.Fits {
+		if f.Cluster == model.Sparc2Cluster && f.Topology == "1-D" {
+			row.FitR2 = f.Quality.R2
+		}
+	}
+	est, err := core.NewEstimator(e.Net, bench.Table, stencil.Annotations(n, stencil.STEN2, Iterations))
+	if err != nil {
+		return NoiseRow{}, err
+	}
+	res, err := core.Partition(est)
+	if err != nil {
+		return NoiseRow{}, err
+	}
+	row.Chosen = res.Config
+	// Measure every Table 2 configuration and the chosen one on an
+	// equally noisy simulator (different seed: a different day on the
+	// same flaky network).
+	measure := func(cfg cost.Config, seed uint64) (float64, error) {
+		vec, err := core.Decompose(e.Net, cfg, n, model.OpFloat)
+		if err != nil {
+			return 0, err
+		}
+		names, counts := cfg.Active()
+		pl, err := topo.Contiguous(names, counts)
+		if err != nil {
+			return 0, err
+		}
+		rep, err := runStencilNoisy(e.Net, pl, vec, n, jitter, seed)
+		if err != nil {
+			return 0, err
+		}
+		return rep, nil
+	}
+	var min trace.MinTracker
+	for i, c := range Table2Configs {
+		ms, err := measure(PaperConfig(c.P1, c.P2), 42)
+		if err != nil {
+			return NoiseRow{}, err
+		}
+		min.Observe(i, ms)
+	}
+	chosenMs, err := measure(res.Config, 42)
+	if err != nil {
+		return NoiseRow{}, err
+	}
+	min.Observe(len(Table2Configs), chosenMs)
+	row.GapPct = trace.DeviationPct(chosenMs, min.Min())
+	return row, nil
 }
 
 // runStencilNoisy executes STEN-2 with jittered channel holds.

@@ -30,32 +30,40 @@ func Fig3(e *Env, n int, v stencil.Variant) ([]Fig3Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	var pts []Fig3Point
-	for p := 1; p <= e.Net.TotalProcs(); p++ {
+	// Each point is an independent (estimate, simulate) pair; fan them out
+	// with a cloned estimator per point so the scratch buffers never race.
+	pts := make([]Fig3Point, e.Net.TotalProcs())
+	err = ParallelFor(e.workers(), len(pts), func(i int) error {
+		env := e.Clone()
+		p := i + 1
 		p1, p2 := p, 0
 		if p1 > 6 {
 			p1, p2 = 6, p-6
 		}
 		cfg := PaperConfig(p1, p2)
-		pe, err := est.Estimate(cfg)
+		pe, err := est.Clone().Estimate(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		vec, err := core.Decompose(e.Net, cfg, n, model.OpFloat)
+		vec, err := core.Decompose(env.Net, cfg, n, model.OpFloat)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		res, err := stencil.RunSim(e.Net, cfg, vec, v, n, Iterations)
+		res, err := stencil.RunSim(env.Net, cfg, vec, v, n, Iterations)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		simTc := res.ElapsedMs / Iterations
-		pts = append(pts, Fig3Point{
+		pts[i] = Fig3Point{
 			Procs: p, P1: p1, P2: p2,
 			EstimatedTcMs:  pe.TcMs,
 			SimulatedTcMs:  simTc,
 			EstimateErrPct: trace.DeviationPct(pe.TcMs, simTc),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Mark regions around the simulated minimum.
 	var min trace.MinTracker

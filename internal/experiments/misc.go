@@ -200,92 +200,143 @@ type AblationRow struct {
 }
 
 // Ablations runs the design-choice studies of DESIGN.md (A1-A5) at N=600.
+// The five studies are independent, so the engine runs them as five units
+// writing fixed row slots. A2 recomputes the bisection search A1 also runs
+// (both are deterministic microsecond-scale cost-model walks), which keeps
+// the units self-contained without changing any reported number.
 func Ablations(e *Env) ([]AblationRow, error) {
 	const n = 600
-	var rows []AblationRow
-
-	// A1: locality-first heuristic vs exhaustive oracle (estimated Tc).
-	est, err := core.NewEstimator(e.Net, e.Fitted, stencil.Annotations(n, stencil.STEN1, Iterations))
+	units := []func(*Env) (AblationRow, error){
+		ablationOracle, ablationScan, ablationDecomp, ablationOverlap, ablationDynamic,
+	}
+	rows := make([]AblationRow, len(units))
+	err := ParallelFor(e.workers(), len(units), func(i int) error {
+		row, err := units[i](e.Clone())
+		if err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	heur, err := core.Partition(est)
+	return rows, nil
+}
+
+// ablationHeuristic runs the baseline locality-first search A1 and A2 share.
+func ablationHeuristic(e *Env, n int) (core.Result, error) {
+	est, err := core.NewEstimator(e.Net, e.Fitted, stencil.Annotations(n, stencil.STEN1, Iterations))
 	if err != nil {
-		return nil, err
+		return core.Result{}, err
+	}
+	return core.Partition(est)
+}
+
+// ablationOracle is A1: locality-first heuristic vs exhaustive oracle
+// (estimated Tc).
+func ablationOracle(e *Env) (AblationRow, error) {
+	const n = 600
+	heur, err := ablationHeuristic(e, n)
+	if err != nil {
+		return AblationRow{}, err
 	}
 	est2, err := core.NewEstimator(e.Net, e.Fitted, stencil.Annotations(n, stencil.STEN1, Iterations))
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
 	oracle, err := core.PartitionExhaustive(est2)
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
-	rows = append(rows, AblationRow{
+	return AblationRow{
 		Name:   "A1 heuristic-vs-oracle",
 		Detail: fmt.Sprintf("heuristic %v (%d evals) vs oracle %v (%d evals)", heur.Config, heur.Evaluations, oracle.Config, oracle.Evaluations),
 		BaseMs: heur.TcMs, AltMs: oracle.TcMs, Speedup: heur.TcMs / oracle.TcMs,
-	})
+	}, nil
+}
 
-	// A2: bisection vs linear scan (search cost in evaluations).
+// ablationScan is A2: bisection vs linear scan (search cost in evaluations).
+func ablationScan(e *Env) (AblationRow, error) {
+	const n = 600
+	heur, err := ablationHeuristic(e, n)
+	if err != nil {
+		return AblationRow{}, err
+	}
 	est3, err := core.NewEstimator(e.Net, e.Fitted, stencil.Annotations(n, stencil.STEN1, Iterations))
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
 	lin, err := core.PartitionLinear(est3)
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
-	rows = append(rows, AblationRow{
+	return AblationRow{
 		Name:   "A2 bisect-vs-scan",
 		Detail: fmt.Sprintf("same choice %v; evaluations %d vs %d", lin.Config, heur.Evaluations, lin.Evaluations),
 		BaseMs: float64(heur.Evaluations), AltMs: float64(lin.Evaluations),
 		Speedup: float64(lin.Evaluations) / float64(heur.Evaluations),
-	})
+	}, nil
+}
 
-	// A3: Eq. 3 heterogeneous decomposition vs equal split on 6+6.
+// ablationDecomp is A3: Eq. 3 heterogeneous decomposition vs equal split
+// on 6+6.
+func ablationDecomp(e *Env) (AblationRow, error) {
+	const n = 600
 	cfg := PaperConfig(6, 6)
 	bal, err := core.Decompose(e.Net, cfg, n, model.OpFloat)
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
 	eq, err := balance.EqualVector(n, 12)
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
 	rBal, err := stencil.RunSim(e.Net, cfg, bal, stencil.STEN1, n, Iterations)
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
 	rEq, err := stencil.RunSim(e.Net, cfg, eq, stencil.STEN1, n, Iterations)
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
-	rows = append(rows, AblationRow{
+	return AblationRow{
 		Name:   "A3 eq3-vs-equal",
 		Detail: "STEN-1 on 6+6: Eq. 3 decomposition vs equal rows",
 		BaseMs: rEq.ElapsedMs, AltMs: rBal.ElapsedMs, Speedup: rEq.ElapsedMs / rBal.ElapsedMs,
-	})
+	}, nil
+}
 
-	// A4: STEN-2 overlap vs STEN-1 at the STEN-2-chosen configuration.
+// ablationOverlap is A4: STEN-2 overlap vs STEN-1 at the STEN-2-chosen
+// configuration.
+func ablationOverlap(e *Env) (AblationRow, error) {
+	const n = 600
+	cfg := PaperConfig(6, 6)
+	bal, err := core.Decompose(e.Net, cfg, n, model.OpFloat)
+	if err != nil {
+		return AblationRow{}, err
+	}
 	r1, err := stencil.RunSim(e.Net, cfg, bal, stencil.STEN1, n, Iterations)
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
 	r2, err := stencil.RunSim(e.Net, cfg, bal, stencil.STEN2, n, Iterations)
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
-	rows = append(rows, AblationRow{
+	return AblationRow{
 		Name:   "A4 overlap",
 		Detail: "6+6: STEN-1 vs STEN-2 (border sends overlapped)",
 		BaseMs: r1.ElapsedMs, AltMs: r2.ElapsedMs, Speedup: r1.ElapsedMs / r2.ElapsedMs,
-	})
+	}, nil
+}
 
-	// A5: static vs dynamic decomposition under load fluctuation.
+// ablationDynamic is A5: static vs dynamic decomposition under load
+// fluctuation.
+func ablationDynamic(e *Env) (AblationRow, error) {
 	init, err := balance.EqualVector(200, 4)
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
 	spec := balance.WorkloadSpec{
 		Net: e.Net, Cfg: PaperConfig(4, 0), NumPDUs: 200,
@@ -301,19 +352,18 @@ func Ablations(e *Env) ([]AblationRow, error) {
 	}
 	static, err := balance.Simulate(spec)
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
 	spec.RebalanceEvery = 5
 	dynamic, err := balance.Simulate(spec)
 	if err != nil {
-		return nil, err
+		return AblationRow{}, err
 	}
-	rows = append(rows, AblationRow{
+	return AblationRow{
 		Name:   "A5 static-vs-dynamic",
 		Detail: fmt.Sprintf("rank 2 slowed 4x at cycle 5; dynamic rebalanced %dx, migrated %d PDUs", dynamic.Rebalances, dynamic.MigratedPDUs),
 		BaseMs: static.ElapsedMs, AltMs: dynamic.ElapsedMs, Speedup: static.ElapsedMs / dynamic.ElapsedMs,
-	})
-	return rows, nil
+	}, nil
 }
 
 // RenderAblations prints the ablation table.

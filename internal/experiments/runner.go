@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the parallel experiment engine. Experiments decompose into
+// independent units (one simulator run, one search, one jitter level), and
+// ParallelFor fans those units out over a bounded worker pool while keeping
+// the output deterministic: every unit writes only to its own index-addressed
+// slot, and the caller assembles results in serial order afterward. With
+// Jobs=1 the engine degenerates to the plain serial loop, and because the
+// simulator runs in virtual time and the estimators are deterministic, the
+// rendered output is byte-identical at every worker count.
+//
+// Workers never share estimator state: each unit builds its own estimator or
+// clones one with (*core.Estimator).Clone, and Env itself is read-only for
+// the duration of an experiment (Clone documents that contract).
+
+// Jobs returns the worker count a zero value selects: GOMAXPROCS.
+func defaultJobs() int { return runtime.GOMAXPROCS(0) }
+
+// workers resolves the Env's Jobs setting to a concrete worker count.
+func (e *Env) workers() int {
+	if e.Jobs > 0 {
+		return e.Jobs
+	}
+	return defaultJobs()
+}
+
+// Clone returns a copy of the Env for a worker goroutine. The copy is
+// shallow: Net, Paper, Fitted, and Fits are shared, which is safe because
+// experiments treat them as read-only (nothing in this package or in the
+// estimator mutates a Network or a cost.Table after NewEnv returns).
+func (e *Env) Clone() *Env {
+	cp := *e
+	return &cp
+}
+
+// ParallelFor runs fn(i) for every i in [0, n) on at most `workers`
+// goroutines. Results must be written by index into caller-owned slots, so
+// the outcome does not depend on scheduling. If any fn returns an error,
+// ParallelFor returns the one with the lowest index — the same error a
+// serial loop would have hit first — after all started units finish (unlike
+// a serial loop it does not cancel the remaining units; experiment units
+// are short and side-effect-free, so draining them is simpler than
+// plumbing cancellation through the simulator).
+//
+// workers <= 1 (or n <= 1) runs the plain serial loop on the calling
+// goroutine, including its early-exit-on-error behavior.
+func ParallelFor(workers, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

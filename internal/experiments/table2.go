@@ -53,75 +53,150 @@ var paperTable2Min = map[int]map[stencil.Variant][2]int{
 // overlays the partitioning algorithm's prediction (computed from the
 // fitted cost table — the full honest pipeline).
 func Table2(e *Env) ([]Table2Row, error) {
-	var rows []Table2Row
+	type rowSpec struct {
+		n int
+		v stencil.Variant
+	}
+	var specs []rowSpec
 	for _, n := range ProblemSizes {
 		for _, v := range []stencil.Variant{stencil.STEN1, stencil.STEN2} {
-			row := Table2Row{N: n, Variant: v}
-			est, err := core.NewEstimator(e.Net, e.Fitted, stencil.Annotations(n, v, Iterations))
-			if err != nil {
-				return nil, err
-			}
-			pred, err := core.Partition(est)
-			if err != nil {
-				return nil, err
-			}
-			var min trace.MinTracker
-			for _, c := range Table2Configs {
-				cfg := PaperConfig(c.P1, c.P2)
-				cell := Table2Cell{P1: c.P1, P2: c.P2}
-				vec, err := core.Decompose(e.Net, cfg, n, model.OpFloat)
-				if err != nil {
-					return nil, err
-				}
-				res, err := stencil.RunSim(e.Net, cfg, vec, v, n, Iterations)
-				if err != nil {
-					return nil, fmt.Errorf("experiments: N=%d %s (%d,%d): %w", n, v, c.P1, c.P2, err)
-				}
-				cell.ElapsedMs = res.ElapsedMs
-				cell.Predicted = c.P1 == pred.Config.Counts[0] && c.P2 == pred.Config.Counts[1]
-				min.Observe(len(row.Cells), cell.ElapsedMs)
-				row.Cells = append(row.Cells, cell)
-			}
-			row.Cells[min.Index()].MeasuredMin = true
-			// Gap between the predicted configuration and the measured
-			// minimum. When the prediction is outside the measured set
-			// (possible: the heuristic can choose e.g. 6+5), measure it.
-			predMs := math.Inf(1)
-			for _, c := range row.Cells {
-				if c.Predicted {
-					predMs = c.ElapsedMs
-				}
-			}
-			if math.IsInf(predMs, 1) {
-				vec, err := core.Decompose(e.Net, pred.Config, n, model.OpFloat)
-				if err != nil {
-					return nil, err
-				}
-				res, err := stencil.RunSim(e.Net, pred.Config, vec, v, n, Iterations)
-				if err != nil {
-					return nil, err
-				}
-				predMs = res.ElapsedMs
-				min.Observe(len(row.Cells), predMs)
-			}
-			row.PredictedGapPct = trace.DeviationPct(predMs, min.Min())
-			// Equal-decomposition comparison at N=1200 on the full network.
-			if n == 1200 {
-				cfg := PaperConfig(6, 6)
-				eq, err := balance.EqualVector(n, 12)
-				if err != nil {
-					return nil, err
-				}
-				res, err := stencil.RunSim(e.Net, cfg, eq, v, n, Iterations)
-				if err != nil {
-					return nil, err
-				}
-				row.EqualDecompMs = res.ElapsedMs
-			}
-			pm := paperTable2Min[n][v]
-			row.PaperMinP1, row.PaperMinP2 = pm[0], pm[1]
-			rows = append(rows, row)
+			specs = append(specs, rowSpec{n, v})
 		}
+	}
+
+	// Stage 1 — predictions. Cheap cost-model searches (microseconds each),
+	// run serially; they decide which extra simulator runs stage 2 needs.
+	preds := make([]core.Result, len(specs))
+	for i, s := range specs {
+		est, err := core.NewEstimator(e.Net, e.Fitted, stencil.Annotations(s.n, s.v, Iterations))
+		if err != nil {
+			return nil, err
+		}
+		preds[i], err = core.Partition(est)
+		if err != nil {
+			return nil, err
+		}
+	}
+	inMeasuredSet := func(pred core.Result) bool {
+		for _, c := range Table2Configs {
+			if c.P1 == pred.Config.Counts[0] && c.P2 == pred.Config.Counts[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Stage 2 — fan the independent simulator runs (the expensive part: 56
+	// measured cells, the N=1200 equal-decomposition runs, and any
+	// predicted-outside-the-set runs) out over the worker pool. Each unit
+	// writes one index-addressed slot; nothing is shared between units.
+	const (
+		unitEqualDecomp = -1
+		unitPredRun     = -2
+	)
+	type unit struct {
+		row  int
+		cell int // index into Table2Configs, or a unit* sentinel
+	}
+	var units []unit
+	for r, s := range specs {
+		for c := range Table2Configs {
+			units = append(units, unit{r, c})
+		}
+		if s.n == 1200 {
+			units = append(units, unit{r, unitEqualDecomp})
+		}
+		if !inMeasuredSet(preds[r]) {
+			units = append(units, unit{r, unitPredRun})
+		}
+	}
+	cellMs := make([][]float64, len(specs))
+	for r := range specs {
+		cellMs[r] = make([]float64, len(Table2Configs))
+	}
+	eqMs := make([]float64, len(specs))
+	predRunMs := make([]float64, len(specs))
+	err := ParallelFor(e.workers(), len(units), func(i int) error {
+		u := units[i]
+		env := e.Clone()
+		s := specs[u.row]
+		switch u.cell {
+		case unitEqualDecomp:
+			cfg := PaperConfig(6, 6)
+			eq, err := balance.EqualVector(s.n, 12)
+			if err != nil {
+				return err
+			}
+			res, err := stencil.RunSim(env.Net, cfg, eq, s.v, s.n, Iterations)
+			if err != nil {
+				return err
+			}
+			eqMs[u.row] = res.ElapsedMs
+		case unitPredRun:
+			cfg := preds[u.row].Config
+			vec, err := core.Decompose(env.Net, cfg, s.n, model.OpFloat)
+			if err != nil {
+				return err
+			}
+			res, err := stencil.RunSim(env.Net, cfg, vec, s.v, s.n, Iterations)
+			if err != nil {
+				return err
+			}
+			predRunMs[u.row] = res.ElapsedMs
+		default:
+			c := Table2Configs[u.cell]
+			cfg := PaperConfig(c.P1, c.P2)
+			vec, err := core.Decompose(env.Net, cfg, s.n, model.OpFloat)
+			if err != nil {
+				return err
+			}
+			res, err := stencil.RunSim(env.Net, cfg, vec, s.v, s.n, Iterations)
+			if err != nil {
+				return fmt.Errorf("experiments: N=%d %s (%d,%d): %w", s.n, s.v, c.P1, c.P2, err)
+			}
+			cellMs[u.row][u.cell] = res.ElapsedMs
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Stage 3 — serial assembly in the original order, replicating the
+	// serial code's MinTracker observation sequence exactly.
+	var rows []Table2Row
+	for r, s := range specs {
+		row := Table2Row{N: s.n, Variant: s.v}
+		pred := preds[r]
+		var min trace.MinTracker
+		for ci, c := range Table2Configs {
+			cell := Table2Cell{P1: c.P1, P2: c.P2, ElapsedMs: cellMs[r][ci]}
+			cell.Predicted = c.P1 == pred.Config.Counts[0] && c.P2 == pred.Config.Counts[1]
+			min.Observe(len(row.Cells), cell.ElapsedMs)
+			row.Cells = append(row.Cells, cell)
+		}
+		row.Cells[min.Index()].MeasuredMin = true
+		// Gap between the predicted configuration and the measured
+		// minimum. When the prediction is outside the measured set
+		// (possible: the heuristic can choose e.g. 6+5), stage 2 measured it.
+		predMs := math.Inf(1)
+		for _, c := range row.Cells {
+			if c.Predicted {
+				predMs = c.ElapsedMs
+			}
+		}
+		if math.IsInf(predMs, 1) {
+			predMs = predRunMs[r]
+			min.Observe(len(row.Cells), predMs)
+		}
+		row.PredictedGapPct = trace.DeviationPct(predMs, min.Min())
+		// Equal-decomposition comparison at N=1200 on the full network.
+		if s.n == 1200 {
+			row.EqualDecompMs = eqMs[r]
+		}
+		pm := paperTable2Min[s.n][s.v]
+		row.PaperMinP1, row.PaperMinP2 = pm[0], pm[1]
+		rows = append(rows, row)
 	}
 	return rows, nil
 }

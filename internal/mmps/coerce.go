@@ -13,23 +13,50 @@ import (
 
 // EncodeFloat64s serializes values big-endian.
 func EncodeFloat64s(values []float64) []byte {
-	buf := make([]byte, 8*len(values))
-	for i, v := range values {
-		binary.BigEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	return AppendFloat64s(nil, values)
+}
+
+// AppendFloat64s serializes values big-endian onto dst and returns the
+// extended slice — the allocation-free variant for hot loops that reuse a
+// scratch buffer (Transport.Send copies, so the buffer may be reused as
+// soon as Send returns).
+func AppendFloat64s(dst []byte, values []float64) []byte {
+	off := len(dst)
+	if need := off + 8*len(values); cap(dst) < need {
+		grown := make([]byte, off, need)
+		copy(grown, dst)
+		dst = grown
 	}
-	return buf
+	dst = dst[:off+8*len(values)]
+	for i, v := range values {
+		binary.BigEndian.PutUint64(dst[off+8*i:], math.Float64bits(v))
+	}
+	return dst
 }
 
 // DecodeFloat64s parses a big-endian float64 slice.
 func DecodeFloat64s(buf []byte) ([]float64, error) {
+	return DecodeFloat64sInto(nil, buf)
+}
+
+// DecodeFloat64sInto parses a big-endian float64 slice into dst's capacity
+// (appending from dst's length), returning the extended slice. Pass a
+// reused scratch as dst[:0] for an allocation-free decode.
+func DecodeFloat64sInto(dst []float64, buf []byte) ([]float64, error) {
 	if len(buf)%8 != 0 {
 		return nil, fmt.Errorf("mmps: float64 payload of %d bytes", len(buf))
 	}
-	out := make([]float64, len(buf)/8)
-	for i := range out {
-		out[i] = math.Float64frombits(binary.BigEndian.Uint64(buf[8*i:]))
+	off := len(dst)
+	if need := off + len(buf)/8; cap(dst) < need {
+		grown := make([]float64, off, need)
+		copy(grown, dst)
+		dst = grown
 	}
-	return out, nil
+	dst = dst[:off+len(buf)/8]
+	for i := 0; i < len(buf)/8; i++ {
+		dst[off+i] = math.Float64frombits(binary.BigEndian.Uint64(buf[8*i:]))
+	}
+	return dst, nil
 }
 
 // EncodeFloat32s serializes values big-endian (the paper's 4-byte grid

@@ -41,6 +41,13 @@ type packet struct {
 // encode serializes the packet into a fresh buffer.
 func (p *packet) encode() []byte {
 	buf := make([]byte, headerSize+len(p.payload))
+	p.encodeTo(buf)
+	return buf
+}
+
+// encodeTo serializes the packet into buf, which must be exactly
+// headerSize+len(p.payload) long (the transmit path sizes it from the pool).
+func (p *packet) encodeTo(buf []byte) {
 	copy(buf[0:4], magic[:])
 	buf[4] = packetVersion
 	buf[5] = p.kind
@@ -51,7 +58,6 @@ func (p *packet) encode() []byte {
 	binary.BigEndian.PutUint32(buf[18:22], p.fragCount)
 	binary.BigEndian.PutUint32(buf[22:26], uint32(len(p.payload)))
 	copy(buf[headerSize:], p.payload)
-	return buf
 }
 
 // decodePacket parses a datagram. The returned payload aliases buf.

@@ -264,3 +264,67 @@ func TestPartitionHeals(t *testing.T) {
 		t.Fatalf("message crossed an open partition after %v", waited)
 	}
 }
+
+// TestPooledBuffersSurviveDupDelay is the aliasing guard for the pooled
+// packet buffers (pool.go): duplicated and delayed packet fates keep
+// encoded datagrams alive after transmit returns, and a recycled buffer
+// overwritten by a later packet would corrupt them mid-flight. Large
+// multi-fragment messages with distinctive per-message contents stream in
+// both directions over a small MTU while the pool churns; every delivered
+// payload must arrive intact, in order, on both ranks.
+func TestPooledBuffersSurviveDupDelay(t *testing.T) {
+	sched := faults.MustParse("dup:0.4;delay:0.4,3")
+	inj := faults.NewEngine(sched, 42, nil)
+	eps, err := NewUDPWorld(2,
+		WithRecvTimeout(5*time.Second), WithRTO(3*time.Millisecond),
+		WithMTU(64), WithInjector(inj))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	}()
+
+	const msgs = 30
+	const msgLen = 300 // 5 fragments at MTU 64
+	payload := func(sender, i int) []byte {
+		b := make([]byte, msgLen)
+		for j := range b {
+			b[j] = byte(sender*131 + i*7 + j)
+		}
+		return b
+	}
+	errc := make(chan error, 2)
+	for _, sender := range []int{0, 1} {
+		sender := sender
+		go func() {
+			for i := 0; i < msgs; i++ {
+				if err := eps[sender].Send(1-sender, payload(sender, i)); err != nil {
+					errc <- err
+					return
+				}
+			}
+			errc <- nil
+		}()
+	}
+	for _, receiver := range []int{0, 1} {
+		for i := 0; i < msgs; i++ {
+			got, err := eps[receiver].Recv(1 - receiver)
+			if err != nil {
+				t.Fatalf("rank %d message %d: %v", receiver, i, err)
+			}
+			want := payload(1-receiver, i)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("rank %d message %d corrupted: got %x... want %x...",
+					receiver, i, got[:8], want[:8])
+			}
+		}
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-errc; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -37,7 +37,7 @@ type Conn struct {
 	pending  map[fragKey]bool    // fragments transmitted but not yet acked
 	inflight int                 // messages handed to senders, not finished
 
-	sendq   []chan []byte // per destination: queued outbound messages
+	sendq   []chan *[]byte // per destination: queued outbound messages (pooled copies)
 	sending sync.WaitGroup
 	dataPkt int // outgoing data packet counter (loss injection)
 }
@@ -51,8 +51,40 @@ type fragKey struct {
 type reasm struct {
 	fragCount uint32
 	got       uint32
-	frags     [][]byte
-	lastFrag  time.Time // arrival time of the most recent fragment
+	// frags holds pooled per-fragment copies (see bufPool); each box is
+	// recycled when the message is assembled or the entry is abandoned.
+	frags    []*[]byte
+	lastFrag time.Time // arrival time of the most recent fragment
+}
+
+// assembleLocked concatenates a complete reasm's fragments into a fresh
+// message buffer (delivered to the application, so never pooled) and
+// recycles the fragment boxes. Caller holds mu.
+func (r *reasm) assembleLocked() []byte {
+	total := 0
+	for _, f := range r.frags {
+		total += len(*f)
+	}
+	msg := make([]byte, 0, total)
+	for _, f := range r.frags {
+		msg = append(msg, *f...)
+	}
+	for i, f := range r.frags {
+		putBuf(f)
+		r.frags[i] = nil
+	}
+	return msg
+}
+
+// discardLocked recycles whatever fragments an abandoned reasm collected.
+// Caller holds mu.
+func (r *reasm) discardLocked() {
+	for i, f := range r.frags {
+		if f != nil {
+			putBuf(f)
+			r.frags[i] = nil
+		}
+	}
 }
 
 // NewUDPWorld creates n endpoints on loopback UDP sockets, fully meshed.
@@ -87,10 +119,10 @@ func NewUDPWorld(n int, opts ...Option) ([]*Conn, error) {
 		c.reasm = make([]map[uint32]*reasm, n)
 		c.inbox = make([][][]byte, n)
 		c.pending = make(map[fragKey]bool)
-		c.sendq = make([]chan []byte, n)
+		c.sendq = make([]chan *[]byte, n)
 		for d := 0; d < n; d++ {
 			c.reasm[d] = make(map[uint32]*reasm)
-			c.sendq[d] = make(chan []byte, 64)
+			c.sendq[d] = make(chan *[]byte, 64)
 			c.sending.Add(1)
 			go c.sender(d)
 		}
@@ -131,13 +163,18 @@ func (c *Conn) Send(dst int, data []byte) error {
 	c.inflight++
 	c.mu.Unlock()
 
-	cp := append([]byte(nil), data...)
+	// Pooled copy: Send's contract is that the caller keeps ownership of
+	// data, and the copy dies inside deliverReliably (encodeTo copies the
+	// payload again into the datagram buffer), so the sender recycles it.
+	cp := getBuf(len(data))
+	copy(*cp, data)
 	select {
 	case c.sendq[dst] <- cp:
 		c.opts.metrics.msgsSent.Inc()
 		c.opts.metrics.bytesSent.Add(int64(len(data)))
 		return nil
 	case <-c.done:
+		putBuf(cp)
 		c.mu.Lock()
 		c.inflight--
 		c.mu.Unlock()
@@ -151,8 +188,9 @@ func (c *Conn) sender(dst int) {
 	defer c.sending.Done()
 	for {
 		select {
-		case data := <-c.sendq[dst]:
-			err := c.deliverReliably(dst, data)
+		case bp := <-c.sendq[dst]:
+			err := c.deliverReliably(dst, *bp)
+			putBuf(bp)
 			c.mu.Lock()
 			c.inflight--
 			if err != nil && c.sendErr[dst] == nil && !c.closed {
@@ -283,11 +321,14 @@ func (c *Conn) transmit(p *packet, dst int) {
 			return
 		}
 	}
-	buf := p.encode()
+	bp := getBuf(headerSize + len(p.payload))
+	buf := *bp
+	p.encodeTo(buf)
 	if inj := c.opts.injector; inj != nil {
 		nowMs := float64(time.Since(c.epoch)) / float64(time.Millisecond)
 		fate := inj.Packet(c.rank, dst, nowMs)
 		if fate.Drop {
+			putBuf(bp)
 			return
 		}
 		write := func() { c.sock.WriteToUDP(buf, c.peers[dst]) }
@@ -295,13 +336,21 @@ func (c *Conn) transmit(p *packet, dst int) {
 			write()
 		}
 		if fate.DelayMs > 0 {
-			time.AfterFunc(time.Duration(fate.DelayMs*float64(time.Millisecond)), write)
+			// The deferred closure still aliases the pooled buffer: recycle
+			// it only after the delayed write fires, or the pool could hand
+			// the memory to another packet and corrupt this one mid-flight.
+			time.AfterFunc(time.Duration(fate.DelayMs*float64(time.Millisecond)), func() {
+				write()
+				putBuf(bp)
+			})
 			return
 		}
 		write()
+		putBuf(bp)
 		return
 	}
 	c.sock.WriteToUDP(buf, c.peers[dst])
+	putBuf(bp)
 }
 
 // reader receives datagrams and dispatches data and ack packets until the
@@ -353,13 +402,15 @@ func (c *Conn) handleData(p *packet) {
 		if p.fragCount == 0 || p.fragCount > 1<<20 {
 			return
 		}
-		r = &reasm{fragCount: p.fragCount, frags: make([][]byte, p.fragCount)}
+		r = &reasm{fragCount: p.fragCount, frags: make([]*[]byte, p.fragCount)}
 		c.reasm[p.src][p.seq] = r
 	}
 	if p.fragIdx >= r.fragCount || r.frags[p.fragIdx] != nil {
 		return // duplicate or inconsistent fragment
 	}
-	r.frags[p.fragIdx] = append([]byte(nil), p.payload...)
+	fb := getBuf(len(p.payload))
+	copy(*fb, p.payload)
+	r.frags[p.fragIdx] = fb
 	r.got++
 	r.lastFrag = time.Now()
 	// Deliver in-order complete messages.
@@ -368,14 +419,7 @@ func (c *Conn) handleData(p *packet) {
 		if !ok || next.got != next.fragCount {
 			break
 		}
-		total := 0
-		for _, f := range next.frags {
-			total += len(f)
-		}
-		msg := make([]byte, 0, total)
-		for _, f := range next.frags {
-			msg = append(msg, f...)
-		}
+		msg := next.assembleLocked()
 		delete(c.reasm[p.src], c.expected[p.src])
 		c.expected[p.src]++
 		c.inbox[p.src] = append(c.inbox[p.src], msg)
@@ -431,6 +475,7 @@ func (c *Conn) resetStaleLocked(src int, since time.Time) bool {
 	changed := false
 	for seq, r := range m {
 		if r.got < r.fragCount && r.lastFrag.Before(since) {
+			r.discardLocked()
 			delete(m, seq)
 			changed = true
 		}
@@ -457,14 +502,7 @@ func (c *Conn) resetStaleLocked(src int, since time.Time) bool {
 		if !ok || next.got != next.fragCount {
 			break
 		}
-		total := 0
-		for _, f := range next.frags {
-			total += len(f)
-		}
-		msg := make([]byte, 0, total)
-		for _, f := range next.frags {
-			msg = append(msg, f...)
-		}
+		msg := next.assembleLocked()
 		delete(m, c.expected[src])
 		c.expected[src]++
 		c.inbox[src] = append(c.inbox[src], msg)

@@ -149,14 +149,21 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, 
 			}
 		}
 	}
+	// Reusable halo buffers: Send copies its argument before returning and
+	// the decode scratch is consumed by the copy into the ghost row, so one
+	// encode buffer and one decode scratch serve every exchange of the run.
+	sendBuf := make([]byte, 0, 8*n)
+	ghostVals := make([]float64, 0, n)
 	sendBorders := func() error {
 		if hasNorth {
-			if err := tr.Send(north, mmps.EncodeFloat64s(cur[1])); err != nil {
+			sendBuf = mmps.AppendFloat64s(sendBuf[:0], cur[1])
+			if err := tr.Send(north, sendBuf); err != nil {
 				return err
 			}
 		}
 		if hasSouth {
-			if err := tr.Send(south, mmps.EncodeFloat64s(cur[rows])); err != nil {
+			sendBuf = mmps.AppendFloat64s(sendBuf[:0], cur[rows])
+			if err := tr.Send(south, sendBuf); err != nil {
 				return err
 			}
 		}
@@ -167,14 +174,14 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, 
 		if err != nil {
 			return err
 		}
-		vals, err := mmps.DecodeFloat64s(buf)
+		ghostVals, err = mmps.DecodeFloat64sInto(ghostVals[:0], buf)
 		if err != nil {
 			return err
 		}
-		if len(vals) != n {
-			return fmt.Errorf("ghost row of %d values, want %d", len(vals), n)
+		if len(ghostVals) != n {
+			return fmt.Errorf("ghost row of %d values, want %d", len(ghostVals), n)
 		}
-		copy(into, vals)
+		copy(into, ghostVals)
 		return nil
 	}
 	recvGhosts := func() error {

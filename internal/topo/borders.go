@@ -1,0 +1,70 @@
+package topo
+
+// SegmentCrosses reports whether any task in the contiguous rank segment
+// [lo, hi) has a neighbor outside the segment, for topology t over p total
+// ranks. For the contiguous placements the estimator searches over, this is
+// exactly "does this cluster have a border task" (BorderTasks[cluster] > 0)
+// — computed without building a Placement or allocating neighbor slices,
+// which keeps the estimate hot path allocation-free.
+//
+// The built-in topologies are special-cased; unknown implementations fall
+// back to Neighbors.
+func SegmentCrosses(t Topology, lo, hi, p int) bool {
+	if hi <= lo || p <= 1 || hi-lo >= p {
+		// Empty segment, a single task, or the whole rank space: no
+		// neighbor can be outside.
+		return false
+	}
+	switch tp := t.(type) {
+	case OneD:
+		// The line's only outward edges are at the segment's two ends.
+		return lo > 0 || hi < p
+	case Ring, Broadcast, AllToAll:
+		// Any proper sub-segment crosses: the ring wraps around, and the
+		// broadcast/all-to-all patterns connect every rank to rank 0 (or to
+		// everyone). hi-lo < p is established above.
+		return true
+	case Mesh2D:
+		rows, cols := tp.Dims(p)
+		for rank := lo; rank < hi; rank++ {
+			r, c := rank/cols, rank%cols
+			if r > 0 && outside((r-1)*cols+c, lo, hi) {
+				return true
+			}
+			if c > 0 && outside(rank-1, lo, hi) {
+				return true
+			}
+			if c < cols-1 && outside(rank+1, lo, hi) {
+				return true
+			}
+			if r < rows-1 && outside((r+1)*cols+c, lo, hi) {
+				return true
+			}
+		}
+		return false
+	case Tree:
+		for rank := lo; rank < hi; rank++ {
+			if rank > 0 && outside((rank-1)/2, lo, hi) {
+				return true
+			}
+			if l := 2*rank + 1; l < p && outside(l, lo, hi) {
+				return true
+			}
+			if r := 2*rank + 2; r < p && outside(r, lo, hi) {
+				return true
+			}
+		}
+		return false
+	default:
+		for rank := lo; rank < hi; rank++ {
+			for _, nb := range t.Neighbors(rank, p) {
+				if outside(nb, lo, hi) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+}
+
+func outside(rank, lo, hi int) bool { return rank < lo || rank >= hi }
