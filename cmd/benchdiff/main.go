@@ -12,6 +12,8 @@
 // beyond the threshold in time (ns/op) or allocations (allocs/op); -soft
 // downgrades regressions to warnings (exit 0), the mode CI uses on shared
 // noisy runners.
+//
+//netpart:deterministic
 package main
 
 import (

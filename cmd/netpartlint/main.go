@@ -1,0 +1,87 @@
+// netpartlint is the project's static-analysis gate: it runs the
+// internal/analysis suite — determinism, hotpath, poollifetime, obsnil,
+// errcheck — over the module and fails the build on any violation. The
+// analyzers machine-check the invariants the partitioner's correctness
+// rests on (see DESIGN.md §7 and the README's "Static analysis" section);
+// CI runs `go run ./cmd/netpartlint ./...` as a hard gate.
+//
+// Usage:
+//
+//	netpartlint [-list] [-v] [patterns ...]
+//
+// Patterns are go-tool style ("./...", "./internal/core"); the default is
+// "./..." from the enclosing module root. Exit status is 1 when any
+// diagnostic survives suppression, 2 on usage or load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"netpart/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("netpartlint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	verbose := fs.Bool("v", false, "report the packages checked")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers := analysis.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netpartlint:", err)
+		return 2
+	}
+	root, modPath, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netpartlint:", err)
+		return 2
+	}
+	loader := analysis.NewLoader(root, modPath)
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netpartlint:", err)
+		return 2
+	}
+	bad := 0
+	for _, pkg := range pkgs {
+		for _, e := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "netpartlint: %s: type error: %v\n", pkg.Path, e)
+			bad++
+		}
+		diags, err := analysis.Check(pkg, analyzers)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "netpartlint:", err)
+			return 2
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "netpartlint: %s: %d findings\n", pkg.Path, len(diags))
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			bad++
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "netpartlint: %d violations\n", bad)
+		return 1
+	}
+	return 0
+}

@@ -9,6 +9,8 @@
 //	          [-constants paper|fitted] [-search bisect|scan|exhaustive]
 //	          [-available sparc2=4,ipc=6]
 //	          [-explain] [-trace out.jsonl] [-metrics]
+//
+//netpart:deterministic
 package main
 
 import (
@@ -109,7 +111,9 @@ func run(o runOptions) error {
 			return err
 		}
 		compiled, err := annspec.CompileReader(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}
@@ -140,7 +144,9 @@ func run(o runOptions) error {
 			return err
 		}
 		loaded, err := cost.ReadTable(f)
-		f.Close()
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
 		if err != nil {
 			return err
 		}

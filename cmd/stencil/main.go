@@ -17,6 +17,8 @@
 // fault-tolerant protocol (RunLiveFT): buddy checkpointing every -ckpt
 // cycles, failure detection, and recovery by re-running the paper's
 // partitioning algorithm over the survivors.
+//
+//netpart:deterministic
 package main
 
 import (
@@ -277,7 +279,7 @@ func run(o runOptions) error {
 		}
 		defer func() {
 			for _, ep := range eps {
-				ep.Close()
+				_ = ep.Close() // best-effort teardown; the run's result is already in hand
 			}
 		}()
 		// Emulate the 2x slower IPCs by doubling their row work.
@@ -359,7 +361,7 @@ func run(o runOptions) error {
 				return err
 			}
 			if err := obs.WriteChromeTrace(f, rec.Events()); err != nil {
-				f.Close()
+				_ = f.Close() // the write error is the one worth reporting
 				return err
 			}
 			if err := f.Close(); err != nil {

@@ -45,11 +45,16 @@ func main() {
 	for i, c := range net.Clusters {
 		mgrs[i] = netpart.NewClusterManager(c)
 	}
+	must := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
 	// Users log into three of the four RS-6000s and one HP.
-	mgrs[2].SetLoad(0, 2.0)
-	mgrs[2].SetLoad(1, 1.5)
-	mgrs[2].SetLoad(2, 0.8)
-	mgrs[1].SetLoad(3, 1.2)
+	must(mgrs[2].SetLoad(0, 2.0))
+	must(mgrs[2].SetLoad(1, 1.5))
+	must(mgrs[2].SetLoad(2, 0.8))
+	must(mgrs[1].SetLoad(3, 1.2))
 
 	// Cooperative exchange: every manager learns every cluster's state.
 	world, err := netpart.NewLocalWorld(len(mgrs))

@@ -57,7 +57,7 @@ func main() {
 			}
 			res, err := netpart.RunStencilLive(world, tc.vec, netpart.STEN2, n, iters, workFactors)
 			for _, tr := range world {
-				tr.Close()
+				_ = tr.Close() // best-effort teardown between repetitions
 			}
 			if err != nil {
 				log.Fatal(err)

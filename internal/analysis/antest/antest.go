@@ -1,0 +1,113 @@
+// Package antest is the fixture-driven test harness for netpartlint's
+// analyzers, a small stand-in for golang.org/x/tools/go/analysis/analysistest
+// (which the offline build cannot vendor). A fixture is one Go package under
+// testdata/src/<name>; expected findings are declared in the source itself
+// with trailing comments of the form
+//
+//	x := time.Now() // want `time\.Now reads the wall clock`
+//
+// Each backtick-quoted fragment is a regular expression that must match the
+// message of exactly one diagnostic reported on that line; diagnostics
+// without a matching want, and wants without a matching diagnostic, fail the
+// test. Suppression comments (//nolint:netpart ...) are processed exactly as
+// in production — wants describe the diagnostics that survive them.
+package antest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"netpart/internal/analysis"
+)
+
+// wantFragRe extracts the backtick-quoted message patterns of a want
+// comment.
+var wantFragRe = regexp.MustCompile("`([^`]+)`")
+
+// want is one expected diagnostic.
+type want struct {
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package in dir, runs the analyzers, and matches the
+// surviving diagnostics against the fixture's want comments.
+func Run(t *testing.T, analyzers []*analysis.Analyzer, dir string) {
+	t.Helper()
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := analysis.NewLoader(dir, "fixture/"+filepath.Base(dir))
+	pkgs, err := l.Load(".")
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("load %s: got %d packages, want 1", dir, len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture does not typecheck: %v", terr)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	wants := collectWants(pkg)
+	diags, err := analysis.Check(pkg, analyzers)
+	if err != nil {
+		t.Fatalf("check %s: %v", dir, err)
+	}
+	for _, d := range diags {
+		if !claim(wants[lineKey(d.Pos.Filename, d.Pos.Line)], d.Message) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+// collectWants parses every want comment of the fixture, keyed by file:line.
+func collectWants(pkg *analysis.Package) map[string][]*want {
+	out := map[string][]*want{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey(pos.Filename, pos.Line)
+				for _, m := range wantFragRe.FindAllStringSubmatch(c.Text[idx:], -1) {
+					out[key] = append(out[key], &want{re: regexp.MustCompile(m[1])})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// claim marks the first unmatched want whose pattern matches the message.
+func claim(ws []*want, message string) bool {
+	for _, w := range ws {
+		if !w.matched && w.re.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func lineKey(filename string, line int) string {
+	return fmt.Sprintf("%s:%d", filename, line)
+}

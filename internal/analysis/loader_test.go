@@ -1,0 +1,51 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"netpart/internal/analysis"
+)
+
+// TestModuleLoadsAndIsLintClean loads the whole module through the
+// source-level loader and asserts two invariants at once: every package
+// typechecks (the loader is trustworthy), and the full analyzer suite
+// reports zero violations on the tree as committed — the same gate
+// cmd/netpartlint enforces in CI, here kept under plain `go test`.
+func TestModuleLoadsAndIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module from source")
+	}
+	root, modPath, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := analysis.NewLoader(root, modPath)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 25 {
+		t.Fatalf("loaded %d packages, expected the full module (>= 25)", len(pkgs))
+	}
+	seen := map[string]bool{}
+	for _, pkg := range pkgs {
+		seen[pkg.Path] = true
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: typecheck: %v", pkg.Path, terr)
+		}
+	}
+	for _, must := range []string{"netpart", "netpart/internal/core", "netpart/internal/obs", "netpart/internal/mmps"} {
+		if !seen[must] {
+			t.Errorf("package %s missing from ./... expansion", must)
+		}
+	}
+	for _, pkg := range pkgs {
+		diags, err := analysis.Check(pkg, analysis.Analyzers())
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("committed tree must be lint-clean: %s", d)
+		}
+	}
+}

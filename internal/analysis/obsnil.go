@@ -1,0 +1,266 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ObsNil enforces the "instrumentation can never panic a run" contract of
+// the observability layer. Observability is strictly optional everywhere in
+// this repository — a nil observer, recorder, or metrics registry must cost
+// nothing and crash nothing — and that property is what lets every runtime
+// (spmd, stencil, simnet, mmps) thread hooks unconditionally. Two rules:
+//
+//   - In packages marked //netpart:nilsafe (internal/obs), every exported
+//     method with a pointer receiver that touches a receiver field must
+//     nil-guard the receiver (if r == nil { return ... }, possibly inside a
+//     ||-chain) before the first field access, making the zero and nil
+//     values universally safe. Methods that only delegate to other
+//     (guarded) methods are accepted without a guard.
+//
+//   - Calls through an interface whose declaration is marked
+//     //netpart:nilhook (core.Observer, core.EventSink) must be nil-guarded
+//     at the call site: either enclosed in `if x != nil { ... }` or
+//     preceded by an `if x == nil { return }` early exit in the same
+//     function — a nil interface cannot protect itself the way a nil
+//     pointer receiver can.
+var ObsNil = &Analyzer{
+	Name: "obsnil",
+	Doc:  "requires nil-receiver guards in //netpart:nilsafe packages and nil-guarded calls through //netpart:nilhook interfaces",
+	Run:  runObsNil,
+}
+
+func runObsNil(pass *Pass) error {
+	if packageHasDirective(pass.Files, "netpart:nilsafe") {
+		for _, fd := range enclosingFuncDecls(pass.Files) {
+			checkNilSafeMethod(pass, fd)
+		}
+	}
+	hooks := nilHookInterfaces(pass)
+	if len(hooks) > 0 {
+		for _, fd := range enclosingFuncDecls(pass.Files) {
+			checkHookCalls(pass, fd, hooks)
+		}
+	}
+	return nil
+}
+
+// checkNilSafeMethod verifies one method honors the nil-receiver contract.
+func checkNilSafeMethod(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || !fd.Name.IsExported() {
+		return
+	}
+	recvField := fd.Recv.List[0]
+	if _, isPtr := recvField.Type.(*ast.StarExpr); !isPtr {
+		return // value receivers cannot be nil
+	}
+	if len(recvField.Names) == 0 || recvField.Names[0].Name == "_" {
+		return // receiver unused entirely
+	}
+	recvObj := pass.TypesInfo.Defs[recvField.Names[0]]
+	if recvObj == nil {
+		return
+	}
+	if !nodeTouchesFields(pass.TypesInfo, fd.Body, recvObj) {
+		return // pure delegation (e.g. Inc calling Add) is nil-safe already
+	}
+	if nilGuardBeforeFieldUse(pass.TypesInfo, fd, recvObj) {
+		return
+	}
+	pass.Reportf(fd.Name.Pos(), "exported method %s on pointer receiver dereferences fields without a leading nil-receiver guard; nilsafe packages promise nil receivers are no-ops", fd.Name.Name)
+}
+
+// nodeTouchesFields reports whether the subtree reads or writes a field
+// through the receiver (directly or via embedding), or dereferences it.
+func nodeTouchesFields(info *types.Info, node ast.Node, recv types.Object) bool {
+	touches := false
+	ast.Inspect(node, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if identObj(info, x.X) == recv {
+				if sel, ok := info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+					touches = true
+				}
+			}
+		case *ast.StarExpr:
+			if identObj(info, x.X) == recv {
+				touches = true
+			}
+		}
+		return !touches
+	})
+	return touches
+}
+
+// nilGuardBeforeFieldUse reports whether a terminating `if recv == nil`
+// guard appears among the body's leading statements, before any statement
+// that touches a receiver field. The guard condition may be a ||-chain: if
+// any disjunct compares the receiver to nil, a nil receiver still takes the
+// branch (`if h == nil || other == nil { return }`).
+func nilGuardBeforeFieldUse(info *types.Info, fd *ast.FuncDecl, recv types.Object) bool {
+	for _, stmt := range fd.Body.List {
+		if ifs, ok := stmt.(*ast.IfStmt); ok && ifs.Init == nil &&
+			condNilChecksRecv(info, ifs.Cond, recv) && terminates(ifs.Body) {
+			return true
+		}
+		if nodeTouchesFields(info, stmt, recv) {
+			return false
+		}
+	}
+	return false
+}
+
+// condNilChecksRecv reports whether the condition is `recv == nil`, possibly
+// as one disjunct of a ||-chain.
+func condNilChecksRecv(info *types.Info, cond ast.Expr, recv types.Object) bool {
+	if be, ok := ast.Unparen(cond).(*ast.BinaryExpr); ok && be.Op.String() == "||" {
+		return condNilChecksRecv(info, be.X, recv) || condNilChecksRecv(info, be.Y, recv)
+	}
+	operand, isEq, ok := nilComparison(cond)
+	return ok && isEq && identObj(info, operand) == recv
+}
+
+// terminates reports whether a block's last statement leaves the function
+// (return or panic).
+func terminates(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nilHookInterfaces collects the named interface types in this package
+// whose declarations carry //netpart:nilhook.
+func nilHookInterfaces(pass *Pass) map[*types.TypeName]bool {
+	hooks := map[*types.TypeName]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				if _, isIface := ts.Type.(*ast.InterfaceType); !isIface {
+					continue
+				}
+				if !hasDirective(ts.Doc, "netpart:nilhook") && !hasDirective(gd.Doc, "netpart:nilhook") {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					hooks[tn] = true
+				}
+			}
+		}
+	}
+	return hooks
+}
+
+// checkHookCalls flags method calls through hook interfaces that are not
+// nil-guarded at the call site.
+func checkHookCalls(pass *Pass, fd *ast.FuncDecl, hooks map[*types.TypeName]bool) {
+	info := pass.TypesInfo
+	walkStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		t := info.TypeOf(sel.X)
+		if t == nil || !isHookType(t, hooks) {
+			return true
+		}
+		key := exprText(sel.X)
+		if guardedByAncestor(info, key, call, stack) || guardedByEarlyReturn(info, key, call, stack) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "call to %s.%s is not nil-guarded; wrap it in `if %s != nil` or return early when nil (a nil hook must never panic a run)", key, sel.Sel.Name, key)
+		return true
+	})
+}
+
+// isHookType reports whether t names one of the hook interfaces.
+func isHookType(t types.Type, hooks map[*types.TypeName]bool) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return hooks[named.Obj()]
+}
+
+// guardedByAncestor reports whether the call sits inside the body of an
+// `if <key> != nil` (possibly conjoined with &&).
+func guardedByAncestor(info *types.Info, key string, call *ast.CallExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifs, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		// The call must be inside the then-branch, not the condition/else.
+		if call.Pos() < ifs.Body.Pos() || call.End() > ifs.Body.End() {
+			continue
+		}
+		if condGuardsNonNil(info, ifs.Cond, key) {
+			return true
+		}
+	}
+	return false
+}
+
+// condGuardsNonNil reports whether the condition establishes key != nil
+// (directly or as one conjunct of &&).
+func condGuardsNonNil(info *types.Info, cond ast.Expr, key string) bool {
+	if be, ok := ast.Unparen(cond).(*ast.BinaryExpr); ok && be.Op.String() == "&&" {
+		return condGuardsNonNil(info, be.X, key) || condGuardsNonNil(info, be.Y, key)
+	}
+	operand, isEq, ok := nilComparison(cond)
+	if !ok || isEq {
+		return false
+	}
+	return exprText(operand) == key
+}
+
+// guardedByEarlyReturn reports whether, in one of the enclosing statement
+// lists, an `if <key> == nil { return }` precedes the statement containing
+// the call.
+func guardedByEarlyReturn(info *types.Info, key string, call *ast.CallExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		block, ok := stack[i].(*ast.BlockStmt)
+		if !ok {
+			continue
+		}
+		for _, stmt := range block.List {
+			if stmt.End() >= call.Pos() {
+				break // only statements strictly before the call guard it
+			}
+			ifs, ok := stmt.(*ast.IfStmt)
+			if !ok {
+				continue
+			}
+			operand, isEq, ok := nilComparison(ifs.Cond)
+			if !ok || !isEq || !terminates(ifs.Body) {
+				continue
+			}
+			if exprText(operand) == key {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"netpart/internal/analysis"
+	"netpart/internal/analysis/antest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("testdata", "src", name)
+}
+
+func TestDeterminism(t *testing.T) {
+	antest.Run(t, []*analysis.Analyzer{analysis.Determinism}, fixture("determinism"))
+}
+
+func TestHotPath(t *testing.T) {
+	antest.Run(t, []*analysis.Analyzer{analysis.HotPath}, fixture("hotpath"))
+}
+
+func TestPoolLifetime(t *testing.T) {
+	antest.Run(t, []*analysis.Analyzer{analysis.PoolLifetime}, fixture("poollifetime"))
+}
+
+func TestObsNil(t *testing.T) {
+	antest.Run(t, []*analysis.Analyzer{analysis.ObsNil}, fixture("obsnil"))
+}
+
+func TestErrCheck(t *testing.T) {
+	antest.Run(t, []*analysis.Analyzer{analysis.ErrCheck}, fixture("errcheck"))
+}
+
+// TestSuppression runs the full suite so the //nolint:netpart machinery is
+// exercised exactly as cmd/netpartlint runs it: justified suppressions
+// silence findings, scoped suppressions only silence their analyzer, and a
+// missing reason is a finding in its own right.
+func TestSuppression(t *testing.T) {
+	antest.Run(t, analysis.Analyzers(), fixture("nolint"))
+}

@@ -1,0 +1,35 @@
+// Package errcheck is the fixture for the discarded-error analyzer; the
+// directive opts it in the way package main is opted in implicitly.
+//
+//netpart:checkerrors
+package errcheck
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func discarded(f *os.File) {
+	f.Close() // want `f\.Close returns an error that is discarded`
+}
+
+func handled(f *os.File) error {
+	return f.Close()
+}
+
+func explicit(f *os.File) {
+	_ = f.Close() // visible decision: accepted
+}
+
+func deferred(f *os.File) {
+	defer f.Close() // deferred close on read paths: accepted idiom
+}
+
+func exemptFmt() {
+	fmt.Println("fmt printers are exempt")
+}
+
+func exemptBuilder(sb *strings.Builder) {
+	sb.WriteString("never fails")
+}

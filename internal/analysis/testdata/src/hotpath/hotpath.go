@@ -1,0 +1,93 @@
+// Package hotpath is the fixture for the zero-allocation hot-path analyzer.
+package hotpath
+
+import "fmt"
+
+type codec struct {
+	scratch []float64
+}
+
+// hotSum allocates a fresh buffer on every call.
+//
+//netpart:hotpath
+func (c *codec) hotSum(xs []float64) float64 {
+	tmp := make([]float64, len(xs)) // want `make allocates on the hot path`
+	copy(tmp, xs)
+	var s float64
+	for _, v := range tmp {
+		s += v
+	}
+	return s
+}
+
+// hotLog formats on the hot path.
+//
+//netpart:hotpath
+func (c *codec) hotLog(v float64) {
+	fmt.Println("value", v) // want `fmt\.Println allocates`
+}
+
+// hotGrow appends through an unsized local.
+//
+//netpart:hotpath
+func (c *codec) hotGrow(xs []float64) {
+	var local []float64
+	for _, v := range xs {
+		local = append(local, v) // want `append to unsized local slice "local"`
+	}
+	c.scratch = local
+}
+
+// hotClosure returns a capturing closure.
+//
+//netpart:hotpath
+func (c *codec) hotClosure() func() float64 {
+	total := 0.0
+	return func() float64 { // want `closure captures "total"`
+		return total
+	}
+}
+
+// hotBox takes the address of a composite literal.
+//
+//netpart:hotpath
+func (c *codec) hotBox() *codec {
+	return &codec{} // want `&composite literal escapes to the heap`
+}
+
+// hotGuarded allocates only inside the two sanctioned guards: no findings.
+//
+//netpart:hotpath
+func (c *codec) hotGuarded(xs []float64) []float64 {
+	if cap(c.scratch) < len(xs) {
+		c.scratch = make([]float64, 0, len(xs))
+	}
+	buf := c.scratch[:0]
+	buf = append(buf, xs...)
+	return buf
+}
+
+// hotLazy initializes lazily behind a nil guard: no findings.
+//
+//netpart:hotpath
+func (c *codec) hotLazy() []float64 {
+	if c.scratch == nil {
+		c.scratch = make([]float64, 0, 8)
+	}
+	return c.scratch
+}
+
+// hotErr builds its error only on the failure return: no findings.
+//
+//netpart:hotpath
+func (c *codec) hotErr(n int) error {
+	if n < 0 {
+		return fmt.Errorf("negative %d", n)
+	}
+	return nil
+}
+
+// cold is unannotated; allocation is fine here.
+func (c *codec) cold() []float64 {
+	return make([]float64, 16)
+}

@@ -1,0 +1,78 @@
+// Package obsnil is the fixture for the nil-safety analyzer.
+//
+//netpart:nilsafe
+package obsnil
+
+// Hook is an observability interface whose call sites must nil-guard.
+//
+//netpart:nilhook
+type Hook interface {
+	OnEvent(name string)
+}
+
+// Counter is a nil-safe metric.
+type Counter struct {
+	n int64
+}
+
+// Inc is guarded up front: no finding.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Bad dereferences a field with no guard at all.
+func (c *Counter) Bad() int64 { // want `exported method Bad on pointer receiver`
+	return c.n
+}
+
+// MergeFrom guards through a ||-chain: no finding.
+func (c *Counter) MergeFrom(other *Counter) {
+	if c == nil || other == nil {
+		return
+	}
+	c.n += other.n
+}
+
+// Value guards after a field-free prologue: no finding.
+func (c *Counter) Value() int64 {
+	var zero int64
+	if c == nil {
+		return zero
+	}
+	return c.n
+}
+
+// Peek only delegates to a guarded method: no finding.
+func (c *Counter) Peek() int64 {
+	return c.Value()
+}
+
+type runner struct {
+	hook Hook
+}
+
+func (r *runner) emitGuarded(name string) {
+	if r.hook != nil {
+		r.hook.OnEvent(name)
+	}
+}
+
+func (r *runner) emitEarly(name string) {
+	if r.hook == nil {
+		return
+	}
+	r.hook.OnEvent(name)
+}
+
+func (r *runner) emitConjoined(name string, ok bool) {
+	if ok && r.hook != nil {
+		r.hook.OnEvent(name)
+	}
+}
+
+func (r *runner) emitBad(name string) {
+	r.hook.OnEvent(name) // want `call to r\.hook\.OnEvent is not nil-guarded`
+}

@@ -1,0 +1,56 @@
+// Package poollifetime is the fixture for the sync.Pool lifetime analyzer.
+package poollifetime
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 64); return &b }}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+func putBuf(bp *[]byte) { bufPool.Put(bp) }
+
+func useAfterPut() int {
+	bp := getBuf()
+	putBuf(bp)
+	return len(*bp) // want `pooled buffer "bp" used after Put`
+}
+
+func doublePut() {
+	bp := getBuf()
+	putBuf(bp)
+	putBuf(bp) // want `pooled buffer "bp" recycled twice`
+}
+
+func aliasAfterPut() int {
+	bp := getBuf()
+	buf := *bp
+	putBuf(bp)
+	return len(buf) // want `pooled buffer "buf" used after Put`
+}
+
+func directGet() *[]byte {
+	return bufPool.Get().(*[]byte) // want `direct sync\.Pool\.Get outside a get\*/put\* accessor`
+}
+
+func reassigned() int {
+	bp := getBuf()
+	putBuf(bp)
+	bp = getBuf() // whole reassignment revives the variable
+	n := len(*bp)
+	putBuf(bp)
+	return n
+}
+
+func branchIsolated(ok bool) {
+	bp := getBuf()
+	if ok {
+		putBuf(bp) // puts inside a branch do not poison the other branch
+	} else {
+		putBuf(bp)
+	}
+}
+
+func delayedPut() func() {
+	bp := getBuf()
+	return func() { putBuf(bp) } // closures run later: analyzed with a clean slate
+}

@@ -5,6 +5,8 @@
 // gives their complexities as arithmetic expressions over problem
 // parameters (e.g. "5*N"); the compiler parses the expressions once and
 // emits closures evaluating them at partitioning time.
+//
+//netpart:deterministic
 package annspec
 
 import (

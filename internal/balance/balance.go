@@ -10,6 +10,8 @@
 //   - Benchmarking-based selection in the style of Reeves et al. [1] — a
 //     fixed set of candidate configurations is probed by running the
 //     actual application briefly on each.
+//
+//netpart:deterministic
 package balance
 
 import (

@@ -5,6 +5,8 @@
 // The resulting cost.Table is what the runtime partitioning method consults
 // — it never sees the simulator's raw parameters, so predictions versus
 // simulated measurements are a genuine test of the method.
+//
+//netpart:deterministic
 package commbench
 
 import (

@@ -5,6 +5,8 @@
 // and type of processors to apply to a data parallel computation and a
 // load-balanced decomposition of the data domain (the partition vector) so
 // as to minimize estimated per-cycle elapsed time.
+//
+//netpart:deterministic
 package core
 
 import (

@@ -157,6 +157,8 @@ func (e *Estimator) Evaluations() int { return e.evaluations }
 func (e *Estimator) ResetEvaluations() { e.evaluations = 0 }
 
 // cluster resolves a cluster by name through the lazily built cache.
+//
+//netpart:hotpath
 func (e *Estimator) cluster(name string) *model.Cluster {
 	if e.clusterOf == nil {
 		e.clusterOf = make(map[string]*model.Cluster, len(e.Net.Clusters))
@@ -179,6 +181,8 @@ func (e *Estimator) cluster(name string) *model.Cluster {
 // The returned Estimate's Shares alias the estimator's reusable scratch
 // buffer (the nil-Observer path performs no heap allocations); they are
 // valid until the next Estimate call on this estimator. Retain with Detach.
+//
+//netpart:hotpath
 func (e *Estimator) Estimate(cfg cost.Config) (Estimate, error) {
 	e.evaluations++
 	est := Estimate{Config: cfg}
@@ -278,6 +282,8 @@ func (e *Estimator) Estimate(cfg cost.Config) (Estimate, error) {
 // realSharesInto computes Eq. 3 into the estimator's scratch buffer with
 // arithmetic identical to RealShares (same accumulation order, so results
 // are bit-for-bit equal), but without allocating.
+//
+//netpart:hotpath
 func (e *Estimator) realSharesInto(cfg cost.Config, numPDUs int, class model.OpClass) ([]float64, error) {
 	k := len(cfg.Clusters)
 	s := &e.scratch
@@ -308,6 +314,8 @@ func (e *Estimator) realSharesInto(cfg cost.Config, numPDUs int, class model.OpC
 // activeInto fills the scratch active-cluster views: names and counts of
 // the clusters with nonzero counts in placement order, plus each one's
 // index into cfg.Clusters.
+//
+//netpart:hotpath
 func (e *Estimator) activeInto(cfg cost.Config) (names []string, counts, actIdx []int) {
 	s := &e.scratch
 	s.names = s.names[:0]
@@ -325,6 +333,8 @@ func (e *Estimator) activeInto(cfg cost.Config) (names []string, counts, actIdx 
 
 // topologyOf resolves the communication phase's topology, caching the
 // dispatch per phase identity so repeated probes skip the registry.
+//
+//netpart:hotpath
 func (e *Estimator) topologyOf(comm *CommunicationPhase) (topo.Topology, error) {
 	if comm == e.lastComm && e.lastTopo != nil {
 		return e.lastTopo, nil
@@ -351,6 +361,8 @@ func (e *Estimator) EstimateFor(cfg cost.Config, cluster string, p int) (Estimat
 // replaced by p — the search's per-probe configuration vector, built
 // without allocating. The buffer is valid until the next probeCounts or
 // scratchCounts call.
+//
+//netpart:hotpath
 func (e *Estimator) probeCounts(counts []int, k, p int) []int {
 	probe := e.scratchCounts(counts)
 	probe[k] = p
@@ -358,6 +370,8 @@ func (e *Estimator) probeCounts(counts []int, k, p int) []int {
 }
 
 // scratchCounts copies counts into the reusable probe buffer.
+//
+//netpart:hotpath
 func (e *Estimator) scratchCounts(counts []int) []int {
 	s := &e.scratch
 	if cap(s.probe) < len(counts) {
@@ -403,6 +417,8 @@ func (e *Estimator) searchEvent(ev SearchEvent) {
 // (C2 + b·C4 of the source cluster) and pays the router penalty when the
 // destination is on another segment; the transmissions serialize through
 // the root's channel, so the costs sum.
+//
+//netpart:hotpath
 func (e *Estimator) startupCost(cfg cost.Config, shares []float64) float64 {
 	names, counts, actIdx := e.activeInto(cfg)
 	if len(names) == 0 || cfg.Total() <= 1 {
@@ -454,6 +470,8 @@ func (e *Estimator) startupCost(cfg cost.Config, shares []float64) float64 {
 // omits the extra station. Border detection uses topo.SegmentCrosses on the
 // contiguous placement's rank ranges, so no placement is materialized and
 // the path stays allocation-free.
+//
+//netpart:hotpath
 func (e *Estimator) commCost(tp topo.Topology, b float64, cfg cost.Config) (float64, error) {
 	names, counts, _ := e.activeInto(cfg)
 	if len(names) == 0 || (len(names) == 1 && counts[0] == 1) {
@@ -492,6 +510,7 @@ func (e *Estimator) commCost(tp topo.Topology, b float64, cfg cost.Config) (floa
 	return worst, nil
 }
 
+//netpart:hotpath
 func (e *Estimator) crossPenalty(active []string, from string, b float64) float64 {
 	worst := 0.0
 	for _, other := range active {

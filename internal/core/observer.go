@@ -17,6 +17,8 @@ import (
 //
 // Estimator.Observer is nil by default; a nil observer adds no work and no
 // allocations to the estimate hot path.
+//
+//netpart:nilhook
 type Observer interface {
 	// OnCandidate reports one evaluated candidate configuration.
 	OnCandidate(Candidate)
@@ -110,6 +112,8 @@ func (m MultiObserver) OnSearch(ev SearchEvent) {
 // EventSink abstracts a structured event stream; *obs.Recorder satisfies
 // it. Declared here structurally so core does not depend on the obs
 // package.
+//
+//netpart:nilhook
 type EventSink interface {
 	Emit(kind string, fields map[string]any)
 }

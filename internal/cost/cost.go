@@ -7,6 +7,8 @@
 // clusters, and the least-squares fitting used to construct the models from
 // offline benchmark measurements. All times are in milliseconds and message
 // sizes in bytes.
+//
+//netpart:deterministic
 package cost
 
 import (

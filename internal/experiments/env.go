@@ -3,6 +3,8 @@
 // DESIGN.md calls out. Each experiment returns structured data and has a
 // Render function producing the text table printed by cmd/experiments;
 // bench_test.go at the repository root wraps each in a testing.B benchmark.
+//
+//netpart:deterministic
 package experiments
 
 import (

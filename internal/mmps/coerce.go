@@ -20,6 +20,8 @@ func EncodeFloat64s(values []float64) []byte {
 // extended slice — the allocation-free variant for hot loops that reuse a
 // scratch buffer (Transport.Send copies, so the buffer may be reused as
 // soon as Send returns).
+//
+//netpart:hotpath
 func AppendFloat64s(dst []byte, values []float64) []byte {
 	off := len(dst)
 	if need := off + 8*len(values); cap(dst) < need {
@@ -42,6 +44,8 @@ func DecodeFloat64s(buf []byte) ([]float64, error) {
 // DecodeFloat64sInto parses a big-endian float64 slice into dst's capacity
 // (appending from dst's length), returning the extended slice. Pass a
 // reused scratch as dst[:0] for an allocation-free decode.
+//
+//netpart:hotpath
 func DecodeFloat64sInto(dst []float64, buf []byte) ([]float64, error) {
 	if len(buf)%8 != 0 {
 		return nil, fmt.Errorf("mmps: float64 payload of %d bytes", len(buf))

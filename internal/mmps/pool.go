@@ -15,6 +15,8 @@ import "sync"
 var bufPool = sync.Pool{New: func() any { return new([]byte) }}
 
 // getBuf returns a boxed buffer of length n (reusing pooled capacity).
+//
+//netpart:hotpath
 func getBuf(n int) *[]byte {
 	p := bufPool.Get().(*[]byte)
 	if cap(*p) < n {
@@ -27,4 +29,6 @@ func getBuf(n int) *[]byte {
 // putBuf recycles a boxed buffer obtained from getBuf. The caller must not
 // touch the buffer afterward: the next getBuf may hand the same memory to
 // another goroutine.
+//
+//netpart:hotpath
 func putBuf(p *[]byte) { bufPool.Put(p) }

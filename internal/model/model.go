@@ -7,6 +7,8 @@
 //
 // All times in this package (and throughout the repository) are expressed in
 // milliseconds, matching the units of the paper's published cost constants.
+//
+//netpart:deterministic
 package model
 
 import (

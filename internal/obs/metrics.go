@@ -9,6 +9,8 @@
 // estimator/search layer (internal/core), the SPMD runtimes (internal/spmd,
 // internal/stencil, internal/simnet, internal/mmps), and all four commands
 // thread through this package.
+//
+//netpart:nilsafe
 package obs
 
 import (

@@ -12,6 +12,8 @@
 // force step, emigrant exchange after the move step) is bit-exact with the
 // sequential reference: all force sums iterate neighbors in ascending
 // particle-ID order regardless of which task owns them.
+//
+//netpart:deterministic
 package particles
 
 import (

@@ -19,6 +19,8 @@
 // cycle time with latency slope 2σ per processor and bandwidth slope
 // 2·(1/R + h) per byte per processor — exactly the c2·p and c4·p·b terms
 // the paper fits.
+//
+//netpart:deterministic
 package simnet
 
 import (

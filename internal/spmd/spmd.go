@@ -6,6 +6,8 @@
 //
 // Application packages (stencil, gauss) provide the task body; this package
 // owns placement, spawning, neighbor exchange helpers, and synchronization.
+//
+//netpart:deterministic
 package spmd
 
 import (

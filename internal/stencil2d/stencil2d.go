@@ -17,6 +17,8 @@
 // rectilinear partitioning is outside the paper's partition-vector
 // abstraction. Correctness holds for any configuration; load balance is
 // only achieved on same-speed processors.
+//
+//netpart:deterministic
 package stencil2d
 
 import (

@@ -5,6 +5,8 @@
 // neighbors it exchanges messages with during one communication cycle, and
 // whether the pattern is bandwidth-limited (every message contends for the
 // same channel capacity regardless of locality, as in broadcast).
+//
+//netpart:deterministic
 package topo
 
 import (

@@ -1,6 +1,8 @@
 // Package trace provides small statistics and timing utilities used by the
 // benchmarking and experiment harnesses: streaming sample accumulation,
 // summary statistics, and repeated-run aggregation.
+//
+//netpart:deterministic
 package trace
 
 import (
