@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"netpart"
+	"netpart/internal/analysis"
 	"netpart/internal/commbench"
 	"netpart/internal/core"
 	"netpart/internal/experiments"
@@ -475,6 +476,35 @@ func BenchmarkEstimateObserver(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkLintWholeTree measures one full netpartlint analyzer pass —
+// including the CFG/dataflow engine (concsafety, poolflow) and the
+// cross-package units propagation — over every package of the module. The
+// module is loaded and typechecked once outside the timer: the regression
+// target is analyzer cost, which the flow-sensitive passes dominate.
+func BenchmarkLintWholeTree(b *testing.B) {
+	root, modPath, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkgs, err := analysis.NewLoader(root, modPath).Load("./...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	analyzers := analysis.Analyzers()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, pkg := range pkgs {
+			diags, err := analysis.Check(pkg, analyzers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(diags) != 0 {
+				b.Fatalf("tree not lint-clean: %s", diags[0])
+			}
+		}
 	}
 }
 

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,7 +27,7 @@ func main() {
 	which := flag.String("experiment", "all", "experiment to run: all, table1, table2, fig1, fig2, fig3, costfit, overhead, gauss, ablations, adaptive, metasystem, startup, implselect, particles, selectioncost, noise, faulttol")
 	constants := flag.String("constants", "paper", "cost table for table1: 'paper' (published constants) or 'fitted' (benchmarked from the simulator)")
 	n := flag.Int("n", 600, "problem size for fig3 and gauss")
-	jobs := flag.Int("j", 0, "worker pool size for the parallel experiment engine (0 = GOMAXPROCS, 1 = serial); output is identical at any setting")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size for the parallel experiment engine (1 = serial); output is identical at any setting")
 	showMetrics := flag.Bool("metrics", false, "print per-section wall-clock metrics at exit")
 	flag.Parse()
 
@@ -37,6 +38,9 @@ func main() {
 }
 
 func run(which, constants string, n, jobs int, showMetrics bool) error {
+	if jobs < 1 {
+		return fmt.Errorf("invalid -j %d: the worker pool needs at least one worker (use -j 1 for a serial run)", jobs)
+	}
 	var metrics *obs.Registry
 	if showMetrics {
 		metrics = obs.NewRegistry()

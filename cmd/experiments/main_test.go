@@ -1,25 +1,43 @@
 package main
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestRunSingleExperiments(t *testing.T) {
 	// The cheap experiments exercise the full dispatch path (each builds
 	// the benchmarked environment).
 	for _, which := range []string{"fig1", "fig2", "costfit", "overhead"} {
-		if err := run(which, "paper", 60, 0, false); err != nil {
+		if err := run(which, "paper", 60, 1, false); err != nil {
 			t.Fatalf("%s: %v", which, err)
 		}
 	}
 }
 
 func TestRunTable1Fitted(t *testing.T) {
-	if err := run("table1", "fitted", 60, 0, true); err != nil {
+	if err := run("table1", "fitted", 60, 2, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", "paper", 60, 0, false); err == nil {
+	if err := run("bogus", "paper", 60, 1, false); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+}
+
+// TestRunRejectsBadJobs: a worker pool below one worker is a usage error
+// caught before any environment is built, with the flag named in the
+// message so the operator knows what to fix.
+func TestRunRejectsBadJobs(t *testing.T) {
+	for _, jobs := range []int{0, -1, -8} {
+		err := run("fig1", "paper", 60, jobs, false)
+		if err == nil {
+			t.Fatalf("jobs=%d accepted, want an error", jobs)
+		}
+		if !strings.Contains(err.Error(), "-j") {
+			t.Errorf("jobs=%d error %q does not name the -j flag", jobs, err)
+		}
 	}
 }

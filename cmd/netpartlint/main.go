@@ -1,22 +1,28 @@
 // netpartlint is the project's static-analysis gate: it runs the
-// internal/analysis suite — determinism, hotpath, poollifetime, obsnil,
-// errcheck — over the module and fails the build on any violation. The
+// internal/analysis suite — determinism, hotpath, poollifetime, poolflow,
+// concsafety, units, obsnil, errcheck — over the module and fails the
+// build on any violation. The
 // analyzers machine-check the invariants the partitioner's correctness
 // rests on (see DESIGN.md §7 and the README's "Static analysis" section);
 // CI runs `go run ./cmd/netpartlint ./...` as a hard gate.
 //
 // Usage:
 //
-//	netpartlint [-list] [-v] [patterns ...]
+//	netpartlint [-list] [-v] [-json] [patterns ...]
 //
 // Patterns are go-tool style ("./...", "./internal/core"); the default is
-// "./..." from the enclosing module root. Exit status is 1 when any
-// diagnostic survives suppression, 2 on usage or load errors.
+// "./..." from the enclosing module root. With -json the findings are
+// emitted as NDJSON (one object per line: file, line, analyzer, message,
+// suppressed) including suppressed ones, so tooling can audit what was
+// waived; suppressed entries never affect the exit status. Exit status is
+// 1 when any diagnostic survives suppression, 2 on usage or load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"netpart/internal/analysis"
@@ -30,6 +36,7 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("netpartlint", flag.ExitOnError)
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	verbose := fs.Bool("v", false, "report the packages checked")
+	asJSON := fs.Bool("json", false, "emit findings as NDJSON, including suppressed ones")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,13 +73,26 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "netpartlint: %s: type error: %v\n", pkg.Path, e)
 			bad++
 		}
-		diags, err := analysis.Check(pkg, analyzers)
+		check := analysis.Check
+		if *asJSON {
+			check = analysis.CheckAll
+		}
+		diags, err := check(pkg, analyzers)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "netpartlint:", err)
 			return 2
 		}
 		if *verbose {
 			fmt.Fprintf(os.Stderr, "netpartlint: %s: %d findings\n", pkg.Path, len(diags))
+		}
+		if *asJSON {
+			n, err := writeNDJSON(os.Stdout, diags)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "netpartlint:", err)
+				return 2
+			}
+			bad += n
+			continue
 		}
 		for _, d := range diags {
 			fmt.Println(d)
@@ -84,4 +104,38 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// jsonDiag is the NDJSON wire form of one finding. Suppressed findings are
+// included (that is the point of -json: auditing what was waived) but do
+// not count toward the exit status.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// writeNDJSON emits one JSON object per diagnostic and returns how many of
+// them are live (unsuppressed) violations.
+func writeNDJSON(w io.Writer, diags []analysis.Diagnostic) (int, error) {
+	enc := json.NewEncoder(w)
+	live := 0
+	for _, d := range diags {
+		if !d.Suppressed {
+			live++
+		}
+		jd := jsonDiag{
+			File:       d.Pos.Filename,
+			Line:       d.Pos.Line,
+			Analyzer:   d.Analyzer,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		}
+		if err := enc.Encode(jd); err != nil {
+			return live, err
+		}
+	}
+	return live, nil
 }

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+
+	"netpart/internal/analysis"
+)
+
+// TestWriteNDJSON pins the -json wire format: one object per line with
+// exactly the file/line/analyzer/message/suppressed fields, suppressed
+// findings present in the stream but excluded from the live count.
+func TestWriteNDJSON(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{
+			Analyzer: "concsafety",
+			Pos:      token.Position{Filename: "a/b.go", Line: 12, Column: 3},
+			Message:  "c.mu acquired here may still be held when the function returns",
+		},
+		{
+			Analyzer:   "units",
+			Pos:        token.Position{Filename: "c/d.go", Line: 44, Column: 9},
+			Message:    `dimension mismatch: pdus - 1`,
+			Suppressed: true,
+		},
+	}
+	var buf bytes.Buffer
+	live, err := writeNDJSON(&buf, diags)
+	if err != nil {
+		t.Fatalf("writeNDJSON: %v", err)
+	}
+	if live != 1 {
+		t.Errorf("live violations = %d, want 1 (suppressed findings must not count)", live)
+	}
+
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(diags) {
+		t.Fatalf("emitted %d lines, want %d:\n%s", len(lines), len(diags), buf.String())
+	}
+	var got []jsonDiag
+	for i, line := range lines {
+		var jd jsonDiag
+		if err := json.Unmarshal([]byte(line), &jd); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v\n%s", i, err, line)
+		}
+		// Every line must be a flat object with exactly the five
+		// documented keys — downstream tooling greps on them.
+		var raw map[string]any
+		if err := json.Unmarshal([]byte(line), &raw); err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []string{"file", "line", "analyzer", "message", "suppressed"} {
+			if _, ok := raw[k]; !ok {
+				t.Errorf("line %d missing key %q: %s", i, k, line)
+			}
+		}
+		if len(raw) != 5 {
+			t.Errorf("line %d has %d keys, want 5: %s", i, len(raw), line)
+		}
+		got = append(got, jd)
+	}
+
+	want := []jsonDiag{
+		{File: "a/b.go", Line: 12, Analyzer: "concsafety", Message: diags[0].Message, Suppressed: false},
+		{File: "c/d.go", Line: 44, Analyzer: "units", Message: diags[1].Message, Suppressed: true},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWriteNDJSONEmpty: a clean tree emits nothing, not an empty array or
+// a trailing newline.
+func TestWriteNDJSONEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	live, err := writeNDJSON(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live != 0 || buf.Len() != 0 {
+		t.Errorf("empty input: live=%d output=%q, want 0 and empty", live, buf.String())
+	}
+}

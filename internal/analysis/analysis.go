@@ -19,6 +19,11 @@
 //	                                     nil-guarded at the call site
 //	//netpart:checkerrors     (package)  discarded error results are rejected
 //	                                     (package main gets this implicitly)
+//	//netpart:unit <dim>      (field/var/func doc) declares the physical
+//	                                     dimension (sec, bytes, pdus, ops, 1;
+//	                                     composed with · and /) that the units
+//	                                     analyzer propagates through the cost
+//	                                     arithmetic
 //
 // A finding is suppressed with an explained escape hatch on the same line:
 //
@@ -58,6 +63,11 @@ type Pass struct {
 	Pkg       *types.Package
 	PkgPath   string
 	TypesInfo *types.Info
+	// Dep resolves an import path to its loaded package, so analyzers can
+	// read source-level facts (like //netpart:unit annotations) from the
+	// dependencies of the package under analysis. Nil outside a loader, and
+	// nil results for packages the loader has not seen (GOROOT).
+	Dep func(path string) *Package
 
 	diags *[]Diagnostic
 }
@@ -76,6 +86,10 @@ type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks findings covered by a well-formed //nolint:netpart
+	// comment. Check drops them; CheckAll keeps them so tooling (-json) can
+	// show what was waived and why.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -84,7 +98,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full netpartlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, HotPath, PoolLifetime, ObsNil, ErrCheck}
+	return []*Analyzer{Determinism, HotPath, PoolLifetime, PoolFlow, ConcSafety, Units, ObsNil, ErrCheck}
 }
 
 // Check runs the given analyzers over one loaded package and returns the
@@ -92,6 +106,24 @@ func Analyzers() []*Analyzer {
 // suppressions (no reason) are reported as diagnostics of the pseudo
 // analyzer "nolint". Diagnostics come back sorted by position.
 func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := CheckAll(pkg, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
+}
+
+// CheckAll is Check without the suppression filter: suppressed findings
+// are returned with Suppressed set instead of being dropped, for tooling
+// that reports what was waived (netpartlint -json). Malformed suppressions
+// are still diagnosed, and the result is sorted by position.
+func CheckAll(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -101,6 +133,7 @@ func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			Pkg:       pkg.Types,
 			PkgPath:   pkg.Path,
 			TypesInfo: pkg.Info,
+			Dep:       pkg.Dep,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {
@@ -161,9 +194,9 @@ func parseSuppressions(fset *token.FileSet, file *ast.File) map[int][]suppressio
 	return out
 }
 
-// applySuppressions filters diagnostics covered by a well-formed
-// //nolint:netpart comment on the same line, and reports malformed
-// suppressions (empty reason) as diagnostics in their own right.
+// applySuppressions marks diagnostics covered by a well-formed
+// //nolint:netpart comment on the same line as Suppressed, and reports
+// malformed suppressions (empty reason) as diagnostics in their own right.
 func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
 	byFile := map[string]map[int][]suppression{}
 	var malformed []Diagnostic
@@ -186,14 +219,12 @@ func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
 			}
 		}
 	}
-	kept := malformed
+	out := malformed
 	for _, d := range diags {
-		if suppressed(byFile[d.Pos.Filename][d.Pos.Line], d.Analyzer) {
-			continue
-		}
-		kept = append(kept, d)
+		d.Suppressed = suppressed(byFile[d.Pos.Filename][d.Pos.Line], d.Analyzer)
+		out = append(out, d)
 	}
-	return kept
+	return out
 }
 
 // suppressed reports whether one of the line's well-formed suppressions

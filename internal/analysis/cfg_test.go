@@ -1,0 +1,206 @@
+package analysis_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"netpart/internal/analysis"
+)
+
+// buildCFG parses a single-function source fragment and builds its CFG.
+// Parser-only: CFG construction must not require type information.
+func buildCFG(t *testing.T, src string) *analysis.CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fd := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+	return analysis.BuildCFG(fd.Body)
+}
+
+// shape is the golden summary of one CFG: enough to pin the builder's
+// translation of a construct without enumerating every block.
+type shape struct {
+	blocks      int // total blocks, including synthetic and dead ones
+	edges       int // total directed edges
+	reachable   int // blocks reachable from the entry
+	defers      int // registered defer sites
+	nonBlocking int // select comms that cannot block (default present)
+	exitPreds   int // distinct ways control reaches the exit block
+}
+
+func summarize(g *analysis.CFG) shape {
+	live := 0
+	for _, ok := range g.Reachable() {
+		if ok {
+			live++
+		}
+	}
+	return shape{
+		blocks:      len(g.Blocks),
+		edges:       g.NumEdges(),
+		reachable:   live,
+		defers:      len(g.Defers),
+		nonBlocking: len(g.NonBlocking),
+		exitPreds:   len(g.Exit.Preds),
+	}
+}
+
+// TestCFGLabeledBreakContinue: break outer must edge past BOTH loops and
+// continue outer must edge to the outer range head — getting either wrong
+// silently corrupts every flow-sensitive analyzer's loop state.
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	g := buildCFG(t, `
+func f(m [][]int) int {
+	sum := 0
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v < 0 {
+				break outer
+			}
+			if v == 0 {
+				continue outer
+			}
+			sum += v
+		}
+	}
+	return sum
+}`)
+	want := shape{blocks: 16, edges: 19, reachable: 13, defers: 0, nonBlocking: 0, exitPreds: 2}
+	if got := summarize(g); got != want {
+		t.Errorf("shape = %+v, want %+v", got, want)
+	}
+	// Both range heads must be registered so analyzers can revive the loop
+	// variables per iteration, and the outer head gets the continue edge on
+	// top of its entry and back edges.
+	if len(g.Ranges) != 2 {
+		t.Fatalf("len(Ranges) = %d, want 2", len(g.Ranges))
+	}
+	maxHeadPreds := 0
+	for head := range g.Ranges {
+		if len(head.Preds) > maxHeadPreds {
+			maxHeadPreds = len(head.Preds)
+		}
+	}
+	if maxHeadPreds < 3 {
+		t.Errorf("outer range head has %d preds, want >= 3 (entry, back edge, continue outer)", maxHeadPreds)
+	}
+}
+
+// TestCFGGoto: a backward goto forms a loop; the labeled block must have
+// both the fall-through and the goto edge, and the statements after the
+// dead block a goto leaves behind stay reachable through the label.
+func TestCFGGoto(t *testing.T) {
+	g := buildCFG(t, `
+func f() int {
+	n := 0
+retry:
+	n++
+	if n < 3 {
+		goto retry
+	}
+	return n
+}`)
+	want := shape{blocks: 7, edges: 7, reachable: 5, defers: 0, nonBlocking: 0, exitPreds: 2}
+	if got := summarize(g); got != want {
+		t.Errorf("shape = %+v, want %+v", got, want)
+	}
+	// The label target is the one non-entry block with two or more live
+	// preds (fall-through from the entry plus the goto back edge); dead
+	// blocks left behind by the goto do not count.
+	reach := g.Reachable()
+	looped := 0
+	for _, b := range g.Blocks {
+		if b == g.Entry || b == g.Exit {
+			continue
+		}
+		livePreds := 0
+		for _, p := range b.Preds {
+			if reach[p.Index] {
+				livePreds++
+			}
+		}
+		if livePreds >= 2 {
+			looped++
+		}
+	}
+	if looped != 1 {
+		t.Errorf("found %d join blocks, want exactly 1 (the retry label)", looped)
+	}
+}
+
+// TestCFGSelectDefault: every comm clause of a select with a default is
+// non-blocking, each clause body gets its own block, and a return inside
+// one clause edges straight to exit.
+func TestCFGSelectDefault(t *testing.T) {
+	g := buildCFG(t, `
+func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case ch <- 1:
+	default:
+	}
+	return 0
+}`)
+	want := shape{blocks: 8, edges: 9, reachable: 6, defers: 0, nonBlocking: 2, exitPreds: 3}
+	if got := summarize(g); got != want {
+		t.Errorf("shape = %+v, want %+v", got, want)
+	}
+	for stmt := range g.NonBlocking {
+		switch stmt.(type) {
+		case *ast.AssignStmt, *ast.SendStmt:
+		default:
+			t.Errorf("NonBlocking holds %T, want only the comm statements", stmt)
+		}
+	}
+}
+
+// TestCFGDeferInLoop: the defer site registers once (Defers records
+// registration points, not dynamic executions) and stays inside the loop
+// body block so the dataflow replay can see it run per iteration.
+func TestCFGDeferInLoop(t *testing.T) {
+	g := buildCFG(t, `
+func f(files []string) {
+	for _, name := range files {
+		defer println(name)
+	}
+}`)
+	want := shape{blocks: 5, edges: 5, reachable: 5, defers: 1, nonBlocking: 0, exitPreds: 1}
+	if got := summarize(g); got != want {
+		t.Errorf("shape = %+v, want %+v", got, want)
+	}
+	inBody := false
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				inBody = true
+			}
+		}
+	}
+	if !inBody {
+		t.Error("DeferStmt node missing from the loop body block")
+	}
+}
+
+// TestCFGNoDefaultBlocks: without a default clause the comms stay
+// blocking — the NonBlocking map must be empty.
+func TestCFGNoDefaultBlocks(t *testing.T) {
+	g := buildCFG(t, `
+func f(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	case ch <- 1:
+	}
+	return 0
+}`)
+	if len(g.NonBlocking) != 0 {
+		t.Errorf("len(NonBlocking) = %d, want 0 for a select without default", len(g.NonBlocking))
+	}
+}

@@ -1,0 +1,97 @@
+package analysis
+
+// Forward-dataflow solver over a CFG. States are per-key bitmasks in the
+// powerset ("may") style: join is set union, so a fact holds at a block if
+// it holds on some path reaching it. Analyzers first run the fixpoint with
+// reporting disabled, then replay each reachable block once from its
+// converged in-state to emit diagnostics (the standard two-phase scheme —
+// reporting during iteration would duplicate findings).
+
+// FlowState maps an analyzer-chosen key to a bitmask of facts. Keys are
+// typically types.Object pointers or stable strings for selector paths.
+type FlowState[K comparable] map[K]uint8
+
+// Clone returns an independent copy.
+func (s FlowState[K]) Clone() FlowState[K] {
+	out := make(FlowState[K], len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Join unions other into s, returning whether s changed.
+func (s FlowState[K]) Join(other FlowState[K]) bool {
+	changed := false
+	for k, v := range other {
+		if s[k]|v != s[k] {
+			s[k] |= v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Equal reports whether the two states carry identical facts. Zero-valued
+// entries are not distinguished from absent ones.
+func (s FlowState[K]) Equal(other FlowState[K]) bool {
+	for k, v := range s {
+		if v != other[k] {
+			return false
+		}
+	}
+	for k, v := range other {
+		if v != s[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// maxFixpointRounds bounds solver iterations as a termination backstop.
+// Union-joined bitmask lattices are monotone and converge far earlier; if
+// the cap is ever hit the partial result is still a sound over-approximation
+// for may-analyses.
+const maxFixpointRounds = 64
+
+// Forward solves a forward may-dataflow problem and returns the converged
+// in-state of every block, indexed by Block.Index, plus reachability.
+// transfer must not mutate its input state; it receives a clone.
+func Forward[K comparable](g *CFG, entry FlowState[K], transfer func(*Block, FlowState[K]) FlowState[K]) (ins []FlowState[K], reached []bool) {
+	n := len(g.Blocks)
+	ins = make([]FlowState[K], n)
+	outs := make([]FlowState[K], n)
+	reached = g.Reachable()
+
+	ins[g.Entry.Index] = entry.Clone()
+	for round := 0; round < maxFixpointRounds; round++ {
+		changed := false
+		for _, b := range g.Blocks {
+			if !reached[b.Index] {
+				continue
+			}
+			in := ins[b.Index]
+			if in == nil {
+				in = FlowState[K]{}
+				ins[b.Index] = in
+			}
+			out := transfer(b, in.Clone())
+			if outs[b.Index] != nil && outs[b.Index].Equal(out) {
+				continue
+			}
+			outs[b.Index] = out
+			changed = true
+			for _, succ := range b.Succs {
+				if ins[succ.Index] == nil {
+					ins[succ.Index] = out.Clone()
+				} else if ins[succ.Index].Join(out) {
+					// successor will be revisited next round
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return ins, reached
+}

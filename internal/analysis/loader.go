@@ -28,6 +28,20 @@ type Package struct {
 	// TypeErrors holds non-fatal type-check errors. Analysis proceeds on a
 	// best-effort basis: analyzers treat missing type info conservatively.
 	TypeErrors []error
+
+	loader *Loader
+}
+
+// Dep returns the loaded package with the given import path — the package
+// itself, one of its (transitive) module dependencies, or nil for paths
+// the loader has not seen (GOROOT packages, unloaded directories). It lets
+// analyzers consult source-level facts of dependency packages, such as
+// //netpart:unit annotations.
+func (p *Package) Dep(path string) *Package {
+	if p.loader == nil {
+		return nil
+	}
+	return p.loader.byPath[path]
 }
 
 // Loader parses and type-checks packages of one module from source. Std
@@ -39,9 +53,10 @@ type Loader struct {
 	// ModulePath is the module's import path prefix ("netpart").
 	ModulePath string
 
-	fset *token.FileSet
-	std  types.ImporterFrom
-	pkgs map[string]*Package // keyed by directory
+	fset   *token.FileSet
+	std    types.ImporterFrom
+	pkgs   map[string]*Package // keyed by directory
+	byPath map[string]*Package // keyed by import path
 }
 
 // NewLoader returns a loader for the module rooted at root.
@@ -57,6 +72,7 @@ func NewLoader(root, modulePath string) *Loader {
 		ModulePath: modulePath,
 		fset:       fset,
 		pkgs:       map[string]*Package{},
+		byPath:     map[string]*Package{},
 	}
 	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 	return l
@@ -178,10 +194,11 @@ func (l *Loader) loadDir(dir string) (*Package, error) {
 		return nil, nil
 	}
 	path := l.importPath(dir)
-	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, loader: l}
 	// Register before type-checking so import cycles fail in go/types
 	// rather than recursing forever here.
 	l.pkgs[dir] = pkg
+	l.byPath[path] = pkg
 	info := &types.Info{
 		Types:      map[ast.Expr]types.TypeAndValue{},
 		Defs:       map[*ast.Ident]types.Object{},

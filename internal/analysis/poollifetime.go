@@ -6,39 +6,27 @@ import (
 	"strings"
 )
 
-// PoolLifetime enforces the sync.Pool buffer-lifetime rules the mmps
-// transport documents on its bufPool: once a buffer is returned with Put
-// it belongs to the pool, which may hand the same memory to another
-// goroutine immediately — any later read or write corrupts a packet in
-// flight (the class of bug PR 3's dup/delay aliasing chaos test catches
-// dynamically). Two rules, checked intra-procedurally:
+// PoolLifetime enforces the structural half of the sync.Pool buffer rules
+// the mmps transport documents on its bufPool: direct (*sync.Pool).Get/Put
+// calls are allowed only inside accessor functions (name starting with
+// get/put), which is where the box/length/zeroing conventions live.
+// Everything else must go through the accessor pair.
 //
-//   - use-after-put: after a statement that recycles a buffer (a call to
-//     (*sync.Pool).Put or to an accessor named put*), any later use of
-//     that variable — or of a local alias derived from it by y := x or
-//     y := *x — in the same statement list is an error. Recycling the same
-//     buffer twice is the same error (the second Put is a use). A whole
-//     reassignment of the variable un-poisons it. Statement lists are
-//     analyzed independently per block, and closure bodies start clean
-//     (delayed puts, like the injector's deferred-write fate, run at a
-//     different time).
-//
-//   - accessor discipline: direct (*sync.Pool).Get/Put calls are allowed
-//     only inside accessor functions (name starting with get/put), which
-//     is where the box/length/zeroing conventions live. Everything else
-//     must go through the accessor pair.
+// The temporal half — use-after-put and double-put — lives in the
+// path-sensitive poolflow analyzer (poolflow.go), which replaced this
+// analyzer's original per-branch syntactic tracking: that scheme missed a
+// Put performed in every arm of an if (the poison set was cloned per
+// branch and the clones discarded at the join) and could not see a Put
+// flowing around a loop's back edge.
 var PoolLifetime = &Analyzer{
 	Name: "poollifetime",
-	Doc:  "detects sync.Pool buffers used after Put, double Puts, and direct pool access outside accessors",
+	Doc:  "restricts direct sync.Pool Get/Put to get*/put* accessor functions",
 	Run:  runPoolLifetime,
 }
 
 func runPoolLifetime(pass *Pass) error {
-	putters := putAccessors(pass)
 	for _, fd := range enclosingFuncDecls(pass.Files) {
 		checkPoolAccessors(pass, fd)
-		aliases := poolAliases(pass.TypesInfo, fd)
-		checkStmtList(pass, putters, fd.Body.List, aliases, map[types.Object]bool{})
 	}
 	return nil
 }
@@ -46,7 +34,7 @@ func runPoolLifetime(pass *Pass) error {
 // putAccessors collects this package's pool-put accessor functions: the
 // ones whose bodies call (*sync.Pool).Put directly (mmps.putBuf). Matching
 // by behavior rather than by name keeps unrelated Put* helpers (say,
-// binary.BigEndian.PutUint32) out of the lifetime tracking.
+// binary.BigEndian.PutUint32) out of poolflow's lifetime tracking.
 func putAccessors(pass *Pass) map[types.Object]bool {
 	putters := map[types.Object]bool{}
 	for _, fd := range enclosingFuncDecls(pass.Files) {
@@ -97,202 +85,5 @@ func checkPoolAccessors(pass *Pass, fd *ast.FuncDecl) {
 
 // isSyncPool reports whether t is sync.Pool or *sync.Pool.
 func isSyncPool(t types.Type) bool {
-	if t == nil {
-		return false
-	}
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok {
-		return false
-	}
-	obj := named.Obj()
-	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "Pool"
-}
-
-// poolAliases maps each local variable to the variable it was derived from
-// by a simple y := x or y := *x assignment, so poisoning x also poisons y.
-func poolAliases(info *types.Info, fd *ast.FuncDecl) map[types.Object]types.Object {
-	aliases := map[types.Object]types.Object{}
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		as, ok := n.(*ast.AssignStmt)
-		if !ok || len(as.Lhs) != len(as.Rhs) {
-			return true
-		}
-		for i, lhs := range as.Lhs {
-			lobj := identObj(info, lhs)
-			if lobj == nil {
-				continue
-			}
-			rhs := ast.Unparen(as.Rhs[i])
-			if star, ok := rhs.(*ast.StarExpr); ok {
-				rhs = ast.Unparen(star.X)
-			}
-			if robj := identObj(info, rhs); robj != nil && robj != lobj {
-				aliases[lobj] = robj
-			}
-		}
-		return true
-	})
-	return aliases
-}
-
-// putTarget returns the object a statement recycles, or nil: an ExprStmt
-// calling (*sync.Pool).Put or one of the package's put accessors with the
-// variable (or its address) as the recycled argument.
-func putTarget(info *types.Info, putters map[types.Object]bool, stmt ast.Stmt) types.Object {
-	es, ok := stmt.(*ast.ExprStmt)
-	if !ok {
-		return nil
-	}
-	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
-	if !ok || len(call.Args) == 0 {
-		return nil
-	}
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.SelectorExpr:
-		if fun.Sel.Name == "Put" && isSyncPool(info.TypeOf(fun.X)) {
-			break
-		}
-		if !putters[info.Uses[fun.Sel]] {
-			return nil
-		}
-	case *ast.Ident:
-		if !putters[info.Uses[fun]] {
-			return nil
-		}
-	default:
-		return nil
-	}
-	arg := ast.Unparen(call.Args[0])
-	if u, ok := arg.(*ast.UnaryExpr); ok && u.Op.String() == "&" {
-		arg = ast.Unparen(u.X)
-	}
-	return identObj(info, arg)
-}
-
-// checkStmtList walks one statement list in order, tracking which buffers
-// have been recycled, reporting later uses, and recursing into nested
-// statements with a copy of the current poison set.
-func checkStmtList(pass *Pass, putters map[types.Object]bool, stmts []ast.Stmt, aliases map[types.Object]types.Object, poisoned map[types.Object]bool) {
-	info := pass.TypesInfo
-	for _, stmt := range stmts {
-		if obj := putTarget(info, putters, stmt); obj != nil {
-			if isPoisoned(obj, aliases, poisoned) {
-				pass.Reportf(stmt.Pos(), "pooled buffer %q recycled twice; the second Put hands the pool a buffer it already owns", obj.Name())
-			}
-			poisoned[obj] = true
-			continue
-		}
-		// Reassignment of a poisoned variable revives it.
-		if as, ok := stmt.(*ast.AssignStmt); ok {
-			for _, lhs := range as.Lhs {
-				if obj := identObj(info, lhs); obj != nil && poisoned[obj] {
-					delete(poisoned, obj)
-				}
-			}
-		}
-		reportPoisonedUses(pass, stmt, aliases, poisoned)
-		recurseNested(pass, putters, stmt, aliases, poisoned)
-	}
-}
-
-// reportPoisonedUses flags identifiers in the statement's non-nested
-// expressions that refer to recycled buffers.
-func reportPoisonedUses(pass *Pass, stmt ast.Stmt, aliases map[types.Object]types.Object, poisoned map[types.Object]bool) {
-	if len(poisoned) == 0 {
-		return
-	}
-	info := pass.TypesInfo
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		switch n.(type) {
-		case *ast.BlockStmt, *ast.FuncLit:
-			return false // nested lists are handled by recurseNested
-		}
-		id, ok := n.(*ast.Ident)
-		if !ok {
-			return true
-		}
-		obj := info.Uses[id]
-		if obj == nil || !isPoisoned(obj, aliases, poisoned) {
-			return true
-		}
-		pass.Reportf(id.Pos(), "pooled buffer %q used after Put; the pool may already have handed this memory to another goroutine", id.Name)
-		return true
-	})
-}
-
-// recurseNested analyzes nested statement lists with an isolated copy of
-// the poison set. Closure bodies start clean: their execution is deferred
-// relative to the surrounding statements.
-func recurseNested(pass *Pass, putters map[types.Object]bool, stmt ast.Stmt, aliases map[types.Object]types.Object, poisoned map[types.Object]bool) {
-	clone := func() map[types.Object]bool {
-		cp := make(map[types.Object]bool, len(poisoned))
-		for k, v := range poisoned {
-			cp[k] = v
-		}
-		return cp
-	}
-	switch s := stmt.(type) {
-	case *ast.BlockStmt:
-		checkStmtList(pass, putters, s.List, aliases, clone())
-		return
-	case *ast.IfStmt:
-		checkStmtList(pass, putters, s.Body.List, aliases, clone())
-		if s.Else != nil {
-			recurseNested(pass, putters, s.Else, aliases, poisoned)
-		}
-		return
-	case *ast.ForStmt:
-		checkStmtList(pass, putters, s.Body.List, aliases, clone())
-		return
-	case *ast.RangeStmt:
-		checkStmtList(pass, putters, s.Body.List, aliases, clone())
-		return
-	case *ast.SwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				checkStmtList(pass, putters, cc.Body, aliases, clone())
-			}
-		}
-		return
-	case *ast.TypeSwitchStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CaseClause); ok {
-				checkStmtList(pass, putters, cc.Body, aliases, clone())
-			}
-		}
-		return
-	case *ast.SelectStmt:
-		for _, c := range s.Body.List {
-			if cc, ok := c.(*ast.CommClause); ok {
-				checkStmtList(pass, putters, cc.Body, aliases, clone())
-			}
-		}
-		return
-	case *ast.LabeledStmt:
-		recurseNested(pass, putters, s.Stmt, aliases, poisoned)
-		return
-	}
-	// Simple statement: analyze closure bodies in its expressions with a
-	// clean slate (their execution is deferred relative to this list).
-	ast.Inspect(stmt, func(n ast.Node) bool {
-		if lit, ok := n.(*ast.FuncLit); ok {
-			checkStmtList(pass, putters, lit.Body.List, aliases, map[types.Object]bool{})
-			return false
-		}
-		return true
-	})
-}
-
-// isPoisoned reports whether obj or anything it aliases has been recycled.
-func isPoisoned(obj types.Object, aliases map[types.Object]types.Object, poisoned map[types.Object]bool) bool {
-	for i := 0; obj != nil && i < 8; i++ {
-		if poisoned[obj] {
-			return true
-		}
-		obj = aliases[obj]
-	}
-	return false
+	return isSyncNamed(t, "Pool")
 }

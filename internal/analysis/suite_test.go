@@ -24,6 +24,18 @@ func TestPoolLifetime(t *testing.T) {
 	antest.Run(t, []*analysis.Analyzer{analysis.PoolLifetime}, fixture("poollifetime"))
 }
 
+func TestPoolFlow(t *testing.T) {
+	antest.Run(t, []*analysis.Analyzer{analysis.PoolFlow}, fixture("poolflow"))
+}
+
+func TestConcSafety(t *testing.T) {
+	antest.Run(t, []*analysis.Analyzer{analysis.ConcSafety}, fixture("concsafety"))
+}
+
+func TestUnits(t *testing.T) {
+	antest.Run(t, []*analysis.Analyzer{analysis.Units}, fixture("units"))
+}
+
 func TestObsNil(t *testing.T) {
 	antest.Run(t, []*analysis.Analyzer{analysis.ObsNil}, fixture("obsnil"))
 }

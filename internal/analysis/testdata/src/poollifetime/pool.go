@@ -1,4 +1,7 @@
-// Package poollifetime is the fixture for the sync.Pool lifetime analyzer.
+// Package poollifetime is the fixture for the sync.Pool accessor-discipline
+// analyzer: direct Get/Put calls belong inside get*/put* accessors, where
+// the box/length/zeroing conventions live. The temporal lifetime rules
+// (use-after-put, double-put) are exercised by the poolflow fixture.
 package poollifetime
 
 import "sync"
@@ -9,48 +12,17 @@ func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
 
 func putBuf(bp *[]byte) { bufPool.Put(bp) }
 
-func useAfterPut() int {
-	bp := getBuf()
-	putBuf(bp)
-	return len(*bp) // want `pooled buffer "bp" used after Put`
-}
-
-func doublePut() {
-	bp := getBuf()
-	putBuf(bp)
-	putBuf(bp) // want `pooled buffer "bp" recycled twice`
-}
-
-func aliasAfterPut() int {
-	bp := getBuf()
-	buf := *bp
-	putBuf(bp)
-	return len(buf) // want `pooled buffer "buf" used after Put`
-}
-
 func directGet() *[]byte {
 	return bufPool.Get().(*[]byte) // want `direct sync\.Pool\.Get outside a get\*/put\* accessor`
 }
 
-func reassigned() int {
+func directPut(bp *[]byte) {
+	bufPool.Put(bp) // want `direct sync\.Pool\.Put outside a get\*/put\* accessor`
+}
+
+func throughAccessors() int {
 	bp := getBuf()
-	putBuf(bp)
-	bp = getBuf() // whole reassignment revives the variable
 	n := len(*bp)
 	putBuf(bp)
 	return n
-}
-
-func branchIsolated(ok bool) {
-	bp := getBuf()
-	if ok {
-		putBuf(bp) // puts inside a branch do not poison the other branch
-	} else {
-		putBuf(bp)
-	}
-}
-
-func delayedPut() func() {
-	bp := getBuf()
-	return func() { putBuf(bp) } // closures run later: analyzed with a clean slate
 }

@@ -1,0 +1,103 @@
+// Package units is the fixture for the dimensional analyzer: declared
+// //netpart:unit dimensions propagate through arithmetic, assignments,
+// returns, call arguments, and composite literals; mixing two known
+// dimensions additively is the defect the analyzer exists to catch.
+package units
+
+import "math"
+
+// Params carries two Eq. 1-style constants of different dimensions.
+type Params struct {
+	//netpart:unit ms
+	C1 float64
+	//netpart:unit ms/bytes
+	C3 float64
+}
+
+type record struct {
+	//netpart:unit ms
+	samples []float64
+}
+
+var (
+	//netpart:unit furlongs // want `unrecognized`
+	junk float64
+)
+
+//netpart:unit b bytes
+//netpart:unit return ms
+func eval(p Params, b float64) float64 {
+	return p.C1 + p.C3*b
+}
+
+//netpart:unit b bytes
+func mixed(p Params, b float64) float64 {
+	return p.C1 + p.C3 + b // want `dimension mismatch: sec \+ sec/bytes` `dimension mismatch: sec \+ bytes`
+}
+
+//netpart:unit b bytes
+func assignMismatch(p *Params, b float64) {
+	p.C1 = b // want `dimension mismatch: assigning bytes to sec`
+}
+
+//netpart:unit return ms
+func badReturn(p Params) float64 {
+	return p.C3 // want `dimension mismatch: returning sec/bytes from a function annotated`
+}
+
+func badArg(p Params) float64 {
+	return eval(p, p.C1) // want `dimension mismatch: argument "b" of eval is annotated bytes, got sec`
+}
+
+//netpart:unit return bytes
+func bytesVal() float64 { return 4096 }
+
+func badLit() Params {
+	return Params{C1: bytesVal()} // want `dimension mismatch: field C1 is annotated sec, value is bytes`
+}
+
+//netpart:unit b bytes
+//netpart:unit return ms
+func badMin(p Params, b float64) float64 {
+	return math.Min(p.C1, b) // want `dimension mismatch: bytes argument among sec ones`
+}
+
+//netpart:unit b bytes
+func fill(r record, b float64) {
+	r.samples[0] = b // want `dimension mismatch: assigning bytes to sec`
+}
+
+// scaled: untyped literals are dimensionless scalars that adopt any
+// dimension.
+//
+//netpart:unit return ms
+func scaled(p Params) float64 {
+	return 2 * p.C1
+}
+
+// rate: multiplication composes dimensions (bytes · ms/bytes = ms).
+//
+//netpart:unit b bytes
+//netpart:unit return ms
+func rate(p Params, b float64) float64 {
+	return b * p.C3
+}
+
+// accumulate: locals infer their dimension from assignments, including
+// through a loop-carried += and an annotated slice's range values.
+//
+//netpart:unit return ms
+func accumulate(r record) float64 {
+	total := 0.0
+	for _, v := range r.samples {
+		total += v
+	}
+	return total
+}
+
+// temps reused across dimensions are demoted to unknown, not reported.
+func temps(p Params) float64 {
+	t := p.C1
+	t = p.C3
+	return t
+}

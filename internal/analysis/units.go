@@ -1,0 +1,765 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Units is the cost-model dimensional analyzer. The paper's Eq. 1–6 mix
+// milliseconds, bytes, PDUs, and instruction counts; a transposed operand
+// in that arithmetic type-checks as float64 but produces physically
+// meaningless costs. Declaring dimensions makes the mistake mechanical to
+// catch:
+//
+//	// C3 is the per-byte bandwidth constant.
+//	C3 float64 //netpart:unit sec/bytes
+//
+// on a struct field, package variable, or constant, and on functions via
+// doc-comment lines naming each parameter and the (first) result:
+//
+//	//netpart:unit b bytes
+//	//netpart:unit return sec
+//	func (c Params) Eval(b float64, p int) float64 { ... }
+//
+// The dimension vocabulary is sec, bytes, pdus, ops, and the dimensionless
+// 1, composed with · (or *) and at most one /: bytes/sec, ops/pdus,
+// sec·sec. All times in this repository are milliseconds; "sec" is the
+// time dimension, not the unit.
+//
+// The analyzer propagates dimensions through +, -, *, /, comparisons,
+// conversions, and the annotated names (including slice elements: an
+// annotated []float64 field dims its indexed elements, and an annotated
+// function-typed field dims its call results). Untyped numeric literals
+// and named constants are dimensionless scalars that adopt any dimension.
+// Local variables infer their dimension from what they are assigned;
+// conflicting assignments demote the variable to unknown rather than
+// guessing. A diagnostic fires only when two *known* dimensions collide —
+// mixed-dimension addition/subtraction/comparison, or a known dimension
+// assigned, returned, or passed where a different one is declared — so
+// unannotated code stays silent.
+var Units = &Analyzer{
+	Name: "units",
+	Doc:  "propagates //netpart:unit dimensions through cost-model arithmetic and flags mixed-dimension operations",
+	Run:  runUnits,
+}
+
+// dim is an exponent vector over the base dimensions. The zero dim is the
+// dimensionless "1".
+type dim struct {
+	sec, bytes, pdus, ops int8
+}
+
+func (d dim) mul(o dim, sign int8) dim {
+	return dim{
+		sec:   d.sec + sign*o.sec,
+		bytes: d.bytes + sign*o.bytes,
+		pdus:  d.pdus + sign*o.pdus,
+		ops:   d.ops + sign*o.ops,
+	}
+}
+
+func (d dim) String() string {
+	var num, den []string
+	add := func(name string, exp int8) {
+		s := &num
+		if exp < 0 {
+			s, exp = &den, -exp
+		}
+		for i := int8(0); i < exp; i++ {
+			*s = append(*s, name)
+		}
+	}
+	add("sec", d.sec)
+	add("bytes", d.bytes)
+	add("pdus", d.pdus)
+	add("ops", d.ops)
+	out := strings.Join(num, "·")
+	if out == "" {
+		out = "1"
+	}
+	if len(den) > 0 {
+		out += "/" + strings.Join(den, "/")
+	}
+	return out
+}
+
+// uval is the abstract value of an expression: unknown, a dimensionless
+// scalar that adopts any dimension (numeric literals, named constants), or
+// a known dimension.
+type uval struct {
+	kind uint8
+	d    dim
+}
+
+const (
+	uvUnknown uint8 = iota
+	uvScalar
+	uvDim
+)
+
+func unknownVal() uval     { return uval{kind: uvUnknown} }
+func scalarVal() uval      { return uval{kind: uvScalar} }
+func dimVal(d dim) uval    { return uval{kind: uvDim, d: d} }
+func (v uval) known() bool { return v.kind == uvDim }
+
+// unitBase maps vocabulary tokens (with aliases) to base dimensions.
+var unitBase = map[string]dim{
+	"sec":   {sec: 1},
+	"s":     {sec: 1},
+	"ms":    {sec: 1}, // milliseconds carry the time dimension
+	"bytes": {bytes: 1},
+	"b":     {bytes: 1},
+	"pdus":  {pdus: 1},
+	"pdu":   {pdus: 1},
+	"ops":   {ops: 1},
+	"op":    {ops: 1},
+	"1":     {},
+}
+
+// parseDim parses a dimension expression: factors joined by · or *, with
+// at most one / separating numerator and denominator.
+func parseDim(s string) (dim, bool) {
+	parts := strings.Split(s, "/")
+	if len(parts) > 2 {
+		return dim{}, false
+	}
+	var d dim
+	for side, part := range parts {
+		sign := int8(1)
+		if side == 1 {
+			sign = -1
+		}
+		part = strings.ReplaceAll(part, "*", "·")
+		for _, tok := range strings.Split(part, "·") {
+			base, ok := unitBase[strings.TrimSpace(tok)]
+			if !ok {
+				return dim{}, false
+			}
+			d = d.mul(base, sign)
+		}
+	}
+	return d, true
+}
+
+// unitTable holds one package's parsed annotations.
+type unitTable struct {
+	// obj dims annotated fields, variables, constants, and parameters. For
+	// a slice-typed name the dimension is that of its elements; for a
+	// function-typed name it is the call-result dimension.
+	obj map[types.Object]dim
+	// ret dims the first result of annotated functions and methods.
+	ret map[types.Object]dim
+}
+
+const unitDirective = "netpart:unit"
+
+// directiveArg extracts the argument text of the first //netpart:unit line
+// in a comment group ("" if none), with its position.
+func directiveArgs(cg *ast.CommentGroup) []struct {
+	text string
+	pos  token.Pos
+} {
+	var out []struct {
+		text string
+		pos  token.Pos
+	}
+	if cg == nil {
+		return nil
+	}
+	for _, c := range cg.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if rest, ok := strings.CutPrefix(text, unitDirective+" "); ok {
+			out = append(out, struct {
+				text string
+				pos  token.Pos
+			}{strings.TrimSpace(rest), c.Pos()})
+		}
+	}
+	return out
+}
+
+// buildUnitTable parses a package's //netpart:unit annotations. With a
+// non-nil pass (the package under analysis), malformed annotations are
+// reported; dependency tables are built silently.
+func buildUnitTable(files []*ast.File, info *types.Info, pass *Pass) *unitTable {
+	tab := &unitTable{obj: map[types.Object]dim{}, ret: map[types.Object]dim{}}
+	malformed := func(pos token.Pos, text string) {
+		if pass != nil {
+			pass.Reportf(pos, "unrecognized //netpart:unit annotation %q (vocabulary: sec, bytes, pdus, ops, 1, composed with · or * and one /)", text)
+		}
+	}
+	bindNames := func(names []*ast.Ident, d dim) {
+		for _, name := range names {
+			if obj := info.Defs[name]; obj != nil {
+				tab.obj[obj] = d
+			}
+		}
+	}
+	for _, f := range files {
+		// Struct fields anywhere (named types, anonymous scratch structs)
+		// and value specs carry the one-token field form.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.StructType:
+				for _, field := range n.Fields.List {
+					for _, da := range append(directiveArgs(field.Doc), directiveArgs(field.Comment)...) {
+						d, ok := parseDim(da.text)
+						if !ok {
+							malformed(da.pos, da.text)
+							continue
+						}
+						bindNames(field.Names, d)
+					}
+				}
+			case *ast.ValueSpec:
+				for _, da := range append(directiveArgs(n.Doc), directiveArgs(n.Comment)...) {
+					d, ok := parseDim(da.text)
+					if !ok {
+						malformed(da.pos, da.text)
+						continue
+					}
+					bindNames(n.Names, d)
+				}
+			}
+			return true
+		})
+		// Function docs carry the two-token param/return form.
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			for _, da := range directiveArgs(fd.Doc) {
+				name, rest, ok := strings.Cut(da.text, " ")
+				if !ok {
+					malformed(da.pos, da.text)
+					continue
+				}
+				d, okd := parseDim(strings.TrimSpace(rest))
+				if !okd {
+					malformed(da.pos, da.text)
+					continue
+				}
+				if name == "return" {
+					if obj := info.Defs[fd.Name]; obj != nil {
+						tab.ret[obj] = d
+					}
+					continue
+				}
+				bound := false
+				if fd.Type.Params != nil {
+					for _, field := range fd.Type.Params.List {
+						for _, id := range field.Names {
+							if id.Name == name {
+								if obj := info.Defs[id]; obj != nil {
+									tab.obj[obj] = d
+									bound = true
+								}
+							}
+						}
+					}
+				}
+				if !bound && pass != nil {
+					pass.Reportf(da.pos, "//netpart:unit names unknown parameter %q of %s", name, fd.Name.Name)
+				}
+			}
+		}
+	}
+	return tab
+}
+
+// unitChecker runs the propagation over one package.
+type unitChecker struct {
+	pass   *Pass
+	tables map[*types.Package]*unitTable
+	// infer holds the dimensions of unannotated locals, learned from
+	// assignments; conflicted locals are demoted to unknown for good.
+	infer      map[types.Object]uval
+	conflicted map[types.Object]bool
+	memo       map[ast.Expr]uval // pass-2 only: each expression computed once
+	reporting  bool
+}
+
+func runUnits(pass *Pass) error {
+	uc := &unitChecker{
+		pass:   pass,
+		tables: map[*types.Package]*unitTable{},
+	}
+	uc.tables[pass.Pkg] = buildUnitTable(pass.Files, pass.TypesInfo, pass)
+	for _, fd := range enclosingFuncDecls(pass.Files) {
+		uc.checkFunc(fd)
+	}
+	uc.checkPackageVars()
+	return nil
+}
+
+// tableFor returns the annotation table of tp, building dependency tables
+// lazily from the loader's cache (empty for packages outside the module,
+// whose sources carry no annotations).
+func (uc *unitChecker) tableFor(tp *types.Package) *unitTable {
+	if tp == nil {
+		return nil
+	}
+	if tab, ok := uc.tables[tp]; ok {
+		return tab
+	}
+	var tab *unitTable
+	if uc.pass.Dep != nil {
+		if dep := uc.pass.Dep(tp.Path()); dep != nil && dep.Info != nil {
+			tab = buildUnitTable(dep.Files, dep.Info, nil)
+		}
+	}
+	uc.tables[tp] = tab
+	return tab
+}
+
+// objDim looks up an annotated object's dimension.
+func (uc *unitChecker) objDim(obj types.Object) (dim, bool) {
+	if obj == nil {
+		return dim{}, false
+	}
+	tab := uc.tableFor(obj.Pkg())
+	if tab == nil {
+		return dim{}, false
+	}
+	d, ok := tab.obj[obj]
+	return d, ok
+}
+
+// retDim looks up an annotated function's first-result dimension.
+func (uc *unitChecker) retDim(fn types.Object) (dim, bool) {
+	if fn == nil {
+		return dim{}, false
+	}
+	tab := uc.tableFor(fn.Pkg())
+	if tab == nil {
+		return dim{}, false
+	}
+	d, ok := tab.ret[fn]
+	return d, ok
+}
+
+// checkFunc analyzes one function: two silent inference passes teach the
+// checker the dimensions of locals (two, so a dimension learned late in
+// the body reaches uses earlier in a loop), then a reporting pass flags
+// collisions.
+func (uc *unitChecker) checkFunc(fd *ast.FuncDecl) {
+	uc.infer = map[types.Object]uval{}
+	uc.conflicted = map[types.Object]bool{}
+	uc.reporting = false
+	uc.memo = nil
+	for i := 0; i < 2; i++ {
+		uc.inferPass(fd.Body)
+	}
+	uc.reporting = true
+	uc.memo = map[ast.Expr]uval{}
+	uc.reportPass(fd)
+}
+
+// inferPass walks the body in source order learning local dimensions.
+func (uc *unitChecker) inferPass(body *ast.BlockStmt) {
+	info := uc.pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			uc.inferFromAssign(n)
+		case *ast.RangeStmt:
+			// The range value carries the element dimension of the ranged
+			// operand (annotated slices dim their elements).
+			if n.Value != nil {
+				if obj := identObj(info, n.Value); obj != nil {
+					uc.learn(obj, uc.dimOf(n.X))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// inferFromAssign learns lhs dimensions from one assignment.
+func (uc *unitChecker) inferFromAssign(as *ast.AssignStmt) {
+	info := uc.pass.TypesInfo
+	switch {
+	case len(as.Lhs) == len(as.Rhs):
+		for i, lhs := range as.Lhs {
+			if obj := identObj(info, lhs); obj != nil {
+				uc.learn(obj, uc.dimOf(as.Rhs[i]))
+			}
+		}
+	case len(as.Rhs) == 1:
+		// Multi-value: the first left-hand side takes the call's
+		// (first-result) dimension, the rest stay unknown.
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if obj := identObj(info, as.Lhs[0]); obj != nil {
+				uc.learn(obj, uc.dimOf(call))
+			}
+		}
+	}
+}
+
+// learn merges one observed value into a local's inferred dimension.
+// Scalars upgrade to dimensions; two different dimensions demote the local
+// to unknown permanently (reusing a temp across dimensions is style, not a
+// bug).
+func (uc *unitChecker) learn(obj types.Object, v uval) {
+	if obj == nil || uc.conflicted[obj] {
+		return
+	}
+	if _, annotated := uc.objDim(obj); annotated {
+		return // annotations are authoritative
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	cur, seen := uc.infer[obj]
+	switch {
+	case !seen || cur.kind != uvDim:
+		if v.kind != uvUnknown {
+			uc.infer[obj] = v
+		}
+	case v.kind == uvDim && v.d != cur.d:
+		uc.conflicted[obj] = true
+		delete(uc.infer, obj)
+	}
+}
+
+// reportPass flags dimension collisions in one function body.
+func (uc *unitChecker) reportPass(fd *ast.FuncDecl) {
+	info := uc.pass.TypesInfo
+	retD, hasRet := uc.retDim(info.Defs[fd.Name])
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			uc.dimOf(n) // reports mixed-dimension +,-,comparisons inline
+		case *ast.AssignStmt:
+			uc.checkAssign(n)
+		case *ast.ReturnStmt:
+			if hasRet && len(n.Results) > 0 {
+				if v := uc.dimOf(n.Results[0]); v.known() && v.d != retD {
+					uc.pass.Reportf(n.Results[0].Pos(), "dimension mismatch: returning %s from a function annotated //netpart:unit return %s", v.d, retD)
+				}
+			}
+		case *ast.CallExpr:
+			uc.checkCallArgs(n)
+		case *ast.CompositeLit:
+			uc.checkCompositeLit(n)
+		}
+		return true
+	})
+}
+
+// checkAssign flags a known dimension assigned over a different declared
+// or inferred one, including += and -=.
+func (uc *unitChecker) checkAssign(as *ast.AssignStmt) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE, token.ADD_ASSIGN, token.SUB_ASSIGN:
+	default:
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		lv := uc.dimOf(lhs)
+		rv := uc.dimOf(as.Rhs[i])
+		if lv.known() && rv.known() && lv.d != rv.d {
+			uc.pass.Reportf(as.TokPos, "dimension mismatch: assigning %s to %s", rv.d, lv.d)
+		}
+	}
+}
+
+// checkCallArgs flags arguments whose known dimension contradicts the
+// callee's parameter annotation.
+func (uc *unitChecker) checkCallArgs(call *ast.CallExpr) {
+	fn := calleeFunc(uc.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() || (sig.Variadic() && i >= sig.Params().Len()-1) {
+			break
+		}
+		pd, annotated := uc.objDim(sig.Params().At(i))
+		if !annotated {
+			continue
+		}
+		if v := uc.dimOf(arg); v.known() && v.d != pd {
+			uc.pass.Reportf(arg.Pos(), "dimension mismatch: argument %q of %s is annotated %s, got %s", sig.Params().At(i).Name(), fn.Name(), pd, v.d)
+		}
+	}
+}
+
+// checkCompositeLit flags keyed struct-literal values that contradict the
+// field's annotation.
+func (uc *unitChecker) checkCompositeLit(cl *ast.CompositeLit) {
+	info := uc.pass.TypesInfo
+	for _, el := range cl.Elts {
+		kv, ok := el.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		fd, annotated := uc.objDim(info.Uses[key])
+		if !annotated {
+			continue
+		}
+		if v := uc.dimOf(kv.Value); v.known() && v.d != fd {
+			uc.pass.Reportf(kv.Value.Pos(), "dimension mismatch: field %s is annotated %s, value is %s", key.Name, fd, v.d)
+		}
+	}
+}
+
+// dimOf computes the abstract dimension of an expression, reporting
+// mixed-dimension additive/comparison operands inline during the
+// reporting pass. Results are memoized per pass so each operator is
+// reported at most once.
+func (uc *unitChecker) dimOf(e ast.Expr) uval {
+	e = ast.Unparen(e)
+	if uc.memo != nil {
+		if v, ok := uc.memo[e]; ok {
+			return v
+		}
+	}
+	v := uc.dimOfUncached(e)
+	if uc.memo != nil {
+		uc.memo[e] = v
+	}
+	return v
+}
+
+func (uc *unitChecker) dimOfUncached(e ast.Expr) uval {
+	info := uc.pass.TypesInfo
+	switch e := e.(type) {
+	case *ast.BasicLit:
+		switch e.Kind {
+		case token.INT, token.FLOAT:
+			return scalarVal()
+		}
+		return unknownVal()
+
+	case *ast.Ident:
+		obj := identObj(info, e)
+		if obj == nil {
+			return unknownVal()
+		}
+		if d, ok := uc.objDim(obj); ok {
+			return dimVal(d)
+		}
+		if v, ok := uc.infer[obj]; ok && !uc.conflicted[obj] {
+			return v
+		}
+		if _, isConst := obj.(*types.Const); isConst {
+			return scalarVal() // tuning numbers adopt any dimension
+		}
+		return unknownVal()
+
+	case *ast.SelectorExpr:
+		if d, ok := uc.objDim(info.Uses[e.Sel]); ok {
+			return dimVal(d)
+		}
+		if obj := info.Uses[e.Sel]; obj != nil {
+			if _, isConst := obj.(*types.Const); isConst {
+				return scalarVal()
+			}
+		}
+		return unknownVal()
+
+	case *ast.IndexExpr:
+		return uc.dimOf(e.X) // annotated slices dim their elements
+
+	case *ast.SliceExpr:
+		return uc.dimOf(e.X)
+
+	case *ast.StarExpr:
+		return uc.dimOf(e.X)
+
+	case *ast.UnaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.AND:
+			return uc.dimOf(e.X)
+		}
+		return unknownVal()
+
+	case *ast.BinaryExpr:
+		return uc.dimOfBinary(e)
+
+	case *ast.CallExpr:
+		return uc.dimOfCall(e)
+	}
+	return unknownVal()
+}
+
+func (uc *unitChecker) dimOfBinary(e *ast.BinaryExpr) uval {
+	info := uc.pass.TypesInfo
+	l := uc.dimOf(e.X)
+	r := uc.dimOf(e.Y)
+	switch e.Op {
+	case token.MUL:
+		return mulVals(l, r, 1)
+	case token.QUO:
+		return mulVals(l, r, -1)
+	case token.ADD, token.SUB, token.REM,
+		token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		// String concatenation and comparisons of non-numeric values carry
+		// no dimension.
+		if t := info.TypeOf(e.X); t != nil {
+			if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric == 0 {
+				return unknownVal()
+			}
+		}
+		if l.known() && r.known() && l.d != r.d {
+			if uc.reporting {
+				uc.pass.Reportf(e.OpPos, "dimension mismatch: %s %s %s", l.d, e.Op, r.d)
+			}
+			return l
+		}
+		switch {
+		case l.known():
+			return l
+		case r.known():
+			return r
+		case l.kind == uvScalar && r.kind == uvScalar:
+			return scalarVal()
+		}
+		return unknownVal()
+	}
+	return unknownVal()
+}
+
+// mulVals combines multiplicative operands: scalars are the identity,
+// unknown poisons.
+func mulVals(l, r uval, sign int8) uval {
+	if l.kind == uvUnknown || r.kind == uvUnknown {
+		return unknownVal()
+	}
+	if l.kind == uvScalar && r.kind == uvScalar {
+		return scalarVal()
+	}
+	var d dim
+	if l.known() {
+		d = l.d
+	}
+	if r.known() {
+		// From the zero dim this also handles scalar/dim: the result is
+		// the inverted dimension. dim·scalar and dim/scalar keep l's.
+		d = d.mul(r.d, sign)
+	}
+	return dimVal(d)
+}
+
+func (uc *unitChecker) dimOfCall(call *ast.CallExpr) uval {
+	info := uc.pass.TypesInfo
+	fun := ast.Unparen(call.Fun)
+
+	// Conversions pass the operand through: float64(p), time.Duration(ms).
+	if tv, ok := info.Types[fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		return uc.dimOf(call.Args[0])
+	}
+
+	// Builtins.
+	if id, ok := fun.(*ast.Ident); ok {
+		switch id.Name {
+		case "len", "cap":
+			return scalarVal()
+		case "min", "max":
+			return uc.joinArgs(call)
+		}
+	}
+
+	// math helpers preserve or join their argument's dimension.
+	if pkg, name := calleePkgFunc(info, call); pkg == "math" {
+		switch name {
+		case "Abs", "Floor", "Ceil", "Round", "Trunc":
+			if len(call.Args) == 1 {
+				return uc.dimOf(call.Args[0])
+			}
+		case "Min", "Max":
+			return uc.joinArgs(call)
+		}
+		return unknownVal()
+	}
+
+	// Annotated function/method results.
+	if fn := calleeFunc(info, call); fn != nil {
+		if d, ok := uc.retDim(fn); ok {
+			return dimVal(d)
+		}
+		return unknownVal()
+	}
+
+	// Calls through annotated function-typed names (fields like
+	// BytesPerMessage): the annotation is the call-result dimension.
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		if d, ok := uc.objDim(info.Uses[f.Sel]); ok {
+			return dimVal(d)
+		}
+	case *ast.Ident:
+		if d, ok := uc.objDim(identObj(info, f)); ok {
+			return dimVal(d)
+		}
+	}
+	return unknownVal()
+}
+
+// joinArgs merges min/max-style arguments: all known dimensions must
+// agree; a disagreement is reported and the first known one wins.
+func (uc *unitChecker) joinArgs(call *ast.CallExpr) uval {
+	out := unknownVal()
+	for _, arg := range call.Args {
+		v := uc.dimOf(arg)
+		switch {
+		case v.known() && out.known() && v.d != out.d:
+			if uc.reporting {
+				uc.pass.Reportf(arg.Pos(), "dimension mismatch: %s argument among %s ones", v.d, out.d)
+			}
+		case v.known() && !out.known():
+			out = v
+		case v.kind == uvScalar && out.kind == uvUnknown:
+			out = scalarVal()
+		}
+	}
+	return out
+}
+
+// checkPackageVars flags package-level initializers that contradict their
+// own annotation.
+func (uc *unitChecker) checkPackageVars() {
+	info := uc.pass.TypesInfo
+	uc.reporting = true
+	if uc.memo == nil {
+		uc.memo = map[ast.Expr]uval{}
+	}
+	for _, f := range uc.pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || (gd.Tok != token.VAR && gd.Tok != token.CONST) {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Values) != len(vs.Names) {
+					continue
+				}
+				for i, name := range vs.Names {
+					d, annotated := uc.objDim(info.Defs[name])
+					if !annotated {
+						continue
+					}
+					if v := uc.dimOf(vs.Values[i]); v.known() && v.d != d {
+						uc.pass.Reportf(vs.Values[i].Pos(), "dimension mismatch: %s is annotated %s, initializer is %s", name.Name, d, v.d)
+					}
+				}
+			}
+		}
+	}
+}

@@ -26,11 +26,13 @@ type ComputationPhase struct {
 	// of operations executed per PDU in one cycle. It may close over
 	// problem parameters such as the problem size N (5N for the paper's
 	// stencil).
+	//netpart:unit ops/pdus
 	ComplexityPerPDU func() float64
 	// TotalOps optionally replaces the linear form S·complexity·A of Eq. 4
 	// for computations whose per-task cost is not linear in the number of
 	// PDUs held (the paper's Gaussian-elimination case). Given a PDU count
 	// it returns the operations per cycle. Nil means linear.
+	//netpart:unit ops
 	TotalOps func(pdus float64) float64
 	// Class selects which instruction speed (integer or floating point) the
 	// cluster manager's S_i refers to for this phase.
@@ -38,6 +40,9 @@ type ComputationPhase struct {
 }
 
 // Ops returns the operations one task holding pdus PDUs executes per cycle.
+//
+//netpart:unit pdus pdus
+//netpart:unit return ops
 func (cp *ComputationPhase) Ops(pdus float64) float64 {
 	if cp.TotalOps != nil {
 		return cp.TotalOps(pdus)
@@ -57,6 +62,7 @@ type CommunicationPhase struct {
 	// of bytes transmitted to each neighbor in one cycle. It receives the
 	// PDU count of the sending task because message size may depend on the
 	// assignment (for the paper's stencil it is the constant 4N).
+	//netpart:unit bytes
 	BytesPerMessage func(pdus float64) float64
 	// Overlap names the computation phase this communication is overlapped
 	// with, or is empty for no overlap (STEN-1 vs STEN-2).
@@ -69,6 +75,7 @@ type Annotations struct {
 	// Name identifies the program (for reports).
 	Name string
 	// NumPDUs is the number-of-PDUs callback (N rows for the stencil).
+	//netpart:unit pdus
 	NumPDUs func() int
 	// Compute and Comm list the phases of one cycle.
 	Compute []ComputationPhase
@@ -82,6 +89,7 @@ type Annotations struct {
 	// domain from the first processor; the paper assumes this is amortized
 	// (T_startup ≪ I·T_c) and the estimate lets callers check that
 	// assumption. Zero disables startup modeling.
+	//netpart:unit bytes/pdus
 	StartupBytesPerPDU float64
 }
 

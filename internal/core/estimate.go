@@ -60,7 +60,9 @@ type Estimator struct {
 	// estimate path. Estimate returns Shares aliased into scratch.shares;
 	// see the Estimate doc comment for the resulting ownership rule.
 	scratch struct {
-		times  []float64 // per-cluster op times (Eq. 3 denominator pass)
+		//netpart:unit ms/ops
+		times []float64 // per-cluster op times (Eq. 3 denominator pass)
+		//netpart:unit pdus
 		shares []float64 // per-cluster real shares (Estimate.Shares)
 		names  []string  // active cluster names, placement order
 		counts []int     // active cluster counts
@@ -103,24 +105,31 @@ type Estimate struct {
 	// Config.Clusters). The slice aliases the estimator's scratch buffer
 	// and is valid until the estimator's next Estimate call; callers that
 	// retain an Estimate across calls must copy it (see Detach).
+	//netpart:unit pdus
 	Shares []float64
 	// TcompMs is the per-cycle computation time of the dominant computation
 	// phase (equal across processors by load balance).
+	//netpart:unit ms
 	TcompMs float64
 	// TcommMs is the per-cycle cost of the dominant communication phase
 	// (Eq. 2 composition across clusters).
+	//netpart:unit ms
 	TcommMs float64
 	// ToverlapMs is the overlappable portion (min(Tcomp, Tcomm) when the
 	// dominant communication phase overlaps the dominant computation
 	// phase).
+	//netpart:unit ms
 	ToverlapMs float64
 	// TcMs = TcompMs + TcommMs - ToverlapMs (Eq. 6).
+	//netpart:unit ms
 	TcMs float64
 	// BytesPerMsg is the message size the communication estimate used.
+	//netpart:unit bytes
 	BytesPerMsg float64
 	// StartupMs estimates T_startup, the initial scatter of the data
 	// domain from the first processor (zero unless the annotations declare
 	// StartupBytesPerPDU).
+	//netpart:unit ms
 	StartupMs float64
 }
 
@@ -135,9 +144,15 @@ func (est Estimate) Detach() Estimate {
 
 // ElapsedMs extrapolates total elapsed time for the annotated cycle count:
 // T_elapsed = I·T_c (startup excluded, as in the paper's measurements).
+//
+//netpart:unit cycles 1
+//netpart:unit return ms
 func (e Estimate) ElapsedMs(cycles int) float64 { return float64(cycles) * e.TcMs }
 
 // ElapsedWithStartupMs is T_elapsed = I·T_c + T_startup.
+//
+//netpart:unit cycles 1
+//netpart:unit return ms
 func (e Estimate) ElapsedWithStartupMs(cycles int) float64 {
 	return float64(cycles)*e.TcMs + e.StartupMs
 }
@@ -145,6 +160,9 @@ func (e Estimate) ElapsedWithStartupMs(cycles int) float64 {
 // AmortizesStartup reports whether the paper's amortization assumption
 // holds for this configuration: T_startup is at most the given fraction of
 // the extrapolated compute time I·T_c.
+//
+//netpart:unit cycles 1
+//netpart:unit fraction 1
 func (e Estimate) AmortizesStartup(cycles int, fraction float64) bool {
 	return e.StartupMs <= fraction*e.ElapsedMs(cycles)
 }
@@ -284,6 +302,8 @@ func (e *Estimator) Estimate(cfg cost.Config) (Estimate, error) {
 // are bit-for-bit equal), but without allocating.
 //
 //netpart:hotpath
+//netpart:unit numPDUs pdus
+//netpart:unit return pdus
 func (e *Estimator) realSharesInto(cfg cost.Config, numPDUs int, class model.OpClass) ([]float64, error) {
 	k := len(cfg.Clusters)
 	s := &e.scratch
@@ -419,6 +439,8 @@ func (e *Estimator) searchEvent(ev SearchEvent) {
 // the root's channel, so the costs sum.
 //
 //netpart:hotpath
+//netpart:unit shares pdus
+//netpart:unit return ms
 func (e *Estimator) startupCost(cfg cost.Config, shares []float64) float64 {
 	names, counts, actIdx := e.activeInto(cfg)
 	if len(names) == 0 || cfg.Total() <= 1 {
@@ -472,6 +494,8 @@ func (e *Estimator) startupCost(cfg cost.Config, shares []float64) float64 {
 // the path stays allocation-free.
 //
 //netpart:hotpath
+//netpart:unit b bytes
+//netpart:unit return ms
 func (e *Estimator) commCost(tp topo.Topology, b float64, cfg cost.Config) (float64, error) {
 	names, counts, _ := e.activeInto(cfg)
 	if len(names) == 0 || (len(names) == 1 && counts[0] == 1) {
@@ -511,6 +535,8 @@ func (e *Estimator) commCost(tp topo.Topology, b float64, cfg cost.Config) (floa
 }
 
 //netpart:hotpath
+//netpart:unit b bytes
+//netpart:unit return ms
 func (e *Estimator) crossPenalty(active []string, from string, b float64) float64 {
 	worst := 0.0
 	for _, other := range active {
@@ -530,6 +556,9 @@ func (e *Estimator) crossPenalty(active []string, from string, b float64) float6
 
 // generalShares mirrors DecomposeGeneral but returns the per-cluster real
 // shares instead of an integer vector.
+//
+//netpart:unit numPDUs pdus
+//netpart:unit return pdus
 func generalShares(net *model.Network, cfg cost.Config, numPDUs int, class model.OpClass, ops func(float64) float64) ([]float64, error) {
 	v, err := DecomposeGeneral(net, cfg, numPDUs, class, ops)
 	if err != nil {

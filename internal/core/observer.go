@@ -37,13 +37,19 @@ type Candidate struct {
 	// Config is the full candidate configuration.
 	Config cost.Config
 	// Shares are the Eq. 3 real PDU shares per cluster (A_i).
+	//netpart:unit pdus
 	Shares []float64
 	// Cost breakdown (Eq. 4–6): T_c = T_comp + T_comm − T_overlap.
-	TcompMs    float64
-	TcommMs    float64
+	//netpart:unit ms
+	TcompMs float64
+	//netpart:unit ms
+	TcommMs float64
+	//netpart:unit ms
 	ToverlapMs float64
-	TcMs       float64
-	StartupMs  float64
+	//netpart:unit ms
+	TcMs float64
+	//netpart:unit ms
+	StartupMs float64
 	// Evaluation is the estimator's evaluation counter after this
 	// computation (the O(K·log2 P) overhead sequence number).
 	Evaluation int

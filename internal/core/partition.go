@@ -41,7 +41,7 @@ func Partition(e *Estimator) (Result, error) {
 
 	var best Estimate
 	for k := range order {
-		budget := numPDUs - cfg.Total()
+		budget := numPDUs - cfg.Total() //nolint:netpart/units reason=intentional pdus-vs-processors pun: the search grants at most one processor per PDU, so the processor budget is bounded by the PDU count
 		hi := order[k].Available
 		if hi > budget {
 			hi = budget
@@ -167,7 +167,7 @@ func PartitionLinear(e *Estimator) (Result, error) {
 	var best Estimate
 	bestTc := math.Inf(1)
 	for k := range order {
-		budget := numPDUs - cfg.Total()
+		budget := numPDUs - cfg.Total() //nolint:netpart/units reason=intentional pdus-vs-processors pun: the search grants at most one processor per PDU, so the processor budget is bounded by the PDU count
 		hi := order[k].Available
 		if hi > budget {
 			hi = budget

@@ -24,13 +24,22 @@ import (
 // C2 (per processor) and bandwidth constants C3 (per byte) and C4 (per byte
 // per processor).
 type Params struct {
-	C1, C2, C3, C4 float64
+	// C1 is the fixed latency, C2 the added latency per station.
+	//netpart:unit ms
+	C1, C2 float64
+	// C3 is the per-byte cost, C4 the added per-byte cost per station.
+	//netpart:unit ms/bytes
+	C3, C4 float64
 }
 
 // Eval computes Eq. 1 for a b-byte message among p processors. Following
 // Section 6.0, the absolute value is taken: the linear fit may go negative
 // for small p, and the paper observes |T| is a very good approximation to
 // the actual cost there.
+//
+//netpart:unit b bytes
+//netpart:unit p 1
+//netpart:unit return ms
 func (c Params) Eval(b float64, p int) float64 {
 	v := c.C1 + c.C2*float64(p) + b*(c.C3+c.C4*float64(p))
 	return math.Abs(v)
@@ -45,12 +54,17 @@ func (c Params) String() string {
 // (T_router) and coercion (T_coerce) penalties.
 type PerByte struct {
 	// Ms is the per-byte cost in milliseconds.
+	//netpart:unit ms/bytes
 	Ms float64
 	// FixedMs is a per-message constant (zero in the paper's fits).
+	//netpart:unit ms
 	FixedMs float64
 }
 
 // Eval returns the cost of one b-byte message.
+//
+//netpart:unit b bytes
+//netpart:unit return ms
 func (p PerByte) Eval(b float64) float64 { return p.FixedMs + p.Ms*b }
 
 // pairKey is an unordered cluster pair.
@@ -134,10 +148,13 @@ type Config struct {
 	// (fastest-first for the paper's heuristic).
 	Clusters []string
 	// Counts[i] is P_i, the processors used in Clusters[i].
+	//netpart:unit 1
 	Counts []int
 }
 
 // Total returns the total number of processors in the configuration.
+//
+//netpart:unit return 1
 func (c Config) Total() int {
 	sum := 0
 	for _, n := range c.Counts {
@@ -184,6 +201,9 @@ func (c Config) String() string {
 //   - The synchronous cost is the maximum over clusters for locality-
 //     exploiting topologies; bandwidth-limited topologies are charged at
 //     the total processor count on every segment.
+//
+//netpart:unit b bytes
+//netpart:unit return ms
 func (t *Table) CommCost(net *model.Network, tp topo.Topology, b float64, cfg Config) (float64, error) {
 	if net == nil {
 		return 0, fmt.Errorf("cost: nil network")
@@ -230,6 +250,9 @@ func (t *Table) CommCost(net *model.Network, tp topo.Topology, b float64, cfg Co
 
 // crossPenalty returns the worst-case router+coercion per-message penalty a
 // border task of cluster 'from' pays to reach any other active cluster.
+//
+//netpart:unit b bytes
+//netpart:unit return ms
 func (t *Table) crossPenalty(net *model.Network, active []string, from string, b float64) float64 {
 	worst := 0.0
 	for _, other := range active {

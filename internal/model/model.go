@@ -44,8 +44,10 @@ type Cluster struct {
 	Available int
 	// FloatOpTime is the average time per floating-point operation in
 	// milliseconds (the paper's S_i; 0.3 µs = 3.0e-4 ms for the Sparc2).
+	//netpart:unit ms/ops
 	FloatOpTime float64
 	// IntOpTime is the average time per integer operation in milliseconds.
+	//netpart:unit ms/ops
 	IntOpTime float64
 	// Format is the cluster's data format, used to decide coercion.
 	Format Format
@@ -55,16 +57,20 @@ type Cluster struct {
 	// call, NIC programming) in milliseconds. Slower processors have larger
 	// overheads, which is why the paper's fitted cost functions differ
 	// between clusters even though segment bandwidth is equal.
+	//netpart:unit ms
 	MsgOverheadMs float64
 	// HostPerByteMs is the per-byte host protocol-processing cost in
 	// milliseconds per byte (checksumming, copying). It adds to the wire
 	// time 1/Segment.BytesPerMs to give the effective per-byte rate the
 	// paper's constants capture.
+	//netpart:unit ms/bytes
 	HostPerByteMs float64
 }
 
 // OpTime returns the per-operation time in milliseconds for the given
 // operation class.
+//
+//netpart:unit return ms/ops
 func (c *Cluster) OpTime(class OpClass) float64 {
 	if class == OpInt {
 		return c.IntOpTime
@@ -99,6 +105,7 @@ type Segment struct {
 	// BytesPerMs is the raw channel rate in bytes per millisecond.
 	// 10 Mb/s ethernet is 1250 bytes/ms. The paper assumes all segments
 	// have equal bandwidth; Validate enforces this.
+	//netpart:unit bytes/ms
 	BytesPerMs float64
 }
 
@@ -110,8 +117,10 @@ type Router struct {
 	Name string
 	// PerByteMs is the internal router delay per byte in milliseconds
 	// (the paper fits T_router[C1,C2](b) ≈ 0.0006·b ms).
+	//netpart:unit ms/bytes
 	PerByteMs float64
 	// PerMessageMs is a fixed per-message forwarding cost in milliseconds.
+	//netpart:unit ms
 	PerMessageMs float64
 	// Segments lists the segments the router joins.
 	Segments []string
@@ -121,6 +130,7 @@ type Router struct {
 // formats. The model charges it only when formats differ.
 type CoercePolicy struct {
 	// PerByteMs is the conversion cost per byte in milliseconds.
+	//netpart:unit ms/bytes
 	PerByteMs float64
 }
 
@@ -306,6 +316,8 @@ func (n *Network) BySpeed(class OpClass) []*Cluster {
 // EffectivePerByteMs is the per-byte time a message from the named cluster
 // occupies its segment: wire time plus host protocol processing. This is the
 // quantity the fitted Eq. 1 bandwidth constants capture.
+//
+//netpart:unit return ms/bytes
 func (n *Network) EffectivePerByteMs(cluster string) float64 {
 	c := n.Cluster(cluster)
 	if c == nil {
