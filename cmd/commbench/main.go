@@ -23,6 +23,7 @@ import (
 	"netpart/internal/cost"
 	"netpart/internal/model"
 	"netpart/internal/obs"
+	"netpart/internal/obs/serve"
 	"netpart/internal/topo"
 )
 
@@ -32,15 +33,31 @@ func main() {
 	cycles := flag.Int("cycles", 10, "communication cycles per measurement")
 	out := flag.String("o", "", "write the fitted cost table as JSON to this file (readable by partition -costs)")
 	showMetrics := flag.Bool("metrics", false, "print benchmarking metrics (fits, samples, R² distribution) at exit")
+	serveAddr := flag.String("serve", "", `telemetry listen address (e.g. ":9090"): fit metrics on /metrics, /metrics.json, /healthz, /debug/pprof/; keeps serving after the benchmark until interrupted`)
 	flag.Parse()
 
-	if err := run(*spec, *topoList, *cycles, *out, *showMetrics); err != nil {
+	if err := run(*spec, *topoList, *cycles, *out, *showMetrics, *serveAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "commbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(spec, topoList string, cycles int, out string, showMetrics bool) error {
+func run(spec, topoList string, cycles int, out string, showMetrics bool, serveAddr string) error {
+	var metrics *obs.Registry
+	if showMetrics || serveAddr != "" {
+		metrics = obs.NewRegistry()
+	}
+	var srv *serve.Server
+	if serveAddr != "" {
+		var err error
+		srv, err = serve.Start(serveAddr, metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: %s/metrics (also /metrics.json /healthz /debug/pprof/)\n", srv.URL())
+	}
+
 	net := model.PaperTestbed()
 	if spec != "" {
 		f, err := os.Open(spec)
@@ -68,9 +85,7 @@ func run(spec, topoList string, cycles int, out string, showMetrics bool) error 
 	if err != nil {
 		return err
 	}
-	var metrics *obs.Registry
-	if showMetrics {
-		metrics = obs.NewRegistry()
+	if metrics != nil {
 		metrics.Gauge("commbench.elapsed_ms").Set(float64(time.Since(benchStart).Microseconds()) / 1000) //nolint:netpart/determinism reason=feeds the -metrics wall-clock gauge, an operator diagnostic outside the golden output
 		for _, f := range res.Fits {
 			metrics.Counter("commbench.fits").Inc()
@@ -110,6 +125,10 @@ func run(spec, topoList string, cycles int, out string, showMetrics bool) error 
 	if showMetrics {
 		fmt.Println()
 		fmt.Print(metrics.Render())
+	}
+	if srv != nil {
+		fmt.Println("telemetry: benchmark complete, still serving (interrupt to exit)")
+		srv.Wait()
 	}
 	return nil
 }

@@ -8,7 +8,7 @@ import (
 
 func TestRunDefaultTestbed(t *testing.T) {
 	out := filepath.Join(t.TempDir(), "table.json")
-	if err := run("", "1-D", 3, out, true); err != nil {
+	if err := run("", "1-D", 3, out, true, ""); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := os.Stat(out); err != nil {
@@ -17,10 +17,10 @@ func TestRunDefaultTestbed(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "starcube", 3, "", false); err == nil {
+	if err := run("", "starcube", 3, "", false, ""); err == nil {
 		t.Error("unknown topology accepted")
 	}
-	if err := run("missing.json", "1-D", 3, "", false); err == nil {
+	if err := run("missing.json", "1-D", 3, "", false, ""); err == nil {
 		t.Error("missing spec accepted")
 	}
 }

@@ -20,6 +20,7 @@ import (
 
 	"netpart/internal/experiments"
 	"netpart/internal/obs"
+	"netpart/internal/obs/serve"
 	"netpart/internal/stencil"
 )
 
@@ -29,21 +30,32 @@ func main() {
 	n := flag.Int("n", 600, "problem size for fig3 and gauss")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "worker pool size for the parallel experiment engine (1 = serial); output is identical at any setting")
 	showMetrics := flag.Bool("metrics", false, "print per-section wall-clock metrics at exit")
+	serveAddr := flag.String("serve", "", `telemetry listen address (e.g. ":9090"): per-section metrics on /metrics, /metrics.json, /healthz, /debug/pprof/; keeps serving after the run until interrupted`)
 	flag.Parse()
 
-	if err := run(*which, *constants, *n, *jobs, *showMetrics); err != nil {
+	if err := run(*which, *constants, *n, *jobs, *showMetrics, *serveAddr); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
 }
 
-func run(which, constants string, n, jobs int, showMetrics bool) error {
+func run(which, constants string, n, jobs int, showMetrics bool, serveAddr string) error {
 	if jobs < 1 {
 		return fmt.Errorf("invalid -j %d: the worker pool needs at least one worker (use -j 1 for a serial run)", jobs)
 	}
 	var metrics *obs.Registry
-	if showMetrics {
+	if showMetrics || serveAddr != "" {
 		metrics = obs.NewRegistry()
+	}
+	var srv *serve.Server
+	if serveAddr != "" {
+		var err error
+		srv, err = serve.Start(serveAddr, metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: %s/metrics (also /metrics.json /healthz /debug/pprof/)\n", srv.URL())
 	}
 	runStart := time.Now() //nolint:netpart/determinism reason=section wall times feed the -metrics gauges, operator diagnostics outside the golden tables
 
@@ -232,6 +244,10 @@ func run(which, constants string, n, jobs int, showMetrics bool) error {
 	if showMetrics {
 		fmt.Println()
 		fmt.Print(metrics.Render())
+	}
+	if srv != nil {
+		fmt.Println("telemetry: run complete, still serving (interrupt to exit)")
+		srv.Wait()
 	}
 	return nil
 }

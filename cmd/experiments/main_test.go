@@ -9,20 +9,20 @@ func TestRunSingleExperiments(t *testing.T) {
 	// The cheap experiments exercise the full dispatch path (each builds
 	// the benchmarked environment).
 	for _, which := range []string{"fig1", "fig2", "costfit", "overhead"} {
-		if err := run(which, "paper", 60, 1, false); err != nil {
+		if err := run(which, "paper", 60, 1, false, ""); err != nil {
 			t.Fatalf("%s: %v", which, err)
 		}
 	}
 }
 
 func TestRunTable1Fitted(t *testing.T) {
-	if err := run("table1", "fitted", 60, 2, true); err != nil {
+	if err := run("table1", "fitted", 60, 2, true, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunUnknownExperiment(t *testing.T) {
-	if err := run("bogus", "paper", 60, 1, false); err == nil {
+	if err := run("bogus", "paper", 60, 1, false, ""); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -32,7 +32,7 @@ func TestRunUnknownExperiment(t *testing.T) {
 // message so the operator knows what to fix.
 func TestRunRejectsBadJobs(t *testing.T) {
 	for _, jobs := range []int{0, -1, -8} {
-		err := run("fig1", "paper", 60, jobs, false)
+		err := run("fig1", "paper", 60, jobs, false, "")
 		if err == nil {
 			t.Fatalf("jobs=%d accepted, want an error", jobs)
 		}

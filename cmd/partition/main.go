@@ -27,6 +27,7 @@ import (
 	"netpart/internal/gauss"
 	"netpart/internal/model"
 	"netpart/internal/obs"
+	"netpart/internal/obs/serve"
 	"netpart/internal/stencil"
 	"netpart/internal/topo"
 )
@@ -45,6 +46,7 @@ type runOptions struct {
 	Explain   bool   // print the per-cluster T_c(p) curves and decision path
 	TraceFile string // JSONL search-trace output path ("" = off)
 	Metrics   bool   // print the search metrics summary
+	Serve     string // telemetry listen address ("" = off)
 }
 
 func main() {
@@ -61,6 +63,7 @@ func main() {
 	flag.BoolVar(&o.Explain, "explain", false, "explain the decision: per-cluster T_c(p) curves, search path, winner breakdown")
 	flag.StringVar(&o.TraceFile, "trace", "", "write the search trace (one JSON event per line) to this file")
 	flag.BoolVar(&o.Metrics, "metrics", false, "print search metrics (candidates, memo hits, T_c distribution)")
+	flag.StringVar(&o.Serve, "serve", "", `telemetry listen address (e.g. ":9090"): search metrics on /metrics, /metrics.json, /healthz, /debug/pprof/; keeps serving after the search until interrupted`)
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -70,6 +73,23 @@ func main() {
 }
 
 func run(o runOptions) error {
+	// With -serve the search metrics registry is exposed over HTTP; start
+	// before the search so /debug/pprof/ can profile it.
+	var metrics *obs.Registry
+	var srv *serve.Server
+	if o.Metrics || o.Serve != "" {
+		metrics = obs.NewRegistry()
+	}
+	if o.Serve != "" {
+		var err error
+		srv, err = serve.Start(o.Serve, metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry          : %s/metrics (also /metrics.json /healthz /debug/pprof/)\n", srv.URL())
+	}
+
 	net := model.PaperTestbed()
 	if o.Spec != "" {
 		f, err := os.Open(o.Spec)
@@ -178,7 +198,7 @@ func run(o runOptions) error {
 	// observer streams the same decision record to -trace as JSONL.
 	var observers core.MultiObserver
 	var searchTrace *core.SearchTrace
-	if o.Explain || o.Metrics {
+	if o.Explain || metrics != nil {
 		searchTrace = &core.SearchTrace{}
 		observers = append(observers, searchTrace)
 	}
@@ -225,9 +245,12 @@ func run(o runOptions) error {
 		fmt.Println()
 		fmt.Print(searchTrace.Explain())
 	}
+	if metrics != nil {
+		searchMetrics(searchTrace, metrics)
+	}
 	if o.Metrics {
 		fmt.Println()
-		fmt.Print(searchMetrics(searchTrace).Render())
+		fmt.Print(metrics.Render())
 	}
 	if rec != nil {
 		if err := rec.Err(); err != nil {
@@ -235,14 +258,18 @@ func run(o runOptions) error {
 		}
 		fmt.Printf("\nsearch trace       : %s (%d events)\n", o.TraceFile, rec.Len())
 	}
+	if srv != nil {
+		fmt.Println("telemetry          : search complete, still serving (interrupt to exit)")
+		srv.Wait()
+	}
 	return nil
 }
 
-// searchMetrics folds a recorded search trace into a metrics registry:
-// candidate counts, memo hits, bisection probes, and the T_c distribution
-// over evaluated candidates.
-func searchMetrics(t *core.SearchTrace) *obs.Registry {
-	m := obs.NewRegistry()
+// searchMetrics folds a recorded search trace into the given metrics
+// registry: candidate counts, memo hits, bisection probes, and the T_c
+// distribution over evaluated candidates. Filling a caller-provided
+// registry lets -serve expose the same instruments it scrapes.
+func searchMetrics(t *core.SearchTrace, m *obs.Registry) {
 	for _, c := range t.Candidates {
 		if c.Cached {
 			m.Counter("search.memo_hits").Inc()
@@ -262,5 +289,4 @@ func searchMetrics(t *core.SearchTrace) *obs.Registry {
 	if w, ok := t.Winner(); ok {
 		m.Gauge("search.winner_tc_ms").Set(w.TcMs)
 	}
-	return m
 }

@@ -34,6 +34,8 @@ import (
 	"netpart/internal/mmps"
 	"netpart/internal/model"
 	"netpart/internal/obs"
+	"netpart/internal/obs/drift"
+	"netpart/internal/obs/serve"
 	"netpart/internal/spmd"
 	"netpart/internal/stencil"
 	"netpart/internal/topo"
@@ -61,6 +63,8 @@ type runOptions struct {
 	Faults     string // fault schedule ("" = none)
 	FaultSeed  uint64 // deterministic injector seed
 	Ckpt       int    // checkpoint period for the fault-tolerant live runtime
+	Serve      string // telemetry listen address ("" = off)
+	DriftPct   float64
 }
 
 func main() {
@@ -82,6 +86,8 @@ func main() {
 	flag.StringVar(&o.Faults, "faults", "", `fault schedule, e.g. "crash:3@12;drop:0.05;delay:0.1,2;part:6@100-200"`)
 	flag.Uint64Var(&o.FaultSeed, "faultseed", 1, "seed for the deterministic fault injector")
 	flag.IntVar(&o.Ckpt, "ckpt", 8, "checkpoint period (cycles) for the fault-tolerant live runtime")
+	flag.StringVar(&o.Serve, "serve", "", `telemetry listen address (e.g. ":9090", ":0" picks a port): /metrics, /metrics.json, /healthz, /debug/pprof/; the process keeps serving after the run until interrupted`)
+	flag.Float64Var(&o.DriftPct, "driftpct", drift.DefaultThresholdPct, "drift-event threshold: |EWMA deviation| of measured vs predicted per-cycle time, percent")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -106,7 +112,7 @@ func run(o runOptions) error {
 	// -metrics; a recorder collects per-cycle spans for -trace / -chrome.
 	var metrics *obs.Registry
 	var rec *obs.Recorder
-	if o.Metrics {
+	if o.Metrics || o.Serve != "" {
 		metrics = obs.NewRegistry()
 	}
 	var traceOut *os.File
@@ -122,9 +128,22 @@ func run(o runOptions) error {
 		rec = obs.NewRecorder(nil) // memory-only, exported at exit
 	}
 
+	// The telemetry endpoint starts before the workload so the run is
+	// scrapeable while it executes, and Wait() keeps it up afterwards.
+	var srv *serve.Server
+	if o.Serve != "" {
+		var err error
+		srv, err = serve.Start(o.Serve, metrics)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry      : %s/metrics (also /metrics.json /healthz /debug/pprof/)\n", srv.URL())
+	}
+
 	n, iters := o.N, o.Iters
 	var vec core.Vector
-	var predictedTcMs float64
+	var predictedTcMs, predictedTcommMs float64
 	chosen := struct{ p1, p2 int }{o.P1, o.P2}
 	if chosen.p1 < 0 || chosen.p2 < 0 {
 		fmt.Println("partitioning: benchmarking communication and searching configurations...")
@@ -143,6 +162,7 @@ func run(o runOptions) error {
 		chosen.p1, chosen.p2 = res.Config.Counts[0], res.Config.Counts[1]
 		vec = res.Vector
 		predictedTcMs = res.TcMs
+		predictedTcommMs = res.TcommMs
 		fmt.Printf("partitioning: chose %v, predicted T_c %.3f ms/cycle (%d evaluations)\n",
 			res.Config, res.TcMs, res.Evaluations)
 	}
@@ -159,6 +179,18 @@ func run(o runOptions) error {
 	}
 	fmt.Printf("configuration  : sparc2:%d ipc:%d\n", chosen.p1, chosen.p2)
 	fmt.Printf("partition vec  : %v\n", vec)
+
+	// Drift monitor: with estimator predictions in hand, subscribe to the
+	// runtimes' per-cycle measurements and flag sustained deviation from
+	// the predicted T_c (gauges drift.pct{task=...}, events on -trace).
+	var cycleSink obs.CycleSink
+	if metrics != nil && predictedTcMs > 0 {
+		cycleSink = drift.New(drift.Config{
+			PredCycleMs:  predictedTcMs,
+			PredCommMs:   predictedTcommMs,
+			ThresholdPct: o.DriftPct,
+		}, metrics, rec)
+	}
 
 	verify := o.Verify
 	var grid [][]float64
@@ -187,7 +219,7 @@ func run(o runOptions) error {
 				}
 				grid2, elapsedMs, rep = res.Grid, res.ElapsedMs, res.Report
 			} else {
-				res, err := stencil.RunSimObserved(net, cfgCost, vec, variant, n, iters, metrics, rec)
+				res, err := stencil.RunSimMonitored(net, cfgCost, vec, variant, n, iters, metrics, rec, cycleSink)
 				if err != nil {
 					return err
 				}
@@ -307,6 +339,7 @@ func run(o runOptions) error {
 				WorkFactor:      factors,
 				Metrics:         metrics,
 				Trace:           rec,
+				Cycles:          cycleSink,
 			})
 			if err != nil {
 				return err
@@ -320,7 +353,7 @@ func run(o runOptions) error {
 					ev.Epoch, ev.Dead, ev.RollbackCycle, ev.LatencyMs, ev.Vector)
 			}
 		} else {
-			res, err := stencil.RunLiveObserved(world, vec, variant, n, iters, factors, metrics, rec)
+			res, err := stencil.RunLiveMonitored(world, vec, variant, n, iters, factors, metrics, rec, cycleSink)
 			if err != nil {
 				return err
 			}
@@ -369,6 +402,10 @@ func run(o runOptions) error {
 			}
 			fmt.Printf("chrome trace   : %s (open in chrome://tracing)\n", o.ChromeFile)
 		}
+	}
+	if srv != nil {
+		fmt.Println("telemetry      : run complete, still serving (interrupt to exit)")
+		srv.Wait()
 	}
 	return nil
 }

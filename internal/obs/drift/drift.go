@@ -1,0 +1,261 @@
+// Package drift watches a running partition for divergence from the
+// estimator's predictions. The paper's partitioning decisions are made
+// once, from T_comp/T_comm estimates; this monitor closes the loop at run
+// time by subscribing to per-cycle runtime instrumentation (as an
+// obs.CycleSink) and comparing each task's measured cycle and exchange
+// times against the predicted ones. Per task it maintains an EWMA of the
+// deviation percentage plus a sliding window for quantiles; when the
+// smoothed deviation crosses the configured threshold it emits one
+// structured "drift" event on the recorder and bumps the drift.events
+// counter. Gauges (`drift.pct{task="k"}`, `drift.comm_pct{task="k"}`,
+// drift.worst_pct) track the smoothed deviations continuously, so a
+// scraper — or a future restreaming repartitioner — sees drift as it
+// develops, not only when it alarms.
+//
+//netpart:nilsafe
+package drift
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"netpart/internal/obs"
+	"netpart/internal/trace"
+)
+
+// Defaults for Config's zero fields.
+const (
+	DefaultThresholdPct = 25.0
+	DefaultAlpha        = 0.25
+	DefaultWindow       = 32
+	DefaultWarmup       = 3
+)
+
+// Config parameterizes a Monitor. The zero value of every field but the
+// predictions is usable: zero ThresholdPct, Alpha, Window, and Warmup take
+// the defaults above. A prediction of 0 (or non-finite) disables deviation
+// tracking for that component, matching trace.DeviationPct.
+type Config struct {
+	// PredCycleMs is the estimator's predicted per-cycle total for one
+	// task, T_comp + T_comm, in milliseconds.
+	PredCycleMs float64
+	// PredCommMs is the predicted communication portion, T_comm, in
+	// milliseconds.
+	PredCommMs float64
+	// ThresholdPct fires an event when |EWMA deviation| crosses it.
+	ThresholdPct float64
+	// Alpha is the EWMA smoothing factor in (0, 1]; larger reacts faster.
+	Alpha float64
+	// Window is the per-task sliding window length for deviation
+	// quantiles (reported in events).
+	Window int
+	// Warmup is the number of cycles observed per task before events may
+	// fire, so start-of-run jitter does not alarm.
+	Warmup int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.ThresholdPct == 0 {
+		c.ThresholdPct = DefaultThresholdPct
+	}
+	if c.Alpha == 0 {
+		c.Alpha = DefaultAlpha
+	}
+	if c.Window == 0 {
+		c.Window = DefaultWindow
+	}
+	if c.Warmup == 0 {
+		c.Warmup = DefaultWarmup
+	}
+	return c
+}
+
+// Event is the payload of one emitted drift alarm, also recorded as a
+// flat "drift" JSONL event on the recorder.
+type Event struct {
+	Task       int     `json:"task"`
+	Cycle      int     `json:"cycle"`
+	Component  string  `json:"component"` // "cycle" or "comm"
+	MeasuredMs float64 `json:"measured_ms"`
+	PredMs     float64 `json:"pred_ms"`
+	DevPct     float64 `json:"dev_pct"`  // this observation's deviation
+	EwmaPct    float64 `json:"ewma_pct"` // smoothed deviation that crossed
+	P90Pct     float64 `json:"p90_pct"`  // windowed |deviation| p90
+}
+
+// component tracks one deviation stream (cycle or comm) for one task.
+type component struct {
+	n       int
+	ewma    float64
+	window  []float64 // |deviation| ring, len == cap once warm
+	next    int
+	alarmed bool
+	gauge   *obs.Gauge
+}
+
+// observe folds one deviation in and reports whether the smoothed value
+// just crossed the threshold (armed edge, not level).
+func (s *component) observe(devPct, alpha, threshold float64, warmup int) (fired bool) {
+	s.n++
+	if s.n == 1 {
+		s.ewma = devPct
+	} else {
+		s.ewma = alpha*devPct + (1-alpha)*s.ewma
+	}
+	if len(s.window) < cap(s.window) {
+		s.window = append(s.window, math.Abs(devPct))
+	} else {
+		s.window[s.next] = math.Abs(devPct)
+		s.next = (s.next + 1) % len(s.window)
+	}
+	s.gauge.Set(s.ewma)
+	over := math.Abs(s.ewma) >= threshold
+	if !over {
+		s.alarmed = false
+		return false
+	}
+	if s.alarmed || s.n < warmup {
+		return false
+	}
+	s.alarmed = true
+	return true
+}
+
+// p90 reports the 90th percentile of the window's absolute deviations.
+func (s *component) p90() float64 {
+	var sm trace.Sample
+	sm.AddAll(s.window...)
+	return sm.Percentile(90)
+}
+
+// taskState is the per-task pair of deviation streams.
+type taskState struct {
+	cycle component
+	comm  component
+}
+
+// Monitor is an obs.CycleSink that turns per-cycle measurements into
+// drift gauges, counters, and events. All methods are safe on a nil
+// receiver (a nil *Monitor stored in an obs.CycleSink interface is a
+// usable no-op sink) and safe for concurrent use — live runtimes call
+// OnCycle from one goroutine per rank.
+type Monitor struct {
+	mu    sync.Mutex
+	cfg   Config
+	reg   *obs.Registry
+	rec   *obs.Recorder
+	tasks map[int]*taskState
+	worst float64
+}
+
+// Monitor implements obs.CycleSink.
+var _ obs.CycleSink = (*Monitor)(nil)
+
+// New builds a monitor writing gauges/counters to reg and events to rec;
+// either may be nil (the corresponding output is dropped). cfg's zero
+// fields take the package defaults.
+func New(cfg Config, reg *obs.Registry, rec *obs.Recorder) *Monitor {
+	return &Monitor{
+		cfg:   cfg.withDefaults(),
+		reg:   reg,
+		rec:   rec,
+		tasks: make(map[int]*taskState),
+	}
+}
+
+// taskLocked returns the task's state, creating it (and its gauges) on
+// first sight. Callers hold m.mu.
+func (m *Monitor) taskLocked(task int) *taskState {
+	ts, ok := m.tasks[task]
+	if !ok {
+		ts = &taskState{
+			cycle: component{
+				window: make([]float64, 0, m.cfg.Window),
+				gauge:  m.reg.Gauge(fmt.Sprintf(`drift.pct{task="%d"}`, task)),
+			},
+			comm: component{
+				window: make([]float64, 0, m.cfg.Window),
+				gauge:  m.reg.Gauge(fmt.Sprintf(`drift.comm_pct{task="%d"}`, task)),
+			},
+		}
+		m.tasks[task] = ts
+	}
+	return ts
+}
+
+// OnCycle folds in one task's measured cycle time. No-op on a nil monitor
+// or when no cycle prediction was configured.
+func (m *Monitor) OnCycle(task, cycle int, measuredMs float64) {
+	if m == nil {
+		return
+	}
+	m.observe(task, cycle, "cycle", measuredMs, m.cfg.PredCycleMs)
+}
+
+// OnExchange folds in one task's measured border-exchange time. No-op on
+// a nil monitor or when no comm prediction was configured.
+func (m *Monitor) OnExchange(task, cycle int, measuredMs float64) {
+	if m == nil {
+		return
+	}
+	m.observe(task, cycle, "comm", measuredMs, m.cfg.PredCommMs)
+}
+
+func (m *Monitor) observe(task, cycle int, comp string, measuredMs, predMs float64) {
+	dev := trace.DeviationPct(measuredMs, predMs)
+	if predMs == 0 || math.IsInf(predMs, 0) || math.IsNaN(predMs) {
+		return // no prediction, nothing to deviate from
+	}
+	m.mu.Lock()
+	ts := m.taskLocked(task)
+	s := &ts.cycle
+	if comp == "comm" {
+		s = &ts.comm
+	}
+	fired := s.observe(dev, m.cfg.Alpha, m.cfg.ThresholdPct, m.cfg.Warmup)
+	if a := math.Abs(s.ewma); a > m.worst {
+		m.worst = a
+		m.reg.Gauge("drift.worst_pct").Set(a)
+	}
+	var ev Event
+	if fired {
+		ev = Event{
+			Task:       task,
+			Cycle:      cycle,
+			Component:  comp,
+			MeasuredMs: measuredMs,
+			PredMs:     predMs,
+			DevPct:     dev,
+			EwmaPct:    s.ewma,
+			P90Pct:     s.p90(),
+		}
+	}
+	m.mu.Unlock()
+
+	if fired {
+		m.reg.Counter("drift.events").Inc()
+		m.rec.Emit("drift", map[string]any{
+			"task":        ev.Task,
+			"cycle":       ev.Cycle,
+			"component":   ev.Component,
+			"measured_ms": ev.MeasuredMs,
+			"pred_ms":     ev.PredMs,
+			"dev_pct":     ev.DevPct,
+			"ewma_pct":    ev.EwmaPct,
+			"p90_pct":     ev.P90Pct,
+		})
+	}
+}
+
+// Worst reports the largest |EWMA deviation| seen so far across all tasks
+// and components (0 for a nil monitor).
+func (m *Monitor) Worst() float64 {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.worst
+}

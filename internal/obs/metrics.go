@@ -1,6 +1,6 @@
 // Package obs is the observability substrate: a zero-dependency metrics
-// registry (counters, gauges, histograms with fixed quantile buckets) and a
-// structured event recorder with JSONL and Chrome trace-event output.
+// registry (counters, gauges, bounded-memory histograms) and a structured
+// event recorder with JSONL and Chrome trace-event output.
 //
 // Every type is nil-safe: methods on a nil *Registry, *Counter, *Gauge,
 // *Histogram, or *Recorder are no-ops (or return zero values), so
@@ -8,7 +8,10 @@
 // nil check and no allocations — when observability is disabled. The
 // estimator/search layer (internal/core), the SPMD runtimes (internal/spmd,
 // internal/stencil, internal/simnet, internal/mmps), and all four commands
-// thread through this package.
+// thread through this package. The serving layer (internal/obs/serve)
+// exposes a registry over HTTP for long-running processes, which is why
+// histograms hold O(buckets + reservoir) memory rather than every
+// observation (see histogram.go).
 //
 //netpart:nilsafe
 package obs
@@ -21,8 +24,6 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
-
-	"netpart/internal/trace"
 )
 
 // Quantiles are the fixed histogram quantile buckets every summary
@@ -90,89 +91,17 @@ func (g *Gauge) Value() float64 {
 	return g.v
 }
 
-// Histogram accumulates scalar observations. It is backed by trace.Sample,
-// so summaries report exact linear-interpolated quantiles rather than
-// pre-bucketed approximations.
-type Histogram struct {
-	mu sync.Mutex
-	s  trace.Sample
-}
-
-// Observe folds in one observation. No-op on a nil histogram.
-func (h *Histogram) Observe(v float64) {
-	if h == nil {
-		return
-	}
-	h.mu.Lock()
-	h.s.Add(v)
-	h.mu.Unlock()
-}
-
-// N reports the observation count (0 for a nil histogram).
-func (h *Histogram) N() int {
-	if h == nil {
-		return 0
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.s.N()
-}
-
-// Quantile reports the q-th quantile (0 ≤ q ≤ 1) of the observations.
-func (h *Histogram) Quantile(q float64) float64 {
-	if h == nil {
-		return 0
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.s.Quantile(q)
-}
-
-// Merge folds another histogram's observations into h.
-func (h *Histogram) Merge(other *Histogram) {
-	if h == nil || other == nil {
-		return
-	}
-	other.mu.Lock()
-	var copied trace.Sample
-	copied.AddAll(other.s.Values()...)
-	other.mu.Unlock()
-	h.mu.Lock()
-	h.s.Merge(&copied)
-	h.mu.Unlock()
-}
-
 // HistSummary is a point-in-time histogram digest over the fixed
 // Quantiles buckets.
 type HistSummary struct {
 	N    int     `json:"n"`
+	Sum  float64 `json:"sum"`
 	Mean float64 `json:"mean"`
 	Min  float64 `json:"min"`
 	Max  float64 `json:"max"`
 	P50  float64 `json:"p50"`
 	P90  float64 `json:"p90"`
 	P99  float64 `json:"p99"`
-}
-
-// Summary digests the histogram (zero summary for nil or empty).
-func (h *Histogram) Summary() HistSummary {
-	if h == nil {
-		return HistSummary{}
-	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	if h.s.N() == 0 {
-		return HistSummary{}
-	}
-	return HistSummary{
-		N:    h.s.N(),
-		Mean: h.s.Mean(),
-		Min:  h.s.Min(),
-		Max:  h.s.Max(),
-		P50:  h.s.Quantile(Quantiles[0]),
-		P90:  h.s.Quantile(Quantiles[1]),
-		P99:  h.s.Quantile(Quantiles[2]),
-	}
 }
 
 // Registry is a named collection of metrics. Metric instruments are

@@ -1,0 +1,249 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"netpart/internal/obs"
+)
+
+// TestWritePromGolden pins the exposition byte-for-byte: family grouping,
+// netpart_ prefixing, label splicing, cumulative buckets, and stable
+// ordering. A histogram with three observations in the first bucket keeps
+// the golden text reviewable (every cumulative count is 3).
+func TestWritePromGolden(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("search.candidates").Add(7)
+	r.Gauge(`drift.pct{task="1"}`).Set(12.5)
+	r.Gauge(`drift.pct{task="0"}`).Set(-3)
+	r.Gauge("drift.worst_pct").Set(12.5)
+	h := r.Histogram("cycle.ms")
+	for i := 0; i < 3; i++ {
+		h.Observe(0.0001) // below the first bound: every bucket is cumulative 3
+	}
+	r.Histogram("never.observed") // must not appear
+
+	var b strings.Builder
+	if err := WriteProm(&b, r.Export()); err != nil {
+		t.Fatal(err)
+	}
+
+	var want strings.Builder
+	want.WriteString("# TYPE netpart_search_candidates counter\n")
+	want.WriteString("netpart_search_candidates 7\n")
+	want.WriteString("# TYPE netpart_drift_pct gauge\n")
+	want.WriteString("netpart_drift_pct{task=\"0\"} -3\n")
+	want.WriteString("netpart_drift_pct{task=\"1\"} 12.5\n")
+	want.WriteString("# TYPE netpart_drift_worst_pct gauge\n")
+	want.WriteString("netpart_drift_worst_pct 12.5\n")
+	want.WriteString("# TYPE netpart_cycle_ms histogram\n")
+	for _, bound := range obs.BucketBounds() {
+		fmt.Fprintf(&want, "netpart_cycle_ms_bucket{le=\"%g\"} 3\n", bound)
+	}
+	want.WriteString("netpart_cycle_ms_bucket{le=\"+Inf\"} 3\n")
+	want.WriteString("netpart_cycle_ms_sum 0.00030000000000000003\n")
+	want.WriteString("netpart_cycle_ms_count 3\n")
+
+	if b.String() != want.String() {
+		t.Errorf("exposition mismatch:\ngot:\n%s\nwant:\n%s", b.String(), want.String())
+	}
+
+	// Determinism: a second render of the same state is byte-identical.
+	var b2 strings.Builder
+	if err := WriteProm(&b2, r.Export()); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != b2.String() {
+		t.Error("two renders of one registry state differ")
+	}
+}
+
+// TestWritePromFamilyInterleave covers the regrouping case: full-name
+// sorting interleaves "a.b2" between "a.b" and `a.b{...}`, but each
+// family's series must still be consecutive under one TYPE line.
+func TestWritePromFamilyInterleave(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Gauge("a.b").Set(1)
+	r.Gauge("a.b2").Set(2)
+	r.Gauge(`a.b{task="0"}`).Set(3)
+	var b strings.Builder
+	if err := WriteProm(&b, r.Export()); err != nil {
+		t.Fatal(err)
+	}
+	want := "# TYPE netpart_a_b gauge\n" +
+		"netpart_a_b 1\n" +
+		"netpart_a_b{task=\"0\"} 3\n" +
+		"# TYPE netpart_a_b2 gauge\n" +
+		"netpart_a_b2 2\n"
+	if b.String() != want {
+		t.Errorf("exposition:\ngot:\n%s\nwant:\n%s", b.String(), want)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("spmd.cycles").Add(5)
+	r.Histogram("spmd.cycle_ms").Observe(1.5)
+	ts := httptest.NewServer(Handler(r))
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE netpart_spmd_cycles counter",
+		"netpart_spmd_cycles 5",
+		"# TYPE netpart_spmd_cycle_ms histogram",
+		`netpart_spmd_cycle_ms_bucket{le="+Inf"} 1`,
+		"netpart_spmd_cycle_ms_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/metrics.json")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics.json = %d", code)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not a snapshot: %v", err)
+	}
+	if snap.Counters["spmd.cycles"] != 5 {
+		t.Errorf("/metrics.json counters = %v", snap.Counters)
+	}
+
+	code, body = get("/healthz")
+	if code != http.StatusOK || body != "ok\n" {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	ts := httptest.NewServer(Handler(nil))
+	defer ts.Close()
+	for _, path := range []string{"/metrics", "/metrics.json", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s on nil registry = %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestScrapeWhileObserve races live scrapes against concurrent writers on
+// every instrument kind; go test -race is the assertion.
+func TestScrapeWhileObserve(t *testing.T) {
+	r := obs.NewRegistry()
+	ts := httptest.NewServer(Handler(r))
+	defer ts.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := r.Gauge(fmt.Sprintf(`drift.pct{task="%d"}`, w))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Counter("spmd.cycles").Inc()
+				r.Histogram("spmd.cycle_ms").Observe(float64(i%97) * 0.1)
+				g.Set(float64(i))
+			}
+		}(w)
+	}
+	for i := 0; i < 20; i++ {
+		for _, path := range []string{"/metrics", "/metrics.json"} {
+			resp, err := http.Get(ts.URL + path)
+			if err != nil {
+				t.Fatalf("scrape %s: %v", path, err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				t.Fatalf("scrape %s: %v", path, err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("scrape %s = %d", path, resp.StatusCode)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestServerLifecycle(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("x").Inc()
+	s, err := Start("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Addr() == "" || !strings.HasPrefix(s.URL(), "http://127.0.0.1:") {
+		t.Fatalf("Addr=%q URL=%q", s.Addr(), s.URL())
+	}
+	resp, err := http.Get(s.URL() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics = %d", resp.StatusCode)
+	}
+
+	// Close unblocks Wait and is idempotent.
+	waited := make(chan struct{})
+	go func() { s.Wait(); close(waited) }()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	<-waited
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Nil and zero servers are inert.
+	var np *Server
+	np.Wait()
+	if np.Addr() != "" || np.URL() != "" || np.Close() != nil {
+		t.Error("nil server not inert")
+	}
+	var zero Server
+	zero.Wait()
+	if zero.Addr() != "" || zero.Close() != nil {
+		t.Error("zero server not inert")
+	}
+}

@@ -94,6 +94,7 @@ type Task struct {
 
 	m            jobMetrics
 	rec          *obs.Recorder
+	sink         obs.CycleSink
 	cycle        int
 	cycleStartMs float64
 }
@@ -186,6 +187,9 @@ func (t *Task) EndCycle() {
 	now := t.NowMs()
 	t.m.cycles.Inc()
 	t.m.cycleMs.Observe(now - t.cycleStartMs)
+	if t.sink != nil {
+		t.sink.OnCycle(t.rank, t.cycle, now-t.cycleStartMs)
+	}
 	if t.rec != nil {
 		t.rec.Span("cycle", t.rank, t.cycleStartMs, now-t.cycleStartMs, map[string]any{
 			"iter":    t.cycle,
@@ -216,6 +220,9 @@ func (t *Task) ExchangeBorders(bytes int, payload func(nb int) interface{}) map[
 		got[nb] = t.Recv(nb)
 	}
 	t.m.exchangeMs.Observe(t.NowMs() - start)
+	if t.sink != nil {
+		t.sink.OnExchange(t.rank, t.cycle, t.NowMs()-start)
+	}
 	return got
 }
 
@@ -241,6 +248,10 @@ type Job struct {
 	// Trace, when non-nil, receives per-cycle span events (via
 	// Task.EndCycle) suitable for obs.WriteChromeTrace.
 	Trace *obs.Recorder
+	// Cycles, when non-nil, receives each task's per-cycle and
+	// per-exchange durations as they complete (virtual-time
+	// milliseconds) — the subscription point for the drift monitor.
+	Cycles obs.CycleSink
 }
 
 // Execution errors.
@@ -294,6 +305,7 @@ func Run(job Job) (Report, error) {
 			tp:     job.Topology,
 			m:      m,
 			rec:    job.Trace,
+			sink:   job.Cycles,
 		}
 		offset += job.Vector[rank]
 	}

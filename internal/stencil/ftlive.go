@@ -80,6 +80,10 @@ type FTOptions struct {
 	Metrics *obs.Registry
 	// Trace, when non-nil, receives per-cycle spans for Chrome export.
 	Trace *obs.Recorder
+	// Cycles, when non-nil, receives each rank's wall-clock per-cycle
+	// duration as it completes — the drift-monitor subscription. Calls
+	// arrive from one goroutine per rank.
+	Cycles obs.CycleSink
 }
 
 // RecoveryEvent records one completed recovery.
@@ -790,6 +794,9 @@ func (t *ftTask) computeLoop() error {
 		}
 		t.cur, t.next = t.next, t.cur
 		t.cycleMs.Observe(float64(time.Since(cycleStart)) / float64(time.Millisecond))
+		if t.opts.Cycles != nil {
+			t.opts.Cycles.OnCycle(t.rank, t.iter, float64(time.Since(cycleStart))/float64(time.Millisecond))
+		}
 		if t.opts.Trace != nil {
 			startMs := float64(cycleStart.Sub(t.epochT0)) / float64(time.Millisecond)
 			t.opts.Trace.Span("cycle", t.rank, startMs,

@@ -47,6 +47,14 @@ func RunLive(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, w
 // iteration loop's start so the Chrome trace aligns all ranks. Either may
 // be nil to disable.
 func RunLiveObserved(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, workFactor []int, m *obs.Registry, rec *obs.Recorder) (LiveResult, error) {
+	return RunLiveMonitored(world, vec, v, n, iters, workFactor, m, rec, nil)
+}
+
+// RunLiveMonitored is RunLiveObserved plus a per-cycle subscription: sink
+// (when non-nil) receives every rank's wall-clock cycle and
+// border-exchange duration as it completes, from that rank's goroutine —
+// the hookup point for the drift monitor (internal/obs/drift).
+func RunLiveMonitored(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, workFactor []int, m *obs.Registry, rec *obs.Recorder, sink obs.CycleSink) (LiveResult, error) {
 	if len(world) == 0 || len(world) != len(vec) {
 		return LiveResult{}, fmt.Errorf("stencil: %d transports for %d vector entries", len(world), len(vec))
 	}
@@ -73,6 +81,7 @@ func RunLiveObserved(world []mmps.Transport, vec core.Vector, v Variant, n, iter
 		rec:        rec,
 		cycleMs:    m.Histogram(MetricLiveCycleMs),
 		exchangeMs: m.Histogram(MetricLiveExchangeMs),
+		cycles:     sink,
 	}
 	for rank := range world {
 		rank := rank
@@ -109,6 +118,7 @@ type liveObs struct {
 	rec        *obs.Recorder
 	cycleMs    *obs.Histogram
 	exchangeMs *obs.Histogram
+	cycles     obs.CycleSink
 }
 
 // sinceMs is the wall time since the run epoch in milliseconds.
@@ -209,7 +219,11 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, 
 			if err := recvGhosts(); err != nil {
 				return err
 			}
-			lo.exchangeMs.Observe(lo.sinceMs() - exchStart)
+			exchMs := lo.sinceMs() - exchStart
+			lo.exchangeMs.Observe(exchMs)
+			if lo.cycles != nil {
+				lo.cycles.OnExchange(rank, it, exchMs)
+			}
 			computeRows(1, rows)
 		case STEN2:
 			exchStart := lo.sinceMs()
@@ -222,7 +236,11 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, 
 			if err := recvGhosts(); err != nil {
 				return err
 			}
-			lo.exchangeMs.Observe(lo.sinceMs() - exchStart)
+			exchMs := lo.sinceMs() - exchStart
+			lo.exchangeMs.Observe(exchMs)
+			if lo.cycles != nil {
+				lo.cycles.OnExchange(rank, it, exchMs)
+			}
 			computeRows(1, 1)
 			if rows > 1 {
 				computeRows(rows, rows)
@@ -231,6 +249,9 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, 
 		cur, next = next, cur
 		now := lo.sinceMs()
 		lo.cycleMs.Observe(now - cycleStart)
+		if lo.cycles != nil {
+			lo.cycles.OnCycle(rank, it, now-cycleStart)
+		}
 		if lo.rec != nil {
 			lo.rec.Span("cycle", rank, cycleStart, now-cycleStart, map[string]any{"iter": it})
 		}

@@ -191,6 +191,14 @@ func RunSim(net *model.Network, cfg cost.Config, vec core.Vector, v Variant, n, 
 // and one span per task per cycle into rec for Chrome trace export. Either
 // may be nil to disable.
 func RunSimObserved(net *model.Network, cfg cost.Config, vec core.Vector, v Variant, n, iters int, m *obs.Registry, rec *obs.Recorder) (SimResult, error) {
+	return RunSimMonitored(net, cfg, vec, v, n, iters, m, rec, nil)
+}
+
+// RunSimMonitored is RunSimObserved plus a per-cycle subscription: sink
+// (when non-nil) receives every task's cycle and border-exchange duration
+// in virtual-time milliseconds as it completes — the hookup point for the
+// drift monitor (internal/obs/drift).
+func RunSimMonitored(net *model.Network, cfg cost.Config, vec core.Vector, v Variant, n, iters int, m *obs.Registry, rec *obs.Recorder, sink obs.CycleSink) (SimResult, error) {
 	if vec.Sum() != n {
 		return SimResult{}, fmt.Errorf("stencil: vector sums to %d, want N=%d rows", vec.Sum(), n)
 	}
@@ -211,6 +219,7 @@ func RunSimObserved(net *model.Network, cfg cost.Config, vec core.Vector, v Vari
 		Topology:  topo.OneD{},
 		Metrics:   m,
 		Trace:     rec,
+		Cycles:    sink,
 		Body: func(t *spmd.Task) {
 			runTask(t, initial, result, v, n, iters)
 		},

@@ -128,6 +128,20 @@ func (s *Sample) Merge(other *Sample) {
 	s.sorted = false
 }
 
+// CopyFrom replaces s's observations with a single copy of other's —
+// the one-allocation alternative to AddAll(other.Values()...), which
+// copies twice. Copying from nil or an empty sample empties s; other is
+// not modified and shares no storage with s afterwards.
+func (s *Sample) CopyFrom(other *Sample) {
+	if other == nil {
+		s.values = s.values[:0]
+		s.sorted = false
+		return
+	}
+	s.values = append(s.values[:0], other.values...)
+	s.sorted = other.sorted
+}
+
 // Median reports the 50th percentile.
 func (s *Sample) Median() float64 { return s.Percentile(50) }
 

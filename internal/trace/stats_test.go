@@ -237,3 +237,55 @@ func TestMeanBoundsProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestSampleCopyFrom(t *testing.T) {
+	var src Sample
+	src.AddAll(3, 1, 2)
+
+	var dst Sample
+	dst.AddAll(9, 9, 9, 9) // CopyFrom must replace, not append
+	dst.CopyFrom(&src)
+	if dst.N() != 3 || dst.Median() != 2 {
+		t.Errorf("after CopyFrom: n=%d median=%v", dst.N(), dst.Median())
+	}
+	// No shared storage: mutating dst leaves src intact.
+	dst.Add(100)
+	if src.N() != 3 || src.Max() != 3 {
+		t.Errorf("src mutated through copy: %v", src.String())
+	}
+
+	// Copying a sorted source preserves the sorted fast path.
+	src.Percentile(50)
+	var dst2 Sample
+	dst2.CopyFrom(&src)
+	if got := dst2.Percentile(0); got != 1 {
+		t.Errorf("sorted copy p0 = %v, want 1", got)
+	}
+
+	// Copying nil or empty empties the destination.
+	dst.CopyFrom(nil)
+	if dst.N() != 0 {
+		t.Errorf("CopyFrom(nil) left n=%d", dst.N())
+	}
+	var empty Sample
+	dst2.CopyFrom(&empty)
+	if dst2.N() != 0 {
+		t.Errorf("CopyFrom(empty) left n=%d", dst2.N())
+	}
+}
+
+// CopyFrom is the single-allocation path: one append into reused storage.
+func TestSampleCopyFromAllocs(t *testing.T) {
+	var src Sample
+	for i := 0; i < 1000; i++ {
+		src.Add(float64(i))
+	}
+	var dst Sample
+	dst.CopyFrom(&src) // warm: dst's backing array reaches capacity
+	allocs := testing.AllocsPerRun(100, func() {
+		dst.CopyFrom(&src)
+	})
+	if allocs > 0 {
+		t.Errorf("CopyFrom allocated %.1f times into warm storage; want 0", allocs)
+	}
+}

@@ -24,7 +24,9 @@
 //   - cluster managers and the availability protocol (internal/manager)
 //   - the evaluation applications (internal/stencil, internal/gauss)
 //   - decomposition baselines (internal/balance)
-//   - metrics and structured trace recording (internal/obs)
+//   - metrics and structured trace recording (internal/obs), HTTP
+//     telemetry exposition (internal/obs/serve), and estimate-drift
+//     monitoring (internal/obs/drift)
 //
 // Quick start:
 //
@@ -49,6 +51,8 @@ import (
 	"netpart/internal/mmps"
 	"netpart/internal/model"
 	"netpart/internal/obs"
+	"netpart/internal/obs/drift"
+	"netpart/internal/obs/serve"
 	"netpart/internal/particles"
 	"netpart/internal/stencil"
 	"netpart/internal/stencil2d"
@@ -514,4 +518,57 @@ func StencilRepartitioner(net *Network, costs *CostTable, v StencilVariant, n, i
 // recovery belongs to the live runtime (RunStencilLiveFT).
 func RunStencilSimFaulty(net *Network, cfg Config, vec Vector, v StencilVariant, n, iters int, inj FaultInjector, retransmitMs float64, opts StencilAdaptiveOptions) (stencil.AdaptiveResult, error) {
 	return stencil.RunSimFaulty(net, cfg, vec, v, n, iters, inj, retransmitMs, opts)
+}
+
+// Live telemetry and drift monitoring types. TelemetryServer exposes a
+// Metrics registry over HTTP (Prometheus text on /metrics, JSON on
+// /metrics.json, /healthz, /debug/pprof/); DriftMonitor subscribes to a
+// runtime's per-cycle measurements (as a CycleSink) and flags sustained
+// deviation from the estimator's T_comp/T_comm predictions.
+type (
+	// TelemetryServer is a running HTTP telemetry endpoint.
+	TelemetryServer = serve.Server
+	// CycleSink receives per-task per-cycle runtime observations.
+	CycleSink = obs.CycleSink
+	// DriftMonitor is a CycleSink comparing measured cycle times against
+	// estimator predictions (EWMA + windowed quantiles, threshold events).
+	DriftMonitor = drift.Monitor
+	// DriftConfig parameterizes a DriftMonitor.
+	DriftConfig = drift.Config
+	// MetricsExport is a stable, name-sorted exposition snapshot of a
+	// Metrics registry.
+	MetricsExport = obs.Export
+)
+
+// ServeTelemetry starts serving m's metrics on addr (":0" picks a free
+// port; the resolved address is Server.Addr). Close the returned server
+// when done, or Wait on it to block until SIGINT/SIGTERM.
+func ServeTelemetry(addr string, m *Metrics) (*TelemetryServer, error) {
+	return serve.Start(addr, m)
+}
+
+// WritePrometheus writes a registry snapshot in the Prometheus text
+// exposition format (the same bytes /metrics serves).
+func WritePrometheus(w io.Writer, m *Metrics) error {
+	return serve.WriteProm(w, m.Export())
+}
+
+// NewDriftMonitor builds a drift monitor writing gauges and counters to m
+// and structured "drift" events to rec (either may be nil). Wire it into
+// a runtime via RunStencilSimMonitored, RunStencilLiveMonitored, or
+// FTOptions.Cycles.
+func NewDriftMonitor(cfg DriftConfig, m *Metrics, rec *TraceRecorder) *DriftMonitor {
+	return drift.New(cfg, m, rec)
+}
+
+// RunStencilSimMonitored is RunStencilSimObserved plus a per-cycle
+// subscription (the drift-monitor hookup).
+func RunStencilSimMonitored(net *Network, cfg Config, vec Vector, v StencilVariant, n, iters int, m *Metrics, rec *TraceRecorder, sink CycleSink) (stencil.SimResult, error) {
+	return stencil.RunSimMonitored(net, cfg, vec, v, n, iters, m, rec, sink)
+}
+
+// RunStencilLiveMonitored is RunStencilLiveObserved plus a per-cycle
+// subscription (the drift-monitor hookup).
+func RunStencilLiveMonitored(world []Transport, vec Vector, v StencilVariant, n, iters int, workFactor []int, m *Metrics, rec *TraceRecorder, sink CycleSink) (stencil.LiveResult, error) {
+	return stencil.RunLiveMonitored(world, vec, v, n, iters, workFactor, m, rec, sink)
 }
