@@ -16,9 +16,11 @@ import (
 	"netpart/internal/analysis"
 	"netpart/internal/commbench"
 	"netpart/internal/core"
+	"netpart/internal/cost"
 	"netpart/internal/experiments"
 	"netpart/internal/gauss"
 	"netpart/internal/model"
+	"netpart/internal/repart"
 	"netpart/internal/stencil"
 	"netpart/internal/stencil2d"
 	"netpart/internal/topo"
@@ -315,6 +317,58 @@ func BenchmarkAdaptiveRepartition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Adaptive(e, 200, 40); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRepartPlan measures one incremental-repartitioning planner
+// invocation at P=16 — the latency rank 0 pays inside a drift-triggered
+// round before broadcasting the decision. CI asserts this stays
+// sub-millisecond (warn-only bench job).
+func BenchmarkRepartPlan(b *testing.B) {
+	p := repart.NewPlanner(repart.PlannerConfig{
+		Mig: cost.Migration{PerMoveMs: 0.05, PerByteMs: 1e-6, RowBytes: 8 * 1024},
+	})
+	cur := make(core.Vector, 16)
+	measured := make([]float64, 16)
+	for i := range cur {
+		cur[i] = 64
+		measured[i] = float64(64 + 13*i%37)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := p.Plan(i, "drift", cur, measured)
+		if plan.New.Sum() != cur.Sum() {
+			b.Fatal("row total changed")
+		}
+	}
+}
+
+// BenchmarkStencilLiveAdaptiveCycle measures a full live adaptive run — 6
+// goroutine ranks over the in-memory transport with a loaded rank, interval
+// rebalancing every 2 cycles, and real row migration between cycles.
+func BenchmarkStencilLiveAdaptiveCycle(b *testing.B) {
+	const n, iters = 96, 8
+	vec := core.Vector{16, 16, 16, 16, 16, 16}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		world, err := netpart.NewLocalWorld(6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := stencil.RunLiveAdaptive(world, vec, stencil.STEN1, n, iters, stencil.LiveAdaptiveOptions{
+			RebalanceEvery: 2,
+			WorkFactor:     []int{1, 1, 4, 1, 1, 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FinalVector.Sum() != n {
+			b.Fatal("row total changed")
+		}
+		for _, tr := range world {
+			tr.Close()
 		}
 	}
 }

@@ -11,12 +11,21 @@
 //	        [-verify]                    check against the sequential solver
 //	        [-metrics] [-trace out.jsonl] [-chrome out.json]
 //	        [-faults "crash:3@12;drop:0.05"] [-faultseed 1] [-ckpt 8]
+//	        [-repart] [-repart-every 4] [-repart-horizon 32]
 //
 // With -faults, the sim runtime injects packet faults below the simulated
 // reliability layer (RunSimFaulty), and the live runtime switches to the
 // fault-tolerant protocol (RunLiveFT): buddy checkpointing every -ckpt
 // cycles, failure detection, and recovery by re-running the paper's
 // partitioning algorithm over the survivors.
+//
+// With -repart, the live runtime repartitions continuously: the drift
+// monitor's events (sustained deviation from the predicted T_c) trigger an
+// incremental re-plan through internal/repart — migration cost is an
+// explicit objective term, amortized over -repart-horizon cycles — and the
+// chosen rows migrate between cycles. Without a drift monitor (no -metrics
+// or explicit -p1/-p2), the -repart-every interval fallback drives the
+// rounds instead.
 //
 //netpart:deterministic
 package main
@@ -36,6 +45,7 @@ import (
 	"netpart/internal/obs"
 	"netpart/internal/obs/drift"
 	"netpart/internal/obs/serve"
+	"netpart/internal/repart"
 	"netpart/internal/spmd"
 	"netpart/internal/stencil"
 	"netpart/internal/topo"
@@ -47,24 +57,27 @@ type spmdReport = spmd.Report
 
 // runOptions collects the command's flags.
 type runOptions struct {
-	N          int
-	Variant    string // sten1 or sten2
-	Iters      int
-	P1, P2     int    // explicit configuration (-1 = auto-partition)
-	Runtime    string // sim or live
-	Verify     bool
-	Mode       string // fixed, converge, or adaptive
-	Tol        float64
-	SlowRank   int
-	SlowFactor float64
-	Metrics    bool   // print the runtime metrics table at exit
-	TraceFile  string // per-cycle span events as JSONL ("" = off)
-	ChromeFile string // chrome://tracing export of the same spans ("" = off)
-	Faults     string // fault schedule ("" = none)
-	FaultSeed  uint64 // deterministic injector seed
-	Ckpt       int    // checkpoint period for the fault-tolerant live runtime
-	Serve      string // telemetry listen address ("" = off)
-	DriftPct   float64
+	N             int
+	Variant       string // sten1 or sten2
+	Iters         int
+	P1, P2        int    // explicit configuration (-1 = auto-partition)
+	Runtime       string // sim or live
+	Verify        bool
+	Mode          string // fixed, converge, or adaptive
+	Tol           float64
+	SlowRank      int
+	SlowFactor    float64
+	Metrics       bool   // print the runtime metrics table at exit
+	TraceFile     string // per-cycle span events as JSONL ("" = off)
+	ChromeFile    string // chrome://tracing export of the same spans ("" = off)
+	Faults        string // fault schedule ("" = none)
+	FaultSeed     uint64 // deterministic injector seed
+	Ckpt          int    // checkpoint period for the fault-tolerant live runtime
+	Serve         string // telemetry listen address ("" = off)
+	DriftPct      float64
+	Repart        bool // drift-triggered continuous repartitioning (live runtime)
+	RepartEvery   int  // interval-fallback rebalance period (cycles)
+	RepartHorizon int  // cycles over which a migration must amortize
 }
 
 func main() {
@@ -88,6 +101,9 @@ func main() {
 	flag.IntVar(&o.Ckpt, "ckpt", 8, "checkpoint period (cycles) for the fault-tolerant live runtime")
 	flag.StringVar(&o.Serve, "serve", "", `telemetry listen address (e.g. ":9090", ":0" picks a port): /metrics, /metrics.json, /healthz, /debug/pprof/; the process keeps serving after the run until interrupted`)
 	flag.Float64Var(&o.DriftPct, "driftpct", drift.DefaultThresholdPct, "drift-event threshold: |EWMA deviation| of measured vs predicted per-cycle time, percent")
+	flag.BoolVar(&o.Repart, "repart", false, "live runtime: continuous repartitioning — drift events (or the -repart-every fallback) trigger an incremental re-plan and row migration")
+	flag.IntVar(&o.RepartEvery, "repart-every", 4, "interval fallback: re-plan every this many cycles even without a drift event (0 = drift-only)")
+	flag.IntVar(&o.RepartHorizon, "repart-horizon", repart.DefaultHorizonCycles, "cycles a migration must amortize over in the planner's T_mig objective term")
 	flag.Parse()
 
 	if err := run(o); err != nil {
@@ -105,6 +121,12 @@ func run(o runOptions) error {
 		variant = stencil.STEN2
 	default:
 		return fmt.Errorf("unknown variant %q", o.Variant)
+	}
+	if o.Repart && o.Runtime != "live" {
+		return fmt.Errorf("-repart needs -runtime live (the sim runtime has -mode adaptive)")
+	}
+	if o.Repart && o.Faults != "" {
+		return fmt.Errorf("-repart and -faults are exclusive: the fault-tolerant runtime repartitions on recovery")
 	}
 	net := model.PaperTestbed()
 
@@ -183,13 +205,21 @@ func run(o runOptions) error {
 	// Drift monitor: with estimator predictions in hand, subscribe to the
 	// runtimes' per-cycle measurements and flag sustained deviation from
 	// the predicted T_c (gauges drift.pct{task=...}, events on -trace).
+	// With -repart, each drift event also latches the repartitioning
+	// trigger consumed by the live adaptive runtime's next round.
+	var repartTrig *repart.DriftTrigger
 	var cycleSink obs.CycleSink
 	if metrics != nil && predictedTcMs > 0 {
-		cycleSink = drift.New(drift.Config{
+		driftCfg := drift.Config{
 			PredCycleMs:  predictedTcMs,
 			PredCommMs:   predictedTcommMs,
 			ThresholdPct: o.DriftPct,
-		}, metrics, rec)
+		}
+		if o.Repart {
+			repartTrig = &repart.DriftTrigger{}
+			driftCfg.Notify = func(drift.Event) { repartTrig.Fire() }
+		}
+		cycleSink = drift.New(driftCfg, metrics, rec)
 	}
 
 	verify := o.Verify
@@ -351,6 +381,43 @@ func run(o runOptions) error {
 			for _, ev := range res.Events {
 				fmt.Printf("  epoch %d: dead %v, rolled back to cycle %d, recovery latency %.1f ms, vector %v\n",
 					ev.Epoch, ev.Dead, ev.RollbackCycle, ev.LatencyMs, ev.Vector)
+			}
+		} else if o.Repart {
+			// Continuous repartitioning: drift events (when the monitor is
+			// on) or the interval fallback trigger an incremental re-plan
+			// whose objective prices row migration with the paper's Eq. 1
+			// constants, followed by a real row migration between cycles.
+			migParams, err := cost.PaperTable().Comm(model.Sparc2Cluster, "1-D")
+			if err != nil {
+				return err
+			}
+			lopts := stencil.LiveAdaptiveOptions{
+				RebalanceEvery: o.RepartEvery,
+				Planner: repart.PlannerConfig{
+					Mig:           cost.MigrationFromParams(migParams, float64(stencil.BytesPerPoint*n)),
+					HorizonCycles: o.RepartHorizon,
+				},
+				WorkFactor: factors,
+				Metrics:    metrics,
+				Trace:      rec,
+				Cycles:     cycleSink,
+			}
+			if repartTrig != nil {
+				lopts.Trigger = repartTrig
+			}
+			res, err := stencil.RunLiveAdaptive(world, vec, variant, n, iters, lopts)
+			if err != nil {
+				return err
+			}
+			grid = res.Grid
+			fmt.Printf("wall-clock time: %v (%d iterations, %s, %d tasks over UDP, continuous repartitioning)\n",
+				res.Elapsed, iters, variant, tasks)
+			fmt.Printf("repartitioning : %d rounds, %d plans applied, %d rows migrated, final vector %v\n",
+				len(res.Plans), res.Rebalances, res.MigratedRows, res.FinalVector)
+			for _, p := range res.Plans {
+				if p.Changed() {
+					fmt.Printf("  %s\n", p)
+				}
 			}
 		} else {
 			res, err := stencil.RunLiveMonitored(world, vec, variant, n, iters, factors, metrics, rec, cycleSink)

@@ -67,6 +67,7 @@ const (
 	EvClusterSettle  = "cluster-settle"  // the cluster's best count left it partially used (search stops)
 	EvClusterExhaust = "cluster-exhaust" // the cluster was used in full (a slower cluster may open)
 	EvWinner         = "winner"          // the search committed to Config
+	EvRepartPlan     = "repart-plan"     // a continuous-repartitioning decision (internal/repart): P = rows moved, TcMs = predicted bottleneck window
 )
 
 // SearchEvent is one search control-flow step.
@@ -172,6 +173,9 @@ func (o SinkObserver) OnSearch(ev SearchEvent) {
 		fields["p"], fields["tc_ms"] = ev.P, ev.TcMs
 	case EvWinner:
 		fields["config"] = ev.Config.String()
+		fields["p"], fields["tc_ms"] = ev.P, ev.TcMs
+		fields["evaluations"] = ev.Evaluations
+	case EvRepartPlan:
 		fields["p"], fields["tc_ms"] = ev.P, ev.TcMs
 		fields["evaluations"] = ev.Evaluations
 	}

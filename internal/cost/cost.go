@@ -67,6 +67,53 @@ type PerByte struct {
 //netpart:unit return ms
 func (p PerByte) Eval(b float64) float64 { return p.FixedMs + p.Ms*b }
 
+// Migration extends the Eq. 4–6 cost model with the price of *changing* a
+// partition: moving rows_moved PDUs to their new owners costs
+//
+//	T_mig(rows_moved) = PerMoveMs + PerByteMs · RowBytes · rows_moved
+//
+// — one fixed protocol round (the gather/broadcast of the decision plus
+// per-batch framing, folded into PerMoveMs) and a bandwidth term for the
+// payload itself. The incremental repartitioner (internal/repart) charges
+// T_mig, amortized over the expected cycles until the next repartition,
+// against the per-cycle gain a candidate vector promises; without it the
+// planner would chase every transient measurement. The constants come from
+// the same Eq. 1 fits as T_comm: PerMoveMs from C1 and PerByteMs from C3.
+type Migration struct {
+	// PerMoveMs is the fixed cost of one migration round.
+	//netpart:unit ms
+	PerMoveMs float64
+	// PerByteMs is the wire cost per payload byte moved.
+	//netpart:unit ms/bytes
+	PerByteMs float64
+	// RowBytes is the payload size of one migrated PDU (row).
+	//netpart:unit bytes/pdus
+	RowBytes float64
+}
+
+// MigrationFromParams derives T_mig constants from a cluster's Eq. 1 fit:
+// the fixed latency C1 prices the migration round, the per-byte constant
+// C3 prices the payload. As in Eval, absolute values are taken — the
+// Section 6.0 linear fits may go negative (the paper's C3 for both
+// clusters does), and a negative T_mig would reward churn.
+//
+//netpart:unit rowBytes bytes/pdus
+func MigrationFromParams(p Params, rowBytes float64) Migration {
+	return Migration{PerMoveMs: math.Abs(p.C1), PerByteMs: math.Abs(p.C3), RowBytes: rowBytes}
+}
+
+// Cost evaluates T_mig for a plan that moves rowsMoved PDUs. A plan that
+// moves nothing costs nothing (no migration round happens).
+//
+//netpart:unit rowsMoved pdus
+//netpart:unit return ms
+func (m Migration) Cost(rowsMoved int) float64 {
+	if rowsMoved <= 0 {
+		return 0
+	}
+	return m.PerMoveMs + m.PerByteMs*m.RowBytes*float64(rowsMoved)
+}
+
 // pairKey is an unordered cluster pair.
 type pairKey struct{ a, b string }
 

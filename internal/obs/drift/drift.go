@@ -53,6 +53,12 @@ type Config struct {
 	// Warmup is the number of cycles observed per task before events may
 	// fire, so start-of-run jitter does not alarm.
 	Warmup int
+	// Notify, when non-nil, receives every fired event synchronously
+	// (outside the monitor's lock, from the observing goroutine). It is
+	// how drift events drive action rather than just telemetry — e.g.
+	// latching a repart.DriftTrigger so the live runtime repartitions.
+	// Implementations must be safe for concurrent calls.
+	Notify func(Event)
 }
 
 // withDefaults fills zero fields.
@@ -236,6 +242,9 @@ func (m *Monitor) observe(task, cycle int, comp string, measuredMs, predMs float
 
 	if fired {
 		m.reg.Counter("drift.events").Inc()
+		if m.cfg.Notify != nil {
+			m.cfg.Notify(ev)
+		}
 		m.rec.Emit("drift", map[string]any{
 			"task":        ev.Task,
 			"cycle":       ev.Cycle,

@@ -1,0 +1,95 @@
+package repart
+
+import (
+	"fmt"
+
+	"netpart/internal/core"
+)
+
+// Link is the transport surface the protocol needs: point-to-point ordered
+// byte messages between ranks. mmps.Transport satisfies it directly; the
+// virtual-time simulator adapts its task handle to it.
+type Link interface {
+	Rank() int
+	Size() int
+	Send(dst int, data []byte) error
+	Recv(src int) ([]byte, error)
+}
+
+// Migrator moves grid rows from an old partition vector's ownership to a
+// new one. Every rank calls Migrate with the same (old, new) pair —
+// obtained from the rank-0 broadcast — and its own row accessors; the
+// protocol then moves exactly the rows whose owner changed (the
+// set-difference of the ownership intervals), batched as one contiguous
+// span per (src, dst) pair, sent in ascending-destination and received in
+// ascending-source order with exact expected counts.
+type Migrator struct {
+	// Width is the number of float64s per row (frame validation).
+	Width int
+}
+
+// Migrate executes one migration round over lk. get returns the row for a
+// global index this rank owned under old; set stores a row this rank owns
+// under new. get reads the old storage and set writes the new one, so the
+// two must not alias. sent and received count rows this rank moved on the
+// wire.
+func (m Migrator) Migrate(lk Link, old, new core.Vector, get func(g int) []float64, set func(g int, row []float64)) (sent, received int, err error) {
+	rank, size := lk.Rank(), lk.Size()
+	if len(old) != size || len(new) != size {
+		return 0, 0, fmt.Errorf("repart: vectors of %d/%d ranks over %d transports", len(old), len(new), size)
+	}
+	oldOwn, newOwn := NewOwners(old), NewOwners(new)
+	first, count := oldOwn.First(rank), oldOwn.Count(rank)
+
+	// Departing spans, ascending destination.
+	err = ForEachSpan(first, count, newOwn, rank, func(dst, spanFirst, spanCount int) error {
+		rows := make([][]float64, 0, spanCount)
+		for g := spanFirst; g < spanFirst+spanCount; g++ {
+			rows = append(rows, get(g))
+		}
+		sent += spanCount
+		return lk.Send(dst, EncodeRows(spanFirst, rows))
+	})
+	if err != nil {
+		return sent, 0, err
+	}
+
+	// Rows kept across the revector.
+	newFirst, newCount := newOwn.First(rank), newOwn.Count(rank)
+	for g := newFirst; g < newFirst+newCount; g++ {
+		if oldOwn.OwnerOf(g) == rank {
+			set(g, get(g))
+		}
+	}
+
+	// Incoming batches, ascending source, with exact expected counts.
+	for src := 0; src < size; src++ {
+		if src == rank {
+			continue
+		}
+		expect := Overlap(oldOwn, src, newOwn, rank)
+		if expect == 0 {
+			continue
+		}
+		buf, err := lk.Recv(src)
+		if err != nil {
+			return sent, received, err
+		}
+		batchFirst, rows, err := DecodeRows(buf, m.Width)
+		if err != nil {
+			return sent, received, err
+		}
+		if len(rows) != expect {
+			return sent, received, fmt.Errorf("repart: rank %d expected %d rows from %d, got %d", rank, expect, src, len(rows))
+		}
+		for i, row := range rows {
+			g := batchFirst + i
+			if g < newFirst || g >= newFirst+newCount || oldOwn.OwnerOf(g) != src {
+				return sent, received, fmt.Errorf("repart: rank %d received row %d outside its expectation from %d", rank, g, src)
+			}
+			set(g, row)
+		}
+		received += len(rows)
+	}
+	return sent, received, nil
+}

@@ -1,0 +1,177 @@
+package repart
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"netpart/internal/core"
+	"netpart/internal/mmps"
+)
+
+const testWidth = 4
+
+// newTestWorld builds a closed-on-cleanup local transport world.
+func newTestWorld(t testing.TB, size int) []*mmps.Local {
+	t.Helper()
+	world, err := mmps.NewLocalWorld(size, mmps.WithRecvTimeout(20*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		for _, ep := range world {
+			ep.Close()
+		}
+	})
+	return world
+}
+
+// refRow builds the canonical content of global row g.
+func refRow(g int) []float64 {
+	row := make([]float64, testWidth)
+	for j := range row {
+		row[j] = float64(g*testWidth + j)
+	}
+	return row
+}
+
+// runMigration executes one full Migrator round over a local world: every
+// rank starts with its old block, migrates, and the assembled new blocks
+// are checked against the canonical grid. Returns total rows on the wire.
+func runMigration(t *testing.T, old, new core.Vector) int {
+	t.Helper()
+	size := len(old)
+	world := newTestWorld(t, size)
+	oldOwn, newOwn := NewOwners(old), NewOwners(new)
+	mig := Migrator{Width: testWidth}
+	totalSent := make([]int, size)
+	totalRecv := make([]int, size)
+	blocks := make([]map[int][]float64, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for rank := 0; rank < size; rank++ {
+		rank := rank
+		store := map[int][]float64{}
+		for g := oldOwn.First(rank); g < oldOwn.First(rank)+oldOwn.Count(rank); g++ {
+			store[g] = refRow(g)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got := map[int][]float64{}
+			sent, received, err := mig.Migrate(world[rank], old, new,
+				func(g int) []float64 { return store[g] },
+				func(g int, row []float64) { got[g] = append([]float64(nil), row...) })
+			totalSent[rank], totalRecv[rank], errs[rank] = sent, received, err
+			blocks[rank] = got
+		}()
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", rank, err)
+		}
+	}
+	wire := 0
+	for rank := 0; rank < size; rank++ {
+		wire += totalSent[rank]
+		// Exactly the new block, nothing else, every row canonical.
+		if len(blocks[rank]) != newOwn.Count(rank) {
+			t.Fatalf("rank %d holds %d rows, want %d (old=%v new=%v)",
+				rank, len(blocks[rank]), newOwn.Count(rank), old, new)
+		}
+		for g := newOwn.First(rank); g < newOwn.First(rank)+newOwn.Count(rank); g++ {
+			row, ok := blocks[rank][g]
+			if !ok {
+				t.Fatalf("rank %d missing row %d", rank, g)
+			}
+			want := refRow(g)
+			for j := range want {
+				if row[j] != want[j] {
+					t.Fatalf("rank %d row %d corrupted", rank, g)
+				}
+			}
+		}
+	}
+	recvTotal := 0
+	for _, r := range totalRecv {
+		recvTotal += r
+	}
+	if wire != recvTotal {
+		t.Fatalf("sent %d rows, received %d", wire, recvTotal)
+	}
+	return wire
+}
+
+// TestMigratorMovesSetDifference: the protocol moves exactly the rows whose
+// owner changed, every rank converges on the new vector's block.
+func TestMigratorMovesSetDifference(t *testing.T) {
+	cases := []struct{ old, new core.Vector }{
+		{core.Vector{8, 8}, core.Vector{4, 12}},
+		{core.Vector{4, 4, 4}, core.Vector{4, 4, 4}},   // no-op
+		{core.Vector{6, 6, 6}, core.Vector{1, 16, 1}},  // multi-hop shifts
+		{core.Vector{10, 0, 8}, core.Vector{0, 18, 0}}, // retire + revive
+		{core.Vector{1, 1, 1, 15}, core.Vector{15, 1, 1, 1}},
+	}
+	for i, c := range cases {
+		moved := runMigration(t, c.old, c.new)
+		if want := MovedRows(c.old, c.new); moved != want {
+			t.Errorf("case %d: %d rows on the wire, want %d", i, moved, want)
+		}
+	}
+}
+
+// TestMigratorRandomPairs: property over random (vector, vector') pairs.
+func TestMigratorRandomPairs(t *testing.T) {
+	seed := uint64(0x9e3779b97f4a7c15)
+	for trial := 0; trial < 25; trial++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		size := 2 + int(seed>>40)%4
+		old := make(core.Vector, size)
+		for i := range old {
+			seed = seed*6364136223846793005 + 1442695040888963407
+			old[i] = int(seed>>45) % 12
+		}
+		new := shuffleVec(old, seed)
+		moved := runMigration(t, old, new)
+		if want := MovedRows(old, new); moved != want {
+			t.Fatalf("trial %d: old=%v new=%v moved %d want %d", trial, old, new, moved, want)
+		}
+	}
+}
+
+func TestMigratorValidates(t *testing.T) {
+	world := newTestWorld(t, 2)
+	mig := Migrator{Width: testWidth}
+	_, _, err := mig.Migrate(world[0], core.Vector{4}, core.Vector{4},
+		func(int) []float64 { return nil }, func(int, []float64) {})
+	if err == nil {
+		t.Error("vector/world size mismatch accepted")
+	}
+}
+
+// FuzzMigrator drives the protocol with fuzz-shaped vector pairs: whatever
+// the pair, the round must converge with every rank holding exactly its new
+// block, bit-identical to the canonical rows.
+func FuzzMigrator(f *testing.F) {
+	f.Add([]byte{8, 8}, uint64(1))
+	f.Add([]byte{4, 0, 9}, uint64(42))
+	f.Add([]byte{1, 1, 1, 1}, uint64(7))
+	f.Fuzz(func(t *testing.T, raw []byte, seed uint64) {
+		if len(raw) < 2 {
+			return
+		}
+		if len(raw) > 6 {
+			raw = raw[:6]
+		}
+		old := make(core.Vector, len(raw))
+		for i, b := range raw {
+			old[i] = int(b % 12)
+		}
+		new := shuffleVec(old, seed)
+		moved := runMigration(t, old, new)
+		if want := MovedRows(old, new); moved != want {
+			t.Fatalf("old=%v new=%v moved %d want %d", old, new, moved, want)
+		}
+	})
+}

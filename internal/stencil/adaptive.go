@@ -3,12 +3,12 @@ package stencil
 import (
 	"fmt"
 
-	"netpart/internal/balance"
 	"netpart/internal/core"
 	"netpart/internal/cost"
 	"netpart/internal/faults"
 	"netpart/internal/model"
 	"netpart/internal/obs"
+	"netpart/internal/repart"
 	"netpart/internal/simnet"
 	"netpart/internal/spmd"
 	"netpart/internal/topo"
@@ -22,14 +22,23 @@ type AdaptiveOptions struct {
 	// from measured per-task compute times (0 disables, reproducing the
 	// static RunSim behavior).
 	RebalanceEvery int
+	// Planner parameterizes the repartitioning search (migration cost,
+	// amortization horizon, hysteresis). The zero value load-balances with
+	// free migration, matching the historical behavior.
+	Planner repart.PlannerConfig
 	// Slowdown injects external load: a multiplicative compute-time factor
 	// for (rank, iteration). Nil means none.
 	Slowdown func(rank, iter int) float64
 	// Metrics, when non-nil, receives the spmd runtime metrics plus
-	// rebalance counters (adaptive.rebalances, adaptive.migrated_rows).
+	// rebalance counters (adaptive.rebalances, adaptive.migrated_rows)
+	// and the engine's repart.* series.
 	Metrics *obs.Registry
-	// Trace, when non-nil, receives per-cycle spans for Chrome export.
+	// Trace, when non-nil, receives per-cycle spans for Chrome export and
+	// one "repart" event per planning decision.
 	Trace *obs.Recorder
+	// Observer, when non-nil, receives repart decisions as EvRepartPlan
+	// search events.
+	Observer core.Observer
 	// SimOptions configure the underlying simulator (jitter, fault
 	// injection, message observers).
 	SimOptions []simnet.Option
@@ -44,15 +53,19 @@ type AdaptiveResult struct {
 	MigratedRows int
 	// FinalVector is the partition vector after the last rebalance.
 	FinalVector core.Vector
+	// Plans is the ordered decision sequence rank 0 took (keeps included).
+	// Deterministic under the virtual-time simulator: the golden tests
+	// compare rendered plans byte-for-byte across runs and worker counts.
+	Plans []repart.Plan
 }
 
 // RunSimAdaptive executes the distributed stencil like RunSim but
-// periodically rebalances: every R iterations the tasks report their
-// measured compute times to rank 0, which recomputes the vector
-// proportionally to observed rates (the dataparallel-C strategy) and
-// broadcasts it; tasks then migrate the actual grid rows to their new
-// owners before continuing. The final grid remains bit-exact with the
-// sequential reference regardless of how rows move.
+// periodically repartitions through the internal/repart engine: every R
+// iterations the tasks report their measured compute times to rank 0,
+// which runs the incremental restreaming planner and broadcasts the
+// decision; tasks then migrate the actual grid rows to their new owners
+// before continuing. The final grid remains bit-exact with the sequential
+// reference regardless of how rows move.
 func RunSimAdaptive(net *model.Network, cfg cost.Config, vec core.Vector, v Variant, n, iters int, opts AdaptiveOptions) (AdaptiveResult, error) {
 	if vec.Sum() != n {
 		return AdaptiveResult{}, fmt.Errorf("stencil: vector sums to %d, want N=%d rows", vec.Sum(), n)
@@ -68,6 +81,12 @@ func RunSimAdaptive(net *model.Network, cfg cost.Config, vec core.Vector, v Vari
 	initial := NewGrid(n)
 	result := make([][]float64, n)
 	out := AdaptiveResult{FinalVector: append(core.Vector(nil), vec...)}
+	eng := &repart.Engine{
+		Planner:  repart.NewPlanner(opts.Planner),
+		Metrics:  opts.Metrics,
+		Trace:    opts.Trace,
+		Observer: opts.Observer,
+	}
 	job := spmd.Job{
 		Net:        net,
 		Placement:  pl,
@@ -77,7 +96,7 @@ func RunSimAdaptive(net *model.Network, cfg cost.Config, vec core.Vector, v Vari
 		Trace:      opts.Trace,
 		SimOptions: opts.SimOptions,
 		Body: func(t *spmd.Task) {
-			runAdaptiveTask(t, initial, result, v, n, iters, opts, &out)
+			runAdaptiveTask(t, eng, initial, result, v, n, iters, opts, &out)
 		},
 	}
 	rep, err := spmd.Run(job)
@@ -119,39 +138,34 @@ func RunSimFaulty(net *model.Network, cfg cost.Config, vec core.Vector, v Varian
 	return RunSimAdaptive(net, cfg, vec, v, n, iters, opts)
 }
 
-// owners derives per-row ownership from a partition vector: prefix[r] is
-// the first global row of rank r; ownerOf(g) locates a row's rank.
-type owners struct {
-	prefix []int // len = tasks+1
-}
+// owners aliases the repart package's prefix-sum ownership index, the
+// shared vocabulary of every migration path.
+type owners = repart.Owners
 
-func newOwners(vec core.Vector) owners {
-	prefix := make([]int, len(vec)+1)
-	for r, a := range vec {
-		prefix[r+1] = prefix[r] + a
-	}
-	return owners{prefix: prefix}
-}
+func newOwners(vec core.Vector) owners { return repart.NewOwners(vec) }
 
-func (o owners) first(rank int) int { return o.prefix[rank] }
-func (o owners) count(rank int) int { return o.prefix[rank+1] - o.prefix[rank] }
-func (o owners) ownerOf(g int) int {
-	lo, hi := 0, len(o.prefix)-1
-	for lo+1 < hi {
-		mid := (lo + hi) / 2
-		if o.prefix[mid] <= g {
-			lo = mid
-		} else {
-			hi = mid
-		}
+// simLink adapts a virtual-time task handle to the repart protocol's
+// transport surface. Sends are charged at the encoded byte size.
+type simLink struct{ t *spmd.Task }
+
+func (l simLink) Rank() int { return l.t.Rank() }
+func (l simLink) Size() int { return l.t.NumTasks() }
+func (l simLink) Send(dst int, data []byte) error {
+	l.t.Send(dst, len(data), data)
+	return nil
+}
+func (l simLink) Recv(src int) ([]byte, error) {
+	buf, ok := l.t.Recv(src).([]byte)
+	if !ok {
+		return nil, fmt.Errorf("stencil: unexpected payload type on repart channel")
 	}
-	return lo
+	return buf, nil
 }
 
 // runAdaptiveTask is the per-rank body: the usual STEN-1/STEN-2 cycle with
-// injected slowdown, plus the gather → rebalance → broadcast → migrate
-// protocol every R iterations.
-func runAdaptiveTask(t *spmd.Task, initial, result [][]float64, v Variant, n, iters int, opts AdaptiveOptions, out *AdaptiveResult) {
+// injected slowdown, plus the repart engine's gather → plan → broadcast →
+// migrate round every R iterations.
+func runAdaptiveTask(t *spmd.Task, eng *repart.Engine, initial, result [][]float64, v Variant, n, iters int, opts AdaptiveOptions, out *AdaptiveResult) {
 	rank, nTasks := t.Rank(), t.NumTasks()
 	rows := t.PDUs()
 	off := t.PDUOffset()
@@ -170,6 +184,7 @@ func runAdaptiveTask(t *spmd.Task, initial, result [][]float64, v Variant, n, it
 
 	msgBytes := BytesPerPoint * n
 	windowComputeMs := 0.0
+	mig := repart.Migrator{Width: n}
 
 	computeRows := func(lo, hi int, iter int) {
 		factor := 1.0
@@ -228,110 +243,39 @@ func runAdaptiveTask(t *spmd.Task, initial, result [][]float64, v Variant, n, it
 		if opts.RebalanceEvery <= 0 || (iter+1)%opts.RebalanceEvery != 0 || iter == iters-1 || nTasks == 1 {
 			continue
 		}
-		// Gather (measured, rows) at rank 0; rebalance; broadcast old+new.
-		var oldVec, newVec core.Vector
-		if rank == 0 {
-			times := make([]float64, nTasks)
-			current := make(core.Vector, nTasks)
-			times[0], current[0] = windowComputeMs, rows
-			for src := 1; src < nTasks; src++ {
-				m := t.Recv(src).([2]float64)
-				times[src] = m[0]
-				current[src] = int(m[1])
-			}
-			nv, err := balance.Rebalance(current, times)
-			if err != nil {
-				nv = append(core.Vector(nil), current...)
-			}
-			changed := false
-			for r := range nv {
-				if nv[r] != current[r] {
-					changed = true
-					if d := nv[r] - current[r]; d > 0 {
-						out.MigratedRows += d
-					}
-				}
-			}
-			if changed {
-				out.Rebalances++
-			}
-			pair := [2]core.Vector{current, nv}
-			for dst := 1; dst < nTasks; dst++ {
-				t.Send(dst, 16*nTasks, pair)
-			}
-			oldVec, newVec = current, nv
-			copy(out.FinalVector, nv)
-		} else {
-			t.Send(0, 16, [2]float64{windowComputeMs, float64(rows)})
-			pair := t.Recv(0).([2]core.Vector)
-			oldVec, newVec = pair[0], pair[1]
+		// One engine round: gather (measured, rows) at rank 0, plan,
+		// broadcast the (old, new) pair.
+		plan, err := eng.Round(simLink{t}, iter, "interval", rows, windowComputeMs, true)
+		if err != nil {
+			panic(fmt.Sprintf("stencil: rank %d repart round: %v", rank, err))
 		}
 		windowComputeMs = 0
+		if rank == 0 {
+			out.Plans = append(out.Plans, plan)
+			if plan.Changed() {
+				out.Rebalances++
+				out.MigratedRows += plan.MovedRows
+			}
+			copy(out.FinalVector, plan.New)
+		}
+		if !plan.Changed() {
+			continue
+		}
 
-		// Migrate rows to their new owners. Each departing row travels in
-		// one batched message per (src, dst) pair; receivers know exactly
-		// what to expect from the old/new vectors.
-		oldOwn, newOwn := newOwners(oldVec), newOwners(newVec)
-		type batch struct {
-			first int
-			rows  [][]float64
-		}
-		outgoing := map[int]*batch{}
-		for i := 0; i < rows; i++ {
-			g := off + i
-			dst := newOwn.ownerOf(g)
-			if dst == rank {
-				continue
-			}
-			b := outgoing[dst]
-			if b == nil {
-				b = &batch{first: g}
-				outgoing[dst] = b
-			}
-			b.rows = append(b.rows, append([]float64(nil), cur[i+1]...))
-		}
-		// Deterministic send order: ascending destination rank.
-		for dst := 0; dst < nTasks; dst++ {
-			if b, ok := outgoing[dst]; ok {
-				t.Send(dst, len(b.rows)*msgBytes, *b)
-			}
-		}
-		// Rebuild local storage for the new assignment.
-		newRows := newOwn.count(rank)
-		newOff := newOwn.first(rank)
+		// Migrate rows to their new owners through the shared protocol.
+		newOwn := newOwners(plan.New)
+		newRows, newOff := newOwn.Count(rank), newOwn.First(rank)
 		ncur := make([][]float64, newRows+2)
 		nnext := make([][]float64, newRows+2)
 		for i := range ncur {
 			ncur[i] = make([]float64, n)
 			nnext[i] = make([]float64, n)
 		}
-		// Keep rows we already own.
-		for g := newOff; g < newOff+newRows; g++ {
-			if src := oldOwn.ownerOf(g); src == rank {
-				copy(ncur[g-newOff+1], cur[g-off+1])
-			}
-		}
-		// Receive incoming batches in ascending source-rank order.
-		for src := 0; src < nTasks; src++ {
-			if src == rank {
-				continue
-			}
-			expect := 0
-			for g := newOff; g < newOff+newRows; g++ {
-				if oldOwn.ownerOf(g) == src {
-					expect++
-				}
-			}
-			if expect == 0 {
-				continue
-			}
-			b := t.Recv(src).(batch)
-			if len(b.rows) != expect {
-				panic(fmt.Sprintf("stencil: rank %d expected %d rows from %d, got %d", rank, expect, src, len(b.rows)))
-			}
-			for i, row := range b.rows {
-				copy(ncur[b.first+i-newOff+1], row)
-			}
+		_, _, err = mig.Migrate(simLink{t}, plan.Old, plan.New,
+			func(g int) []float64 { return cur[g-off+1] },
+			func(g int, row []float64) { copy(ncur[g-newOff+1], row) })
+		if err != nil {
+			panic(fmt.Sprintf("stencil: rank %d migration: %v", rank, err))
 		}
 		rows, off = newRows, newOff
 		cur, next = ncur, nnext

@@ -16,6 +16,7 @@ import (
 	"netpart/internal/mmps"
 	"netpart/internal/model"
 	"netpart/internal/obs"
+	"netpart/internal/repart"
 )
 
 // Fault-tolerant live runtime: RunLiveFT executes the distributed stencil
@@ -232,61 +233,11 @@ func evenRepartition(size, n int) func(alive []int) (core.Vector, error) {
 }
 
 // Repartitioner returns a Repartition policy that re-runs the paper's
-// partitioning algorithm (core.Partition) over the network reduced to the
-// surviving processors: each cluster's Available count drops to its number
-// of surviving ranks, clusters left empty are removed, and the resulting
-// configuration's partition vector is mapped back onto the surviving ranks
-// in rank order (survivors the configuration does not use retire with zero
-// rows). placement names the hosting cluster of each original rank.
-// Results are memoized; the policy is deterministic and safe for
-// concurrent use by every rank of a run.
+// partitioning algorithm over the network reduced to the surviving
+// processors. It is repart.Survivors specialized to the stencil's
+// annotations; see that function for the policy's semantics.
 func Repartitioner(net *model.Network, costs *cost.Table, v Variant, n, iters int, placement []string) func(alive []int) (core.Vector, error) {
-	var mu sync.Mutex
-	memo := map[string]core.Vector{}
-	return func(alive []int) (core.Vector, error) {
-		key := fmt.Sprint(alive)
-		mu.Lock()
-		defer mu.Unlock()
-		if vec, ok := memo[key]; ok {
-			return append(core.Vector(nil), vec...), nil
-		}
-		aliveIn := make(map[string][]int) // cluster -> surviving ranks, ascending
-		for _, r := range alive {
-			if r < 0 || r >= len(placement) {
-				return nil, fmt.Errorf("stencil: surviving rank %d outside placement", r)
-			}
-			aliveIn[placement[r]] = append(aliveIn[placement[r]], r)
-		}
-		reduced := *net
-		reduced.Clusters = nil
-		for _, c := range net.Clusters {
-			if len(aliveIn[c.Name]) == 0 {
-				continue
-			}
-			cc := *c
-			cc.Available = len(aliveIn[c.Name])
-			reduced.Clusters = append(reduced.Clusters, &cc)
-		}
-		est, err := core.NewEstimator(&reduced, costs, Annotations(n, v, iters))
-		if err != nil {
-			return nil, err
-		}
-		res, err := core.Partition(est)
-		if err != nil {
-			return nil, err
-		}
-		vec := make(core.Vector, len(placement))
-		task := 0
-		for i, name := range res.Config.Clusters {
-			ranks := aliveIn[name]
-			for p := 0; p < res.Config.Counts[i]; p++ {
-				vec[ranks[p]] = res.Vector[task]
-				task++
-			}
-		}
-		memo[key] = append(core.Vector(nil), vec...)
-		return vec, nil
-	}
+	return repart.Survivors(net, costs, Annotations(n, v, iters), placement)
 }
 
 // borderKey addresses one buffered ghost row by its global row index and
@@ -515,7 +466,7 @@ func (t *ftTask) pump(d time.Duration) (bool, error) {
 		}
 		t.borders[borderKey{g, cycle}] = row
 	case ftCkpt:
-		first, rows, err := decodeRows(payload, t.n)
+		first, rows, err := repart.DecodeRows(payload, t.n)
 		if err != nil {
 			return true, err
 		}
@@ -553,7 +504,7 @@ func (t *ftTask) pump(d time.Duration) (bool, error) {
 			}
 		}
 	case ftRows:
-		first, rows, err := decodeRows(payload, t.n)
+		first, rows, err := repart.DecodeRows(payload, t.n)
 		if err != nil {
 			return true, err
 		}
@@ -616,7 +567,7 @@ func encodeBorder(g int, row []float64) []byte {
 // checked at read time because pump buffers blobs from any view.
 func (t *ftTask) validCkpt(src, cycle int) (ckptBlob, bool) {
 	blk, ok := t.ckptIn[src][cycle]
-	if !ok || blk.first != t.own.first(src) || len(blk.rows) != t.own.count(src) {
+	if !ok || blk.first != t.own.First(src) || len(blk.rows) != t.own.Count(src) {
 		return ckptBlob{}, false
 	}
 	return blk, true
@@ -652,7 +603,7 @@ func (t *ftTask) awaitBorder(owner, g, cycle int, into []float64) error {
 
 // run is the rank's whole life: compute, detect, recover, finish.
 func (t *ftTask) run() error {
-	t.rows, t.off = t.own.count(t.rank), t.own.first(t.rank)
+	t.rows, t.off = t.own.Count(t.rank), t.own.First(t.rank)
 	if t.rows == 0 {
 		return errRetired
 	}
@@ -707,10 +658,10 @@ func (t *ftTask) allocBlock(rows int) ([][]float64, [][]float64) {
 // ranks (retired ranks own nothing and are skipped).
 func (t *ftTask) northSouth() (north, south int, hasN, hasS bool) {
 	if t.off > 0 {
-		north, hasN = t.own.ownerOf(t.off-1), true
+		north, hasN = t.own.OwnerOf(t.off-1), true
 	}
 	if t.off+t.rows < t.n {
-		south, hasS = t.own.ownerOf(t.off+t.rows), true
+		south, hasS = t.own.OwnerOf(t.off+t.rows), true
 	}
 	return
 }
@@ -818,7 +769,7 @@ func (t *ftTask) checkpoint(cycle int) {
 	t.ownCkpt[cycle] = snap
 	t.lastCkpt = cycle
 	if b := t.buddyOf(t.rank); b != t.rank {
-		t.send(b, ftCkpt, cycle, encodeRows(t.off, snap))
+		t.send(b, ftCkpt, cycle, repart.EncodeRows(t.off, snap))
 	}
 }
 
@@ -1069,7 +1020,7 @@ func (t *ftTask) applyRecovery(dl []int, parts []int) error {
 	oldOwn := t.own
 	oldOff, oldRows := t.off, t.rows
 	newOwn := newOwners(newVec)
-	newRows, newOff := newOwn.count(t.rank), newOwn.first(t.rank)
+	newRows, newOff := newOwn.Count(t.rank), newOwn.First(t.rank)
 	round := roundKey(dl)
 
 	// server(d) is the lowest survivor holding dead rank d's replicas.
@@ -1084,7 +1035,7 @@ func (t *ftTask) applyRecovery(dl []int, parts []int) error {
 	}
 	// holder(g): who sends global row g's cycle-c* data.
 	holder := func(g int) int {
-		o := oldOwn.ownerOf(g)
+		o := oldOwn.OwnerOf(g)
 		if !t.dead[o] {
 			return o
 		}
@@ -1106,28 +1057,15 @@ func (t *ftTask) applyRecovery(dl []int, parts []int) error {
 			if blk.rows == nil {
 				return fmt.Errorf("stencil: rank %d missing checkpoint at cycle %d", t.rank, cstar)
 			}
-			dstFirst, dstRows := -1, [][]float64(nil)
-			flush := func() {
-				if dstFirst >= 0 {
-					dst := newOwn.ownerOf(dstFirst)
-					if dst != t.rank {
-						t.send(dst, ftRows, int(round), encodeRows(dstFirst, dstRows))
-					}
-					dstFirst, dstRows = -1, nil
-				}
+			err := repart.ForEachSpan(blk.first, len(blk.rows), newOwn, t.rank,
+				func(dst, spanFirst, spanCount int) error {
+					lo := spanFirst - blk.first
+					t.send(dst, ftRows, int(round), repart.EncodeRows(spanFirst, blk.rows[lo:lo+spanCount]))
+					return nil
+				})
+			if err != nil {
+				return err
 			}
-			for i, row := range blk.rows {
-				g := blk.first + i
-				dst := newOwn.ownerOf(g)
-				if dstFirst >= 0 && newOwn.ownerOf(dstFirst) != dst {
-					flush()
-				}
-				if dstFirst < 0 {
-					dstFirst = g
-				}
-				dstRows = append(dstRows, row)
-			}
-			flush()
 		}
 	}
 
@@ -1145,7 +1083,7 @@ func (t *ftTask) applyRecovery(dl []int, parts []int) error {
 			if g >= oldOff && g < oldOff+oldRows {
 				copy(ncur[g-newOff+1], t.ownCkpt[cstar][g-oldOff])
 			} else {
-				blk, ok := t.validCkpt(oldOwn.ownerOf(g), cstar)
+				blk, ok := t.validCkpt(oldOwn.OwnerOf(g), cstar)
 				if !ok {
 					return fmt.Errorf("stencil: rank %d lost the cycle-%d replica of row %d", t.rank, cstar, g)
 				}

@@ -1,25 +1,64 @@
 package stencil
 
 import (
-	"encoding/binary"
 	"fmt"
-	"math"
 	"sync"
 	"time"
 
-	"netpart/internal/balance"
 	"netpart/internal/core"
 	"netpart/internal/mmps"
+	"netpart/internal/obs"
+	"netpart/internal/repart"
 )
+
+// DefaultCheckEvery is the trigger-polling cadence (in iterations) when a
+// repart trigger is configured without an explicit CheckEvery.
+const DefaultCheckEvery = 4
 
 // LiveAdaptiveOptions configures RunLiveAdaptive.
 type LiveAdaptiveOptions struct {
 	// RebalanceEvery recomputes the partition vector every R iterations
-	// from measured wall-clock compute times (0 disables).
+	// from measured wall-clock compute times (0 disables). With a Trigger
+	// it becomes the fallback cadence: a plan is still computed at this
+	// interval even if no drift event fired.
 	RebalanceEvery int
+	// Trigger, when non-nil, switches to drift-triggered repartitioning:
+	// the tasks enter a protocol round every CheckEvery iterations but
+	// rank 0 only plans when the trigger has fired since the last check
+	// (or the RebalanceEvery fallback is due). Wire a repart.DriftTrigger
+	// into drift.Config.Notify and pass the same trigger here.
+	Trigger repart.Trigger
+	// CheckEvery is the round cadence when Trigger is set; 0 means
+	// DefaultCheckEvery. Each round costs one gather/broadcast exchange,
+	// so keep it coarse relative to the cycle time.
+	CheckEvery int
+	// Planner parameterizes the repartitioning search (migration cost,
+	// amortization horizon, hysteresis).
+	Planner repart.PlannerConfig
 	// WorkFactor emulates heterogeneity/load: per-rank extra repetitions
 	// of the row update (1 = nominal). Nil means uniform.
 	WorkFactor []int
+	// Metrics, when non-nil, receives the engine's repart.* series.
+	Metrics *obs.Registry
+	// Trace, when non-nil, receives one "repart" event per decision.
+	Trace *obs.Recorder
+	// Observer, when non-nil, receives decisions as EvRepartPlan events.
+	Observer core.Observer
+	// Cycles, when non-nil, receives per-task per-cycle wall-clock
+	// measurements — hand it the drift.Monitor that feeds the Trigger to
+	// close the detect → plan → migrate loop.
+	Cycles obs.CycleSink
+}
+
+// checkEvery is the effective round cadence.
+func (o LiveAdaptiveOptions) checkEvery() int {
+	if o.Trigger == nil {
+		return o.RebalanceEvery
+	}
+	if o.CheckEvery > 0 {
+		return o.CheckEvery
+	}
+	return DefaultCheckEvery
 }
 
 // LiveAdaptiveResult extends LiveResult with rebalancing statistics.
@@ -29,15 +68,17 @@ type LiveAdaptiveResult struct {
 	Rebalances   int
 	MigratedRows int
 	FinalVector  core.Vector
+	// Plans is the ordered decision sequence rank 0 took (keeps included).
+	Plans []repart.Plan
 }
 
 // RunLiveAdaptive is the dynamic-repartitioning strategy on the real
 // runtime: concurrent tasks over mmps transports measure their wall-clock
-// compute time, rank 0 rebalances, and the actual grid rows migrate over
-// the wire. The result is bit-exact with the sequential kernel for any
-// rebalancing sequence (decisions may vary with wall-clock noise; the
-// migration protocol keeps every rank consistent because only rank 0
-// decides and broadcasts).
+// compute time and repartition through the internal/repart engine — rank 0
+// plans, broadcasts, and the actual grid rows migrate over the wire. The
+// result is bit-exact with the sequential kernel for any plan sequence
+// (decisions may vary with wall-clock noise; the migration protocol keeps
+// every rank consistent because only rank 0 decides and broadcasts).
 func RunLiveAdaptive(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, opts LiveAdaptiveOptions) (LiveAdaptiveResult, error) {
 	if len(world) == 0 || len(world) != len(vec) {
 		return LiveAdaptiveResult{}, fmt.Errorf("stencil: %d transports for %d vector entries", len(world), len(vec))
@@ -51,6 +92,12 @@ func RunLiveAdaptive(world []mmps.Transport, vec core.Vector, v Variant, n, iter
 	initial := NewGrid(n)
 	result := make([][]float64, n)
 	out := LiveAdaptiveResult{FinalVector: append(core.Vector(nil), vec...)}
+	eng := &repart.Engine{
+		Planner:  repart.NewPlanner(opts.Planner),
+		Metrics:  opts.Metrics,
+		Trace:    opts.Trace,
+		Observer: opts.Observer,
+	}
 	errs := make([]error, len(world))
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -63,7 +110,7 @@ func RunLiveAdaptive(world []mmps.Transport, vec core.Vector, v Variant, n, iter
 			if opts.WorkFactor != nil {
 				factor = opts.WorkFactor[rank]
 			}
-			errs[rank] = runLiveAdaptiveTask(world[rank], vec, initial, result, v, n, iters, factor, opts.RebalanceEvery, &out)
+			errs[rank] = runLiveAdaptiveTask(world[rank], eng, vec, initial, result, v, n, iters, factor, opts, &out)
 		}()
 	}
 	wg.Wait()
@@ -82,97 +129,16 @@ func RunLiveAdaptive(world []mmps.Transport, vec core.Vector, v Variant, n, iter
 	return out, nil
 }
 
-// Wire helpers for the rebalance protocol (big-endian, mmps coercion
-// format).
-
-func encodeMeasurement(ms float64, rows int) []byte {
-	buf := make([]byte, 16)
-	binary.BigEndian.PutUint64(buf, math.Float64bits(ms))
-	binary.BigEndian.PutUint64(buf[8:], uint64(rows))
-	return buf
-}
-
-func decodeMeasurement(buf []byte) (float64, int, error) {
-	if len(buf) != 16 {
-		return 0, 0, fmt.Errorf("stencil: measurement of %d bytes", len(buf))
-	}
-	return math.Float64frombits(binary.BigEndian.Uint64(buf)),
-		int(binary.BigEndian.Uint64(buf[8:])), nil
-}
-
-func encodeVectorPair(old, new core.Vector) []byte {
-	buf := make([]byte, 8+16*len(old))
-	binary.BigEndian.PutUint64(buf, uint64(len(old)))
-	for i := range old {
-		binary.BigEndian.PutUint64(buf[8+16*i:], uint64(old[i]))
-		binary.BigEndian.PutUint64(buf[16+16*i:], uint64(new[i]))
-	}
-	return buf
-}
-
-func decodeVectorPair(buf []byte) (core.Vector, core.Vector, error) {
-	if len(buf) < 8 {
-		return nil, nil, fmt.Errorf("stencil: short vector pair")
-	}
-	n := int(binary.BigEndian.Uint64(buf))
-	if len(buf) != 8+16*n {
-		return nil, nil, fmt.Errorf("stencil: vector pair of %d bytes for %d ranks", len(buf), n)
-	}
-	old := make(core.Vector, n)
-	new := make(core.Vector, n)
-	for i := 0; i < n; i++ {
-		old[i] = int(binary.BigEndian.Uint64(buf[8+16*i:]))
-		new[i] = int(binary.BigEndian.Uint64(buf[16+16*i:]))
-	}
-	return old, new, nil
-}
-
-// encodeRows frames a contiguous row batch: first global row index, then
-// the rows.
-func encodeRows(first int, rows [][]float64) []byte {
-	width := 0
-	if len(rows) > 0 {
-		width = len(rows[0])
-	}
-	buf := make([]byte, 16, 16+8*len(rows)*width)
-	binary.BigEndian.PutUint64(buf, uint64(first))
-	binary.BigEndian.PutUint64(buf[8:], uint64(len(rows)))
-	for _, row := range rows {
-		buf = append(buf, mmps.EncodeFloat64s(row)...)
-	}
-	return buf
-}
-
-func decodeRows(buf []byte, width int) (first int, rows [][]float64, err error) {
-	if len(buf) < 16 {
-		return 0, nil, fmt.Errorf("stencil: short row batch")
-	}
-	first = int(binary.BigEndian.Uint64(buf))
-	count := int(binary.BigEndian.Uint64(buf[8:]))
-	body := buf[16:]
-	if len(body) != 8*count*width {
-		return 0, nil, fmt.Errorf("stencil: row batch of %d bytes for %d rows", len(body), count)
-	}
-	for i := 0; i < count; i++ {
-		row, err := mmps.DecodeFloat64s(body[8*i*width : 8*(i+1)*width])
-		if err != nil {
-			return 0, nil, err
-		}
-		rows = append(rows, row)
-	}
-	return first, rows, nil
-}
-
 // runLiveAdaptiveTask mirrors the simulated adaptive body over real
-// transports.
-func runLiveAdaptiveTask(tr mmps.Transport, initVec core.Vector, initial, result [][]float64, v Variant, n, iters, workFactor, rebalanceEvery int, out *LiveAdaptiveResult) error {
+// transports: the border cycle, then — at the check cadence — one repart
+// engine round and, when the plan changed, one Migrator round.
+func runLiveAdaptiveTask(tr mmps.Transport, eng *repart.Engine, initVec core.Vector, initial, result [][]float64, v Variant, n, iters, workFactor int, opts LiveAdaptiveOptions, out *LiveAdaptiveResult) error {
 	rank, nTasks := tr.Rank(), tr.Size()
 	own := newOwners(initVec)
-	rows := own.count(rank)
-	off := own.first(rank)
+	rows := own.Count(rank)
+	off := own.First(rank)
+	every := opts.checkEvery()
 
-	cur := make([][]float64, rows+2)
-	next := make([][]float64, rows+2)
 	scratch := make([]float64, n)
 	alloc := func(k int) ([][]float64, [][]float64) {
 		a := make([][]float64, k+2)
@@ -183,15 +149,18 @@ func runLiveAdaptiveTask(tr mmps.Transport, initVec core.Vector, initial, result
 		}
 		return a, b
 	}
-	cur, next = alloc(rows)
+	cur, next := alloc(rows)
 	for i := 0; i < rows; i++ {
 		copy(cur[i+1], initial[off+i])
 		copy(next[i+1], initial[off+i])
 	}
 	windowMs := 0.0
+	mig := repart.Migrator{Width: n}
+	epoch := time.Now()
+	sinceMs := func() float64 { return float64(time.Since(epoch)) / float64(time.Millisecond) }
 
 	computeRows := func(lo, hi int) {
-		start := time.Now()
+		start := sinceMs()
 		for li := lo; li <= hi; li++ {
 			g := off + li - 1
 			if g == 0 || g == n-1 {
@@ -203,7 +172,7 @@ func runLiveAdaptiveTask(tr mmps.Transport, initVec core.Vector, initial, result
 				updateRow(scratch, cur[li], cur[li-1], cur[li+1])
 			}
 		}
-		windowMs += float64(time.Since(start)) / 1e6
+		windowMs += sinceMs() - start
 	}
 	sendBorder := func(dst int, row []float64) error {
 		return tr.Send(dst, mmps.EncodeFloat64s(row))
@@ -225,8 +194,11 @@ func runLiveAdaptiveTask(tr mmps.Transport, initVec core.Vector, initial, result
 	}
 
 	for iter := 0; iter < iters; iter++ {
+		cycleStart := sinceMs()
+		exchMs := 0.0
 		hasNorth, hasSouth := rank > 0, rank < nTasks-1
 		// One synchronous border cycle.
+		exchStart := sinceMs()
 		if hasNorth {
 			if err := sendBorder(rank-1, cur[1]); err != nil {
 				return err
@@ -238,6 +210,8 @@ func runLiveAdaptiveTask(tr mmps.Transport, initVec core.Vector, initial, result
 			}
 		}
 		recvAll := func() error {
+			start := sinceMs()
+			defer func() { exchMs += sinceMs() - start }()
 			if hasNorth {
 				if err := recvBorder(rank-1, cur[0]); err != nil {
 					return err
@@ -250,6 +224,7 @@ func runLiveAdaptiveTask(tr mmps.Transport, initVec core.Vector, initial, result
 			}
 			return nil
 		}
+		exchMs += sinceMs() - exchStart
 		switch v {
 		case STEN1:
 			if err := recvAll(); err != nil {
@@ -269,131 +244,50 @@ func runLiveAdaptiveTask(tr mmps.Transport, initVec core.Vector, initial, result
 			}
 		}
 		cur, next = next, cur
+		if opts.Cycles != nil {
+			opts.Cycles.OnExchange(rank, iter, exchMs)
+			opts.Cycles.OnCycle(rank, iter, sinceMs()-cycleStart)
+		}
 
-		if rebalanceEvery <= 0 || (iter+1)%rebalanceEvery != 0 || iter == iters-1 || nTasks == 1 {
+		if every <= 0 || (iter+1)%every != 0 || iter == iters-1 || nTasks == 1 {
 			continue
 		}
-		// Gather measurements at rank 0; rebalance; broadcast old+new.
-		var oldVec, newVec core.Vector
-		if rank == 0 {
-			times := make([]float64, nTasks)
-			current := make(core.Vector, nTasks)
-			times[0], current[0] = windowMs+1e-9, rows
-			for src := 1; src < nTasks; src++ {
-				buf, err := tr.Recv(src)
-				if err != nil {
-					return err
-				}
-				ms, r, err := decodeMeasurement(buf)
-				if err != nil {
-					return err
-				}
-				times[src], current[src] = ms+1e-9, r
+		// One engine round. Every rank enters at the shared cadence so the
+		// protocol stays in lockstep; only rank 0 consults the trigger, so
+		// wall-clock-dependent firing cannot desynchronize the ranks.
+		doPlan, reason := true, "interval"
+		if rank == 0 && opts.Trigger != nil {
+			doPlan, reason = opts.Trigger.Take(), "drift"
+			if !doPlan && opts.RebalanceEvery > 0 && (iter+1)%opts.RebalanceEvery == 0 {
+				doPlan, reason = true, "interval"
 			}
-			nv, err := rebalanceOrKeep(current, times)
-			if err != nil {
-				return err
-			}
-			changed := false
-			for r := range nv {
-				if nv[r] != current[r] {
-					changed = true
-					if d := nv[r] - current[r]; d > 0 {
-						out.MigratedRows += d
-					}
-				}
-			}
-			if changed {
-				out.Rebalances++
-			}
-			msg := encodeVectorPair(current, nv)
-			for dst := 1; dst < nTasks; dst++ {
-				if err := tr.Send(dst, msg); err != nil {
-					return err
-				}
-			}
-			oldVec, newVec = current, nv
-			copy(out.FinalVector, nv)
-		} else {
-			if err := tr.Send(0, encodeMeasurement(windowMs, rows)); err != nil {
-				return err
-			}
-			buf, err := tr.Recv(0)
-			if err != nil {
-				return err
-			}
-			oldVec, newVec, err = decodeVectorPair(buf)
-			if err != nil {
-				return err
-			}
+		}
+		plan, err := eng.Round(tr, iter, reason, rows, windowMs, doPlan)
+		if err != nil {
+			return err
 		}
 		windowMs = 0
+		if rank == 0 {
+			out.Plans = append(out.Plans, plan)
+			if plan.Changed() {
+				out.Rebalances++
+				out.MigratedRows += plan.MovedRows
+			}
+			copy(out.FinalVector, plan.New)
+		}
+		if !plan.Changed() {
+			continue
+		}
 
-		// Migrate rows (contiguous intervals per (src, dst) pair).
-		oldOwn, newOwn := newOwners(oldVec), newOwners(newVec)
-		type span struct{ first, count int }
-		outgoing := map[int]span{}
-		for i := 0; i < rows; i++ {
-			g := off + i
-			dst := newOwn.ownerOf(g)
-			if dst == rank {
-				continue
-			}
-			sp := outgoing[dst]
-			if sp.count == 0 {
-				sp.first = g
-			}
-			sp.count++
-			outgoing[dst] = sp
-		}
-		for dst := 0; dst < nTasks; dst++ {
-			sp, ok := outgoing[dst]
-			if !ok {
-				continue
-			}
-			batch := make([][]float64, 0, sp.count)
-			for g := sp.first; g < sp.first+sp.count; g++ {
-				batch = append(batch, cur[g-off+1])
-			}
-			if err := tr.Send(dst, encodeRows(sp.first, batch)); err != nil {
-				return err
-			}
-		}
-		newRows := newOwn.count(rank)
-		newOff := newOwn.first(rank)
+		// Migrate rows to their new owners through the shared protocol.
+		newOwn := newOwners(plan.New)
+		newRows, newOff := newOwn.Count(rank), newOwn.First(rank)
 		ncur, nnext := alloc(newRows)
-		for g := newOff; g < newOff+newRows; g++ {
-			if oldOwn.ownerOf(g) == rank {
-				copy(ncur[g-newOff+1], cur[g-off+1])
-			}
-		}
-		for src := 0; src < nTasks; src++ {
-			if src == rank {
-				continue
-			}
-			expect := 0
-			for g := newOff; g < newOff+newRows; g++ {
-				if oldOwn.ownerOf(g) == src {
-					expect++
-				}
-			}
-			if expect == 0 {
-				continue
-			}
-			buf, err := tr.Recv(src)
-			if err != nil {
-				return err
-			}
-			first, batch, err := decodeRows(buf, n)
-			if err != nil {
-				return err
-			}
-			if len(batch) != expect {
-				return fmt.Errorf("expected %d rows from %d, got %d", expect, src, len(batch))
-			}
-			for i, row := range batch {
-				copy(ncur[first+i-newOff+1], row)
-			}
+		_, _, err = mig.Migrate(tr, plan.Old, plan.New,
+			func(g int) []float64 { return cur[g-off+1] },
+			func(g int, row []float64) { copy(ncur[g-newOff+1], row) })
+		if err != nil {
+			return err
 		}
 		rows, off = newRows, newOff
 		cur, next = ncur, nnext
@@ -402,14 +296,4 @@ func runLiveAdaptiveTask(tr mmps.Transport, initVec core.Vector, initial, result
 		result[off+i] = append([]float64(nil), cur[i+1]...)
 	}
 	return nil
-}
-
-// rebalanceOrKeep rebalances, falling back to the current vector when the
-// measurements are degenerate (e.g. sub-resolution wall-clock times).
-func rebalanceOrKeep(current core.Vector, times []float64) (core.Vector, error) {
-	nv, err := balance.Rebalance(current, times)
-	if err != nil {
-		return append(core.Vector(nil), current...), nil
-	}
-	return nv, nil
 }

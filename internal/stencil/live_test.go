@@ -2,7 +2,6 @@ package stencil
 
 import (
 	"testing"
-	"testing/quick"
 	"time"
 
 	"netpart/internal/core"
@@ -198,60 +197,5 @@ func TestLiveAdaptiveValidates(t *testing.T) {
 	}
 	if _, err := RunLiveAdaptive(world, core.Vector{4, 4}, STEN1, 8, 2, LiveAdaptiveOptions{WorkFactor: []int{1}}); err == nil {
 		t.Error("work factor mismatch accepted")
-	}
-}
-
-// Property: the live-adaptive wire codecs round-trip.
-func TestLiveAdaptiveCodecsProperty(t *testing.T) {
-	f := func(msRaw uint32, rowsRaw uint16, vecRaw []uint16) bool {
-		ms := float64(msRaw) / 7
-		rows := int(rowsRaw)
-		gotMs, gotRows, err := decodeMeasurement(encodeMeasurement(ms, rows))
-		if err != nil || gotMs != ms || gotRows != rows {
-			return false
-		}
-		if len(vecRaw) == 0 || len(vecRaw) > 32 {
-			return true
-		}
-		old := make(core.Vector, len(vecRaw))
-		new_ := make(core.Vector, len(vecRaw))
-		for i, v := range vecRaw {
-			old[i] = int(v)
-			new_[i] = int(v) + 1
-		}
-		gotOld, gotNew, err := decodeVectorPair(encodeVectorPair(old, new_))
-		if err != nil {
-			return false
-		}
-		for i := range old {
-			if gotOld[i] != old[i] || gotNew[i] != new_[i] {
-				return false
-			}
-		}
-		return true
-	}
-	if err := quick.Check(f, nil); err != nil {
-		t.Error(err)
-	}
-}
-
-func TestRowBatchCodec(t *testing.T) {
-	rows := [][]float64{{1, 2, 3}, {4, 5, 6}}
-	first, got, err := decodeRows(encodeRows(7, rows), 3)
-	if err != nil || first != 7 {
-		t.Fatalf("first=%d err=%v", first, err)
-	}
-	for i := range rows {
-		for j := range rows[i] {
-			if got[i][j] != rows[i][j] {
-				t.Fatal("rows corrupted")
-			}
-		}
-	}
-	if _, _, err := decodeRows([]byte{1}, 3); err == nil {
-		t.Error("short batch accepted")
-	}
-	if _, _, err := decodeRows(encodeRows(0, rows), 4); err == nil {
-		t.Error("wrong width accepted")
 	}
 }

@@ -7,6 +7,8 @@ import (
 	"netpart/internal/core"
 	"netpart/internal/faults"
 	"netpart/internal/mmps"
+	"netpart/internal/obs/drift"
+	"netpart/internal/repart"
 )
 
 // Race-stress scenarios: compact enough to run under -race -count=5 in CI,
@@ -86,6 +88,43 @@ func TestRaceStressLossyNoCrash(t *testing.T) {
 	}
 	if res.Recoveries != 0 || len(res.Failed) != 0 {
 		t.Fatalf("lossy-but-live run triggered recovery (recoveries=%d failed=%v)", res.Recoveries, res.Failed)
+	}
+	gridsMatch(t, res.Grid, Sequential(NewGrid(n), iters))
+}
+
+// TestRaceStressDriftTriggeredAdaptive: the drift-monitor → trigger → plan
+// → migrate pipeline under the race detector with packet duplication and
+// delay below the transport. The monitor's callback fires from rank
+// goroutines while rank 0 consumes the trigger; migration reshapes every
+// rank's block mid-run. The grid must stay bit-exact.
+func TestRaceStressDriftTriggeredAdaptive(t *testing.T) {
+	const n, iters = 48, 16
+	eng := faults.NewEngine(faults.MustParse("dup:0.1;delay:0.1,1"), 11, nil)
+	world := raceWorld(t, 6, eng)
+	trig := &repart.DriftTrigger{}
+	mon := drift.New(drift.Config{
+		PredCycleMs:  1e-6, // any real cycle is "drift": fires immediately
+		ThresholdPct: 1,
+		Warmup:       1,
+		Notify:       func(drift.Event) { trig.Fire() },
+	}, nil, nil)
+	res, err := RunLiveAdaptive(world, core.Vector{8, 8, 8, 8, 8, 8}, STEN1, n, iters, LiveAdaptiveOptions{
+		Trigger:    trig,
+		CheckEvery: 4,
+		WorkFactor: []int{1, 1, 6, 1, 1, 1},
+		Cycles:     mon,
+	})
+	if err != nil {
+		t.Fatalf("RunLiveAdaptive: %v", err)
+	}
+	if len(res.Plans) == 0 {
+		t.Fatal("no repart rounds recorded")
+	}
+	if res.Plans[0].Reason != "drift" {
+		t.Errorf("first plan reason %q, want drift-triggered", res.Plans[0].Reason)
+	}
+	if res.FinalVector.Sum() != n {
+		t.Fatalf("final vector sums to %d, want %d", res.FinalVector.Sum(), n)
 	}
 	gridsMatch(t, res.Grid, Sequential(NewGrid(n), iters))
 }

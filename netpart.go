@@ -54,6 +54,7 @@ import (
 	"netpart/internal/obs/drift"
 	"netpart/internal/obs/serve"
 	"netpart/internal/particles"
+	"netpart/internal/repart"
 	"netpart/internal/stencil"
 	"netpart/internal/stencil2d"
 	"netpart/internal/topo"
@@ -571,4 +572,39 @@ func RunStencilSimMonitored(net *Network, cfg Config, vec Vector, v StencilVaria
 // subscription (the drift-monitor hookup).
 func RunStencilLiveMonitored(world []Transport, vec Vector, v StencilVariant, n, iters int, workFactor []int, m *Metrics, rec *TraceRecorder, sink CycleSink) (stencil.LiveResult, error) {
 	return stencil.RunLiveMonitored(world, vec, v, n, iters, workFactor, m, rec, sink)
+}
+
+// Continuous repartitioning (internal/repart): the drift-triggered
+// trigger → plan → migrate pipeline shared by the adaptive runtimes and
+// fault recovery. A RepartPlanner runs the incremental restreaming search
+// with migration cost (MigrationCost) as an explicit objective term; a
+// RepartEngine adds the rank-0-decides/broadcast exchange plus metrics,
+// trace, and observer export; a RepartDriftTrigger latches drift events
+// (DriftConfig.Notify) for the next repartitioning round.
+type (
+	// RepartPlan records one repartitioning decision.
+	RepartPlan = repart.Plan
+	// RepartPlanner is the incremental migration-cost-aware planner.
+	RepartPlanner = repart.Planner
+	// RepartPlannerConfig tunes the planner's objective and search.
+	RepartPlannerConfig = repart.PlannerConfig
+	// RepartEngine couples a planner with the decision protocol and
+	// observability export.
+	RepartEngine = repart.Engine
+	// RepartTrigger gates drift-triggered repartitioning rounds.
+	RepartTrigger = repart.Trigger
+	// RepartDriftTrigger is the edge-triggered latch fed by drift events.
+	RepartDriftTrigger = repart.DriftTrigger
+	// MigrationCost is the T_mig objective term (see MigrationFromParams
+	// for deriving it from a cluster's Eq. 1 fit).
+	MigrationCost = cost.Migration
+)
+
+// NewRepartPlanner builds the incremental repartitioning planner.
+func NewRepartPlanner(cfg RepartPlannerConfig) *RepartPlanner { return repart.NewPlanner(cfg) }
+
+// MigrationCostFromParams derives T_mig constants from a cluster's Eq. 1
+// fit: |C1| prices the migration round, |C3| the payload per byte.
+func MigrationCostFromParams(p CostParams, rowBytes float64) MigrationCost {
+	return cost.MigrationFromParams(p, rowBytes)
 }

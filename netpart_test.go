@@ -231,3 +231,23 @@ func TestFacadeFaultTolerance(t *testing.T) {
 		}
 	}
 }
+
+func TestFacadeRepartPlanner(t *testing.T) {
+	mig := netpart.MigrationCostFromParams(netpart.CostParams{C1: 0, C3: -0.0055}, 8*64)
+	if mig.PerByteMs <= 0 {
+		t.Fatalf("negative fit not rectified: %+v", mig)
+	}
+	p := netpart.NewRepartPlanner(netpart.RepartPlannerConfig{Mig: mig, HorizonCycles: 8})
+	plan := p.Plan(3, "drift", netpart.Vector{32, 32}, []float64{10, 40})
+	if !plan.Changed() {
+		t.Fatal("planner kept a 4x-imbalanced vector")
+	}
+	if plan.New.Sum() != 64 {
+		t.Fatalf("row total changed: %v", plan.New)
+	}
+	var trig netpart.RepartDriftTrigger
+	trig.Fire()
+	if !trig.Take() || trig.Take() {
+		t.Fatal("drift trigger latch misbehaved")
+	}
+}
