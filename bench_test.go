@@ -321,10 +321,44 @@ func BenchmarkAdaptiveRepartition(b *testing.B) {
 	}
 }
 
+// BenchmarkEstimateDelta measures one warm delta-evaluated probe — the unit
+// of work the Partition search and the Fig. 3 curve now spend per candidate
+// instead of a full Estimate. CI hard-gates this at zero allocations per op
+// (BENCH_policy.json).
+func BenchmarkEstimateDelta(b *testing.B) {
+	est, err := core.NewEstimator(model.PaperTestbed(), cost.PaperTable(),
+		stencil.Annotations(600, stencil.STEN2, 100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := cost.Config{
+		Clusters: []string{model.Sparc2Cluster, model.IPCCluster},
+		Counts:   []int{6, 0},
+	}
+	d, err := est.BeginDelta(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := d.Probe(1, 3); err != nil { // warm the lazy memos
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := d.Probe(1, 1+i%6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if e.TcMs <= 0 {
+			b.Fatal("non-positive estimate")
+		}
+	}
+}
+
 // BenchmarkRepartPlan measures one incremental-repartitioning planner
 // invocation at P=16 — the latency rank 0 pays inside a drift-triggered
 // round before broadcasting the decision. CI asserts this stays
-// sub-millisecond (warn-only bench job).
+// sub-millisecond (the benchdiff gate, BENCH_policy.json).
 func BenchmarkRepartPlan(b *testing.B) {
 	p := repart.NewPlanner(repart.PlannerConfig{
 		Mig: cost.Migration{PerMoveMs: 0.05, PerByteMs: 1e-6, RowBytes: 8 * 1024},

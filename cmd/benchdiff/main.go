@@ -7,11 +7,19 @@
 //
 //	go test -bench . -benchmem ./... | benchdiff parse > BENCH_pr.json
 //	benchdiff compare [-threshold 0.30] [-soft] BENCH_baseline.json BENCH_pr.json
+//	benchdiff gate [-policy BENCH_policy.json] BENCH_pr.json
 //
 // compare exits 1 when any benchmark present in both snapshots regressed
 // beyond the threshold in time (ns/op) or allocations (allocs/op); -soft
 // downgrades regressions to warnings (exit 0), the mode CI uses on shared
 // noisy runners.
+//
+// gate enforces absolute per-benchmark budgets from a committed policy
+// file instead of diffing against a baseline: each entry names a hard
+// ns/op and/or allocs/op ceiling, and a policy benchmark missing from the
+// snapshot is itself a failure. Unlike compare, gate has no soft mode —
+// the budgets are chosen loose enough (latency) or exact (zero-alloc
+// guarantees, which shared-runner noise cannot perturb) to hard-fail CI.
 //
 //netpart:deterministic
 package main
@@ -57,13 +65,19 @@ func main() {
 			fatal(err)
 		}
 		os.Exit(code)
+	case "gate":
+		code, err := runGate(os.Args[2:], os.Stdout)
+		if err != nil {
+			fatal(err)
+		}
+		os.Exit(code)
 	default:
 		usage()
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: benchdiff parse [bench-output-file] | benchdiff compare [-threshold 0.30] [-soft] baseline.json current.json")
+	fmt.Fprintln(os.Stderr, "usage: benchdiff parse [bench-output-file] | benchdiff compare [-threshold 0.30] [-soft] baseline.json current.json | benchdiff gate [-policy policy.json] current.json")
 	os.Exit(2)
 }
 
@@ -101,7 +115,10 @@ func runParse(args []string, stdin io.Reader, out io.Writer) error {
 // benchLine matches e.g.
 //
 //	BenchmarkPartitionOverhead-8   200   8109 ns/op   818 B/op   29 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
+//	BenchmarkStencilKernel-8       200   45997 ns/op  10017.50 MB/s  0 B/op  0 allocs/op
+//
+// The optional MB/s column appears when a benchmark calls b.SetBytes.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+[\d.]+ MB/s)?(?:\s+([\d.]+) B/op\s+([\d.]+) allocs/op)?`)
 
 // parseBench extracts benchmark results from `go test -bench` output,
 // keying each by the enclosing package (the "pkg:" header lines) plus the
@@ -236,6 +253,102 @@ func runCompare(args []string, out io.Writer) (int, error) {
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// Limit is one benchmark's absolute budget in a gate policy. Nil fields are
+// unconstrained; MaxAllocsPerOp additionally requires -benchmem columns in
+// the gated snapshot (a zero without them is meaningless).
+type Limit struct {
+	MaxNsPerOp     *float64 `json:"max_ns_per_op,omitempty"`
+	MaxAllocsPerOp *float64 `json:"max_allocs_per_op,omitempty"`
+}
+
+// Policy maps "package/BenchmarkName" to its budget. Every entry is
+// required: a policy benchmark absent from the snapshot fails the gate, so
+// renaming a benchmark cannot silently retire its budget.
+type Policy map[string]Limit
+
+// gate checks snap against policy and returns human-readable verdict lines
+// plus the number of violations.
+func gate(policy Policy, snap Snapshot) (lines []string, violations int) {
+	names := make([]string, 0, len(policy))
+	for name := range policy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		lim := policy[name]
+		m, ok := snap[name]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("FAIL %s: missing from snapshot", name))
+			violations++
+			continue
+		}
+		if lim.MaxNsPerOp != nil {
+			if m.NsPerOp > *lim.MaxNsPerOp {
+				lines = append(lines, fmt.Sprintf("FAIL %s: %.4g ns/op exceeds budget %.4g", name, m.NsPerOp, *lim.MaxNsPerOp))
+				violations++
+			} else {
+				lines = append(lines, fmt.Sprintf("ok   %s: %.4g ns/op within budget %.4g", name, m.NsPerOp, *lim.MaxNsPerOp))
+			}
+		}
+		if lim.MaxAllocsPerOp != nil {
+			switch {
+			case !m.HaveMem:
+				lines = append(lines, fmt.Sprintf("FAIL %s: allocs/op budget set but snapshot lacks -benchmem columns", name))
+				violations++
+			case m.AllocsPerOp > *lim.MaxAllocsPerOp:
+				lines = append(lines, fmt.Sprintf("FAIL %s: %.4g allocs/op exceeds budget %.4g", name, m.AllocsPerOp, *lim.MaxAllocsPerOp))
+				violations++
+			default:
+				lines = append(lines, fmt.Sprintf("ok   %s: %.4g allocs/op within budget %.4g", name, m.AllocsPerOp, *lim.MaxAllocsPerOp))
+			}
+		}
+	}
+	return lines, violations
+}
+
+func runGate(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("gate", flag.ExitOnError)
+	policyPath := fs.String("policy", "BENCH_policy.json", "policy file of absolute per-benchmark budgets")
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 1 {
+		return 2, fmt.Errorf("gate needs exactly one snapshot file, got %d", fs.NArg())
+	}
+	policy, err := loadPolicy(*policyPath)
+	if err != nil {
+		return 2, err
+	}
+	snap, err := loadSnapshot(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	lines, violations := gate(policy, snap)
+	for _, l := range lines {
+		fmt.Fprintln(out, l)
+	}
+	fmt.Fprintf(out, "benchdiff: %d budgets gated, %d violations\n", len(policy), violations)
+	if violations > 0 {
+		return 1, nil
+	}
+	return 0, nil
+}
+
+func loadPolicy(path string) (Policy, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var p Policy
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(p) == 0 {
+		return nil, fmt.Errorf("%s: empty policy", path)
+	}
+	return p, nil
 }
 
 func loadSnapshot(path string) (Snapshot, error) {

@@ -46,6 +46,23 @@ func TestParseBench(t *testing.T) {
 	}
 }
 
+func TestParseBenchWithThroughputColumn(t *testing.T) {
+	// b.SetBytes adds an MB/s column between ns/op and the -benchmem
+	// columns; the parser must skip it.
+	snap, err := parseBench(strings.NewReader(
+		"pkg: netpart/internal/stencil\nBenchmarkStencilKernel-8   200   45997 ns/op   10017.50 MB/s   0 B/op   0 allocs/op\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := snap["netpart/internal/stencil/BenchmarkStencilKernel"]
+	if !ok {
+		t.Fatalf("missing key in %v", snap)
+	}
+	if m.NsPerOp != 45997 || m.AllocsPerOp != 0 || !m.HaveMem {
+		t.Fatalf("metrics = %+v, want ns=45997 allocs=0 HaveMem", m)
+	}
+}
+
 func TestParseBenchWithoutBenchmem(t *testing.T) {
 	snap, err := parseBench(strings.NewReader("pkg: p\nBenchmarkX-4   100   250 ns/op\n"))
 	if err != nil {
@@ -168,5 +185,96 @@ func TestRunParseEmptyInput(t *testing.T) {
 	var out strings.Builder
 	if err := runParse(nil, strings.NewReader("no benchmarks here\n"), &out); err == nil {
 		t.Fatal("empty input must error")
+	}
+}
+
+func f64(v float64) *float64 { return &v }
+
+func TestGateVerdicts(t *testing.T) {
+	policy := Policy{
+		"p/BenchmarkZeroAlloc": {MaxAllocsPerOp: f64(0)},
+		"p/BenchmarkLatency":   {MaxNsPerOp: f64(1e6)},
+		"p/BenchmarkMissing":   {MaxNsPerOp: f64(1)},
+		"p/BenchmarkNoMem":     {MaxAllocsPerOp: f64(0)},
+	}
+	snap := Snapshot{
+		"p/BenchmarkZeroAlloc": {NsPerOp: 500, AllocsPerOp: 0, HaveMem: true},
+		"p/BenchmarkLatency":   {NsPerOp: 2e6},
+		"p/BenchmarkNoMem":     {NsPerOp: 100},
+	}
+	lines, violations := gate(policy, snap)
+	joined := strings.Join(lines, "\n")
+	if violations != 3 {
+		t.Fatalf("gate found %d violations, want 3:\n%s", violations, joined)
+	}
+	for _, want := range []string{
+		"ok   p/BenchmarkZeroAlloc",
+		"FAIL p/BenchmarkLatency",
+		"FAIL p/BenchmarkMissing: missing from snapshot",
+		"FAIL p/BenchmarkNoMem",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("gate output lacks %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestGateAllocRegression(t *testing.T) {
+	policy := Policy{"p/BenchmarkZeroAlloc": {MaxAllocsPerOp: f64(0)}}
+	snap := Snapshot{"p/BenchmarkZeroAlloc": {NsPerOp: 500, AllocsPerOp: 2, HaveMem: true}}
+	if _, violations := gate(policy, snap); violations != 1 {
+		t.Fatalf("broken zero-alloc guarantee found %d violations, want 1", violations)
+	}
+}
+
+func TestRunGateExitCode(t *testing.T) {
+	dir := t.TempDir()
+	writeJSON := func(name string, v any) string {
+		data, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	policy := writeJSON("policy.json", Policy{"p/BenchmarkX": {MaxNsPerOp: f64(1000), MaxAllocsPerOp: f64(0)}})
+	good := writeJSON("good.json", Snapshot{"p/BenchmarkX": {NsPerOp: 900, AllocsPerOp: 0, HaveMem: true}})
+	bad := writeJSON("bad.json", Snapshot{"p/BenchmarkX": {NsPerOp: 900, AllocsPerOp: 1, HaveMem: true}})
+
+	var out strings.Builder
+	code, err := runGate([]string{"-policy", policy, good}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("clean gate: code %d err %v; output:\n%s", code, err, out.String())
+	}
+	out.Reset()
+	code, err = runGate([]string{"-policy", policy, bad}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("violating gate exited %d, want 1; output:\n%s", code, out.String())
+	}
+}
+
+// TestCommittedPolicyGatesCurrentBenchmarks keeps BENCH_policy.json and
+// BENCH_baseline.json coherent: every policy entry must exist in the
+// committed baseline and the baseline itself must satisfy every budget, so
+// a benchmark rename or a budget-breaking baseline refresh fails here
+// before it confuses CI.
+func TestCommittedPolicyGatesCurrentBenchmarks(t *testing.T) {
+	policy, err := loadPolicy(filepath.Join("..", "..", "BENCH_policy.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := loadSnapshot(filepath.Join("..", "..", "BENCH_baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, violations := gate(policy, snap)
+	if violations != 0 {
+		t.Fatalf("committed baseline violates committed policy:\n%s", strings.Join(lines, "\n"))
 	}
 }

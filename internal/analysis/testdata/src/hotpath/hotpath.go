@@ -91,3 +91,45 @@ func (c *codec) hotErr(n int) error {
 func (c *codec) cold() []float64 {
 	return make([]float64, 16)
 }
+
+// hotFrameGrow grows a caller-owned frame buffer in place behind a
+// capacity guard (the wire-codec idiom): no findings.
+//
+//netpart:hotpath
+func (c *codec) hotFrameGrow(dst []byte, payload int) []byte {
+	off := len(dst)
+	if need := off + payload; cap(dst) < need {
+		grown := make([]byte, off, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	return dst[:off+payload]
+}
+
+// hotFreeListPop reuses pooled buffers, allocating only when the pool is
+// empty or the popped buffer is too small (the transport free-list idiom):
+// no findings.
+//
+//netpart:hotpath
+func (c *codec) hotFreeListPop(free *[][]float64, n int) []float64 {
+	if len(*free) == 0 {
+		return make([]float64, n)
+	}
+	b := (*free)[len(*free)-1]
+	*free = (*free)[:len(*free)-1]
+	if cap(b) < n {
+		return make([]float64, n)
+	}
+	return b[:n]
+}
+
+// hotUnguardedBranch allocates under a condition that inspects neither
+// length nor capacity — the branch is still hot.
+//
+//netpart:hotpath
+func (c *codec) hotUnguardedBranch(n int) []float64 {
+	if n > 8 {
+		return make([]float64, n) // want `make allocates on the hot path`
+	}
+	return nil
+}

@@ -1,0 +1,396 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"netpart/internal/cost"
+	"netpart/internal/topo"
+)
+
+// DeltaEval is the incremental estimate path for searches that vary one
+// cluster count of a base configuration at a time (the shape of every
+// Partition/PartitionLinear probe and of the Fig. 3 curve). BeginDelta
+// memoizes everything a probe re-derives from unchanged inputs — per-cluster
+// op times, the Eq. 3 denominator's partial sums, cost-table parameter
+// lookups, and pairwise segment/coercion facts — so Probe recomputes only
+// the O(K) arithmetic that actually depends on the varied count.
+//
+// Bit-for-bit identity with Estimate is a hard invariant, pinned by
+// TestDeltaProbeMatchesEstimate: the denominator is accumulated in exactly
+// the seed order (prefix through cluster k, then the probed term, then the
+// remaining terms left to right), and every multiply/divide uses the same
+// memoized operands the full path would recompute.
+//
+// A DeltaEval is bound to its estimator and base Config (the Counts slice
+// is aliased, not copied): after mutating the base counts, call Rebase.
+// Like the estimator itself it is not safe for concurrent use, and the
+// returned Estimate's Shares and Config.Counts alias reusable buffers —
+// Detach before retaining. When the estimator has an Observer or the
+// dominant computation phase declares TotalOps, Probe transparently falls
+// back to the full EstimateFor path (observation and the non-linear
+// balance need it).
+type DeltaEval struct {
+	e    *Estimator
+	base cost.Config
+	full bool
+
+	comp    *ComputationPhase
+	comm    *CommunicationPhase
+	tp      topo.Topology
+	tpName  string
+	bwLimit bool
+	//netpart:unit pdus
+	numPDUs   int
+	baseTotal int
+
+	//netpart:unit ms/ops
+	times []float64 // per-cluster op times (fixed per class)
+	terms []float64 // counts[i]/times[i] at the base counts
+	// prefix[i] is the Eq. 3 denominator accumulated through cluster i-1,
+	// with the seed's exact left-to-right rounding sequence.
+	prefix []float64
+	//netpart:unit pdus
+	shares []float64 // probe output buffer (Estimate.Shares aliases it)
+	probe  []int     // probe counts buffer (Estimate.Config.Counts aliases it)
+
+	commP   []cost.Params // per-cluster comm params for the dominant topology
+	commOK  []bool
+	startP  []cost.Params // per-root startup params (with the 1-D fallback)
+	startSt []int8        // 0 unresolved, 1 resolved, -1 no model
+	pairs   []deltaPair   // pairwise router/coercion facts, row-major K×K
+	pairOK  []bool
+}
+
+// deltaPair memoizes the cross-segment facts of one ordered cluster pair.
+type deltaPair struct {
+	sameSeg bool
+	coerce  bool
+	router  cost.PerByte
+	coerceC cost.PerByte
+}
+
+// BeginDelta prepares an incremental evaluator for probes against cfg.
+// cfg's Clusters and Counts are aliased: the caller may mutate the counts
+// between probes as its search settles clusters, calling Rebase after.
+func (e *Estimator) BeginDelta(cfg cost.Config) (*DeltaEval, error) {
+	d := &DeltaEval{e: e, base: cfg, comp: e.Ann.DominantCompute()}
+	d.numPDUs = e.Ann.NumPDUs()
+	if e.Observer != nil || d.comp.TotalOps != nil {
+		d.full = true
+		return d, nil
+	}
+	k := len(cfg.Clusters)
+	d.times = make([]float64, k)
+	d.terms = make([]float64, k)
+	d.prefix = make([]float64, k)
+	d.shares = make([]float64, k)
+	d.probe = make([]int, k)
+	for i, name := range cfg.Clusters {
+		c := e.cluster(name)
+		if c == nil {
+			return nil, fmt.Errorf("core: unknown cluster %q", name)
+		}
+		d.times[i] = c.OpTime(d.comp.Class)
+	}
+	d.comm = e.Ann.DominantComm()
+	if d.comm != nil {
+		tp, err := e.topologyOf(d.comm)
+		if err != nil {
+			return nil, err
+		}
+		d.tp = tp
+		d.tpName = tp.Name()
+		d.bwLimit = tp.BandwidthLimited()
+	}
+	d.commP = make([]cost.Params, k)
+	d.commOK = make([]bool, k)
+	d.startP = make([]cost.Params, k)
+	d.startSt = make([]int8, k)
+	d.pairs = make([]deltaPair, k*k)
+	d.pairOK = make([]bool, k*k)
+	d.Rebase()
+	return d, nil
+}
+
+// Rebase recomputes the base-count partial sums after the caller mutated
+// the base configuration's counts.
+func (d *DeltaEval) Rebase() {
+	if d.full {
+		return
+	}
+	acc := 0.0
+	total := 0
+	for i := range d.base.Clusters {
+		d.prefix[i] = acc
+		d.terms[i] = float64(d.base.Counts[i]) / d.times[i]
+		acc += d.terms[i]
+		total += d.base.Counts[i]
+	}
+	d.baseTotal = total
+}
+
+// Probe estimates the base configuration with cluster k's count replaced
+// by p, bit-identical to EstimateFor on the equivalent probe vector. The
+// returned Estimate aliases the evaluator's shares and probe buffers
+// (valid until the next Probe); Detach before retaining.
+//
+//netpart:hotpath
+func (d *DeltaEval) Probe(k, p int) (Estimate, error) {
+	e := d.e
+	if d.full || e.Observer != nil {
+		probe := d.base
+		probe.Counts = e.probeCounts(d.base.Counts, k, p)
+		return e.EstimateFor(probe, d.base.Clusters[k], p)
+	}
+	e.evaluations++
+	n := len(d.base.Clusters)
+	probe := d.probe[:n]
+	copy(probe, d.base.Counts)
+	probe[k] = p
+	est := Estimate{Config: cost.Config{Clusters: d.base.Clusters, Counts: probe}}
+	total := d.baseTotal - d.base.Counts[k] + p
+	if total <= 0 {
+		return est, ErrNoProcessors
+	}
+
+	// Eq. 3: replay the seed's denominator accumulation with the probed
+	// term substituted at position k — prefix through k, the probed
+	// division, then the memoized remaining terms in original order.
+	denom := d.prefix[k]
+	denom += float64(p) / d.times[k]
+	for j := k + 1; j < n; j++ {
+		denom += d.terms[j]
+	}
+	shares := d.shares[:n]
+	for i := range shares {
+		shares[i] = 0
+		if probe[i] > 0 {
+			shares[i] = float64(d.numPDUs) / (d.times[i] * denom)
+		}
+	}
+	est.Shares = shares
+
+	// Eq. 4 at the first active cluster (equal for all by load balance).
+	for i := range probe {
+		if probe[i] == 0 {
+			continue
+		}
+		est.TcompMs = d.times[i] * d.comp.Ops(shares[i])
+		break
+	}
+
+	if d.comm != nil {
+		b := 0.0
+		for i := range probe {
+			if probe[i] == 0 {
+				continue
+			}
+			if v := d.comm.BytesPerMessage(shares[i]); v > b {
+				b = v
+			}
+		}
+		est.BytesPerMsg = b
+		tcomm, err := d.commCost(b, probe, total)
+		if err != nil {
+			return est, err
+		}
+		est.TcommMs = tcomm
+		if d.comm.Overlap != "" && d.comm.Overlap == d.comp.Name {
+			est.ToverlapMs = math.Min(est.TcompMs, est.TcommMs)
+		}
+	}
+	if e.Ann.StartupBytesPerPDU > 0 {
+		est.StartupMs = d.startupCost(probe, shares, total)
+	}
+	if est.ToverlapMs > 0 {
+		est.TcMs = math.Max(est.TcompMs, est.TcommMs)
+	} else {
+		est.TcMs = est.TcompMs + est.TcommMs
+	}
+	return est, nil
+}
+
+// commParamsFor resolves (and memoizes) cluster i's communication params
+// for the dominant topology.
+//
+//netpart:hotpath
+func (d *DeltaEval) commParamsFor(i int) (cost.Params, error) {
+	if d.commOK[i] {
+		return d.commP[i], nil
+	}
+	params, err := d.e.Costs.Comm(d.base.Clusters[i], d.tpName)
+	if err != nil {
+		return cost.Params{}, err
+	}
+	d.commP[i] = params
+	d.commOK[i] = true
+	return params, nil
+}
+
+// pairFor resolves (and memoizes) the cross-segment facts of the ordered
+// cluster pair (i, j).
+//
+//netpart:hotpath
+func (d *DeltaEval) pairFor(i, j int) *deltaPair {
+	idx := i*len(d.base.Clusters) + j
+	pr := &d.pairs[idx]
+	if d.pairOK[idx] {
+		return pr
+	}
+	from, to := d.base.Clusters[i], d.base.Clusters[j]
+	pr.sameSeg = d.e.Net.SameSegment(from, to)
+	if !pr.sameSeg {
+		pr.router = d.e.Costs.Router(from, to)
+		pr.coerce = d.e.Net.NeedsCoercion(from, to)
+		if pr.coerce {
+			pr.coerceC = d.e.Costs.Coerce(from, to)
+		}
+	}
+	d.pairOK[idx] = true
+	return pr
+}
+
+// commCost mirrors Estimator.commCost over the probe vector, with the
+// params and pair lookups served from the memo.
+//
+//netpart:hotpath
+func (d *DeltaEval) commCost(b float64, probe []int, total int) (float64, error) {
+	nActive, firstActive := 0, -1
+	for i, c := range probe {
+		if c > 0 {
+			nActive++
+			if firstActive < 0 {
+				firstActive = i
+			}
+		}
+	}
+	if nActive == 0 || (nActive == 1 && probe[firstActive] == 1) {
+		return 0, nil // a single task exchanges no messages
+	}
+	worst := 0.0
+	lo := 0
+	for i, cnt := range probe {
+		if cnt == 0 {
+			continue
+		}
+		params, err := d.commParamsFor(i)
+		if err != nil {
+			return 0, err
+		}
+		hi := lo + cnt
+		crosses := topo.SegmentCrosses(d.tp, lo, hi, total)
+		lo = hi
+		p := cnt
+		if d.bwLimit {
+			p = total
+		}
+		if crosses && d.e.RouterStation {
+			p++ // the router is one more station on this segment
+		}
+		c := params.Eval(b, p)
+		if crosses {
+			c += d.crossPenalty(probe, i, b)
+		}
+		if c > worst {
+			worst = c
+		}
+	}
+	return worst, nil
+}
+
+// crossPenalty mirrors Estimator.crossPenalty with memoized pair facts.
+//
+//netpart:hotpath
+func (d *DeltaEval) crossPenalty(probe []int, from int, b float64) float64 {
+	worst := 0.0
+	for j, cnt := range probe {
+		if cnt == 0 || j == from {
+			continue
+		}
+		pr := d.pairFor(from, j)
+		if pr.sameSeg {
+			continue
+		}
+		p := pr.router.Eval(b)
+		if pr.coerce {
+			p += pr.coerceC.Eval(b)
+		}
+		if p > worst {
+			worst = p
+		}
+	}
+	return worst
+}
+
+// startupParamsFor resolves (and memoizes) the startup cost params when
+// cluster root scatters, honoring the full path's 1-D fallback; ok=false
+// means no model exists and startup reports zero.
+func (d *DeltaEval) startupParamsFor(root int) (cost.Params, bool) {
+	if d.startSt[root] != 0 {
+		return d.startP[root], d.startSt[root] > 0
+	}
+	topology := "1-D"
+	if d.comm != nil {
+		topology = d.comm.Topology
+	}
+	params, err := d.e.Costs.Comm(d.base.Clusters[root], topology)
+	if err != nil {
+		params, err = d.e.Costs.Comm(d.base.Clusters[root], "1-D")
+		if err != nil {
+			d.startSt[root] = -1
+			return cost.Params{}, false
+		}
+	}
+	d.startP[root] = params
+	d.startSt[root] = 1
+	return params, true
+}
+
+// startupCost mirrors Estimator.startupCost over the probe vector.
+//
+//netpart:hotpath
+//netpart:unit shares pdus
+//netpart:unit return ms
+func (d *DeltaEval) startupCost(probe []int, shares []float64, total int) float64 {
+	firstActive := -1
+	for i, c := range probe {
+		if c > 0 {
+			firstActive = i
+			break
+		}
+	}
+	if firstActive < 0 || total <= 1 {
+		return 0
+	}
+	params, ok := d.startupParamsFor(firstActive)
+	if !ok {
+		return 0
+	}
+	sum := 0.0
+	for i, cnt := range probe {
+		if cnt == 0 {
+			continue
+		}
+		tasks := cnt
+		if i == firstActive {
+			tasks-- // the root keeps its own block
+		}
+		if tasks <= 0 {
+			continue
+		}
+		b := shares[i] * d.e.Ann.StartupBytesPerPDU
+		per := (params.C2 + b*params.C4) / 2
+		if i != firstActive {
+			pr := d.pairFor(firstActive, i)
+			if !pr.sameSeg {
+				per += pr.router.Eval(b)
+				if pr.coerce {
+					per += pr.coerceC.Eval(b)
+				}
+			}
+		}
+		sum += float64(tasks) * per
+	}
+	return sum
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"netpart/internal/cost"
+	"netpart/internal/model"
+)
+
+// deltaEstimators returns the estimator variants the delta path must match
+// bit for bit: the plain paper model, the overlapped-communication variant,
+// and the startup-cost variant.
+func deltaEstimators(t *testing.T) map[string]*Estimator {
+	t.Helper()
+	plain, err := NewEstimator(model.PaperTestbed(), cost.PaperTable(), stencilAnnotations(600, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	overlap, err := NewEstimator(model.PaperTestbed(), cost.PaperTable(), stencilAnnotations(600, true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ann := stencilAnnotations(600, false)
+	ann.StartupBytesPerPDU = 4 * 600
+	startup, err := NewEstimator(model.PaperTestbed(), cost.PaperTable(), ann)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Estimator{"plain": plain, "overlap": overlap, "startup": startup}
+}
+
+// TestDeltaProbeMatchesEstimate pins the delta evaluator's hard invariant:
+// for every base configuration, varied cluster, and probed count, Probe is
+// bit-for-bit identical to the full EstimateFor on the equivalent probe
+// vector — including the error cases.
+func TestDeltaProbeMatchesEstimate(t *testing.T) {
+	clusters := []string{model.Sparc2Cluster, model.IPCCluster}
+	for label, e := range deltaEstimators(t) {
+		ref := e.Clone()
+		for b1 := 0; b1 <= 6; b1++ {
+			for b2 := 0; b2 <= 6; b2++ {
+				base := cost.Config{Clusters: clusters, Counts: []int{b1, b2}}
+				d, err := e.BeginDelta(base)
+				if err != nil {
+					t.Fatalf("%s base %v: %v", label, base, err)
+				}
+				for k := 0; k < 2; k++ {
+					for p := 0; p <= 6; p++ {
+						got, gotErr := d.Probe(k, p)
+						probe := base
+						probe.Counts = ref.probeCounts(base.Counts, k, p)
+						want, wantErr := ref.EstimateFor(probe, clusters[k], p)
+						if (gotErr == nil) != (wantErr == nil) || (wantErr != nil && !errors.Is(gotErr, wantErr)) {
+							t.Fatalf("%s base %v k=%d p=%d: error %v, want %v", label, base, k, p, gotErr, wantErr)
+						}
+						if wantErr != nil {
+							continue
+						}
+						if got.TcMs != want.TcMs || got.TcompMs != want.TcompMs ||
+							got.TcommMs != want.TcommMs || got.ToverlapMs != want.ToverlapMs ||
+							got.StartupMs != want.StartupMs || got.BytesPerMsg != want.BytesPerMsg {
+							t.Fatalf("%s base %v k=%d p=%d:\n delta %+v\n  full %+v", label, base, k, p, got, want)
+						}
+						for i := range want.Shares {
+							if got.Shares[i] != want.Shares[i] {
+								t.Fatalf("%s base %v k=%d p=%d: shares %v, want %v", label, base, k, p, got.Shares, want.Shares)
+							}
+						}
+						for i, c := range want.Config.Counts {
+							if got.Config.Counts[i] != c {
+								t.Fatalf("%s base %v k=%d p=%d: counts %v, want %v", label, base, k, p, got.Config.Counts, want.Config.Counts)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDeltaRebaseTracksMutations pins the Rebase contract: the base Counts
+// slice is aliased, so mutating it and calling Rebase must re-anchor the
+// partial sums exactly as a fresh BeginDelta would.
+func TestDeltaRebaseTracksMutations(t *testing.T) {
+	e := deltaEstimators(t)["startup"]
+	base := cost.Config{
+		Clusters: []string{model.Sparc2Cluster, model.IPCCluster},
+		Counts:   []int{1, 0},
+	}
+	d, err := e.BeginDelta(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.Counts[0] = 6 // the search settles cluster 0 in full
+	d.Rebase()
+	fresh, err := e.BeginDelta(cost.Config{Clusters: base.Clusters, Counts: []int{6, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p <= 6; p++ {
+		got, err := d.Probe(1, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = got.Detach()
+		want, err := fresh.Probe(1, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.TcMs != want.TcMs || got.StartupMs != want.StartupMs {
+			t.Fatalf("p=%d: rebased probe %+v, fresh probe %+v", p, got, want)
+		}
+	}
+}
+
+// TestDeltaProbeZeroAllocs pins the delta fast path's raison d'être: once
+// the memo is warm, a probe performs no heap allocations.
+func TestDeltaProbeZeroAllocs(t *testing.T) {
+	for label, e := range deltaEstimators(t) {
+		base := cost.Config{
+			Clusters: []string{model.Sparc2Cluster, model.IPCCluster},
+			Counts:   []int{6, 0},
+		}
+		d, err := e.BeginDelta(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Probe(1, 3); err != nil { // warm the lazy memos
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			for k := 0; k < 2; k++ {
+				for p := 1; p <= 6; p++ {
+					if _, err := d.Probe(k, p); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: warm Probe allocates %.2f/op, want 0", label, allocs)
+		}
+	}
+}
+
+// TestDeltaObserverFallback pins the fallback contract: with an Observer
+// attached the delta path delegates to the full EstimateFor, so candidates
+// are still observed with their search labels.
+func TestDeltaObserverFallback(t *testing.T) {
+	e := deltaEstimators(t)["plain"]
+	trace := &SearchTrace{}
+	e.Observer = trace
+	defer func() { e.Observer = nil }()
+	base := cost.Config{
+		Clusters: []string{model.Sparc2Cluster, model.IPCCluster},
+		Counts:   []int{6, 0},
+	}
+	d, err := e.BeginDelta(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := d.Probe(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trace.Candidates) != 1 {
+		t.Fatalf("observed %d candidates, want 1", len(trace.Candidates))
+	}
+	c := trace.Candidates[0]
+	if c.Cluster != model.IPCCluster || c.P != 2 {
+		t.Errorf("candidate labeled (%q, %d), want (%q, 2)", c.Cluster, c.P, model.IPCCluster)
+	}
+	if c.TcMs != est.TcMs {
+		t.Errorf("candidate TcMs %v, want %v", c.TcMs, est.TcMs)
+	}
+}

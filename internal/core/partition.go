@@ -39,6 +39,14 @@ func Partition(e *Estimator) (Result, error) {
 	e.searchEvent(SearchEvent{Kind: EvSearchStart, Strategy: "bisect"})
 	numPDUs := e.Ann.NumPDUs()
 
+	// Every probe varies a single count of cfg, so the whole search runs on
+	// the incremental estimate path; Rebase folds each settled cluster into
+	// the memoized partial sums.
+	delta, err := e.BeginDelta(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
 	var best Estimate
 	for k := range order {
 		budget := numPDUs - cfg.Total() //nolint:netpart/units reason=intentional pdus-vs-processors pun: the search grants at most one processor per PDU, so the processor budget is bounded by the PDU count
@@ -55,20 +63,19 @@ func Partition(e *Estimator) (Result, error) {
 		}
 		name := order[k].Name
 		e.searchEvent(SearchEvent{Kind: EvClusterOpen, Strategy: "bisect", Cluster: name, Lo: lo, Hi: hi})
+		delta.Rebase()
 		memo := make(map[int]Estimate, hi-lo+1)
 		eval := func(p int) (Estimate, error) {
 			if est, ok := memo[p]; ok {
 				e.observeCached(name, p, est)
 				return est, nil
 			}
-			probe := cfg
-			probe.Counts = e.probeCounts(cfg.Counts, k, p)
-			est, err := e.EstimateFor(probe, name, p)
+			est, err := delta.Probe(k, p)
 			if err != nil {
 				return est, err
 			}
 			// Detach before memoizing: est aliases the reusable probe
-			// vector and the estimator's shares scratch.
+			// vector and the evaluator's shares scratch.
 			est = est.Detach()
 			memo[p] = est
 			return est, nil
@@ -164,6 +171,11 @@ func PartitionLinear(e *Estimator) (Result, error) {
 	e.searchEvent(SearchEvent{Kind: EvSearchStart, Strategy: "scan"})
 	numPDUs := e.Ann.NumPDUs()
 
+	delta, err := e.BeginDelta(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+
 	var best Estimate
 	bestTc := math.Inf(1)
 	for k := range order {
@@ -180,11 +192,10 @@ func PartitionLinear(e *Estimator) (Result, error) {
 		if hi >= lo {
 			e.searchEvent(SearchEvent{Kind: EvClusterOpen, Strategy: "scan", Cluster: name, Lo: lo, Hi: hi})
 		}
+		delta.Rebase()
 		bestP := -1
 		for p := lo; p <= hi; p++ {
-			probe := cfg
-			probe.Counts = e.probeCounts(cfg.Counts, k, p)
-			est, err := e.EstimateFor(probe, name, p)
+			est, err := delta.Probe(k, p)
 			if err != nil {
 				return Result{}, err
 			}

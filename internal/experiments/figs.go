@@ -30,9 +30,28 @@ func Fig3(e *Env, n int, v stencil.Variant) ([]Fig3Point, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Each point is an independent (estimate, simulate) pair; fan them out
-	// with a cloned estimator per point so the scratch buffers never race.
+	// The curve varies one cluster count per point (p1 up to 6, then p2), so
+	// all estimates come from a single delta evaluator up front — the
+	// parallel fan-out below only runs the simulations.
 	pts := make([]Fig3Point, e.Net.TotalProcs())
+	ests := make([]core.Estimate, len(pts))
+	delta, err := est.BeginDelta(PaperConfig(6, 0))
+	if err != nil {
+		return nil, err
+	}
+	for i := range pts {
+		p := i + 1
+		var pe core.Estimate
+		if p <= 6 {
+			pe, err = delta.Probe(0, p)
+		} else {
+			pe, err = delta.Probe(1, p-6)
+		}
+		if err != nil {
+			return nil, err
+		}
+		ests[i] = pe.Detach()
+	}
 	err = ParallelFor(e.workers(), len(pts), func(i int) error {
 		env := e.Clone()
 		p := i + 1
@@ -41,10 +60,7 @@ func Fig3(e *Env, n int, v stencil.Variant) ([]Fig3Point, error) {
 			p1, p2 = 6, p-6
 		}
 		cfg := PaperConfig(p1, p2)
-		pe, err := est.Clone().Estimate(cfg)
-		if err != nil {
-			return err
-		}
+		pe := ests[i]
 		vec, err := core.Decompose(env.Net, cfg, n, model.OpFloat)
 		if err != nil {
 			return err

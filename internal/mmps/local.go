@@ -21,6 +21,10 @@ type Local struct {
 	world *localWorld
 }
 
+// maxFreeBufs bounds the world's recycled-buffer list; beyond it, returned
+// buffers fall to the garbage collector.
+const maxFreeBufs = 256
+
 type localWorld struct {
 	size        int
 	recvTimeout time.Duration
@@ -30,6 +34,11 @@ type localWorld struct {
 	metrics     transportMetrics
 	mu          sync.Mutex
 	closed      []bool
+	// free holds delivered buffers handed back through Recycle, reused by
+	// Send for its delivery copies. Never handed out twice concurrently:
+	// Send pops under mu and the popped buffer's ownership then follows the
+	// message (queue -> Recv caller -> Recycle).
+	free [][]byte
 	// queues[dst][src] holds pending messages with a condition variable
 	// per destination for blocking receives.
 	queues []map[int][][]byte
@@ -102,7 +111,8 @@ func (l *Local) Send(dst int, data []byte) error {
 		w.mu.Unlock()
 		return ErrClosed
 	}
-	cp := append([]byte(nil), data...)
+	cp := w.takeBuf(len(data))
+	copy(cp, data)
 	w.metrics.msgsSent.Inc()
 	w.metrics.bytesSent.Add(int64(len(data)))
 	if w.inj == nil {
@@ -176,12 +186,44 @@ func (w *localWorld) deliverSeq(src, dst int, seq uint64, data []byte) {
 	}
 }
 
+// popLocked removes and returns the head of dst's queue from src, which
+// must be non-empty. When the pop empties the queue, the slice is reset to
+// its backing array's start so the window stops sliding and steady-state
+// appends stay allocation-free. The caller must hold w.mu.
+//
+//netpart:hotpath
+func (w *localWorld) popLocked(dst, src int) []byte {
+	q := w.queues[dst][src]
+	msg := q[0]
+	if len(q) == 1 {
+		w.queues[dst][src] = q[:0]
+	} else {
+		w.queues[dst][src] = q[1:]
+	}
+	w.metrics.msgsRecv.Inc()
+	w.metrics.bytesRecv.Add(int64(len(msg)))
+	return msg
+}
+
 // Recv blocks for the next message from src.
 func (l *Local) Recv(src int) ([]byte, error) {
 	if err := rankCheck(src, l.world.size); err != nil {
 		return nil, err
 	}
 	w := l.world
+	// Fast path: a queued message returns without arming the timeout
+	// watchdog (a timer allocation per call on the exchange hot path).
+	w.mu.Lock()
+	if w.closed[l.rank] {
+		w.mu.Unlock()
+		return nil, ErrClosed
+	}
+	if len(w.queues[l.rank][src]) > 0 {
+		msg := w.popLocked(l.rank, src)
+		w.mu.Unlock()
+		return msg, nil
+	}
+	w.mu.Unlock()
 	deadline := time.Now().Add(w.recvTimeout)
 	// A watchdog wakes the condition variable at the deadline so a blocked
 	// receiver can observe the timeout.
@@ -198,13 +240,8 @@ func (l *Local) Recv(src int) ([]byte, error) {
 		if w.closed[l.rank] {
 			return nil, ErrClosed
 		}
-		q := w.queues[l.rank][src]
-		if len(q) > 0 {
-			msg := q[0]
-			w.queues[l.rank][src] = q[1:]
-			w.metrics.msgsRecv.Inc()
-			w.metrics.bytesRecv.Add(int64(len(msg)))
-			return msg, nil
+		if len(w.queues[l.rank][src]) > 0 {
+			return w.popLocked(l.rank, src), nil
 		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("%w: from rank %d", ErrTimeout, src)
@@ -220,6 +257,19 @@ func (l *Local) RecvAny(d time.Duration) (int, []byte, error) {
 		d = l.world.recvTimeout
 	}
 	w := l.world
+	w.mu.Lock()
+	if w.closed[l.rank] {
+		w.mu.Unlock()
+		return -1, nil, ErrClosed
+	}
+	for src := 0; src < w.size; src++ {
+		if len(w.queues[l.rank][src]) > 0 {
+			msg := w.popLocked(l.rank, src)
+			w.mu.Unlock()
+			return src, msg, nil
+		}
+	}
+	w.mu.Unlock()
 	deadline := time.Now().Add(d)
 	timer := time.AfterFunc(d, func() {
 		w.mu.Lock()
@@ -235,12 +285,8 @@ func (l *Local) RecvAny(d time.Duration) (int, []byte, error) {
 			return -1, nil, ErrClosed
 		}
 		for src := 0; src < w.size; src++ {
-			if q := w.queues[l.rank][src]; len(q) > 0 {
-				msg := q[0]
-				w.queues[l.rank][src] = q[1:]
-				w.metrics.msgsRecv.Inc()
-				w.metrics.bytesRecv.Add(int64(len(msg)))
-				return src, msg, nil
+			if len(w.queues[l.rank][src]) > 0 {
+				return src, w.popLocked(l.rank, src), nil
 			}
 		}
 		if time.Now().After(deadline) {
@@ -248,6 +294,36 @@ func (l *Local) RecvAny(d time.Duration) (int, []byte, error) {
 		}
 		w.conds[l.rank].Wait()
 	}
+}
+
+// takeBuf returns a buffer of length n, reusing recycled capacity when any
+// is available. The caller must hold w.mu.
+//
+//netpart:hotpath
+func (w *localWorld) takeBuf(n int) []byte {
+	if len(w.free) == 0 {
+		return make([]byte, n)
+	}
+	b := w.free[len(w.free)-1]
+	w.free = w.free[:len(w.free)-1]
+	if cap(b) < n {
+		return make([]byte, n)
+	}
+	return b[:n]
+}
+
+// Recycle implements Recycler: a delivered buffer rejoins the world's free
+// list for a later Send to reuse. The caller must not touch buf afterwards.
+func (l *Local) Recycle(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	w := l.world
+	w.mu.Lock()
+	if len(w.free) < maxFreeBufs {
+		w.free = append(w.free, buf)
+	}
+	w.mu.Unlock()
 }
 
 // Close marks the endpoint closed and wakes blocked receivers.

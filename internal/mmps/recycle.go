@@ -1,0 +1,22 @@
+package mmps
+
+// Recycler is optionally implemented by transports whose delivered message
+// buffers can be returned for reuse once the receiver has copied out what
+// it keeps. Recv transfers buffer ownership to the caller and the
+// transport never sees the buffer again, so only the caller knows when it
+// dies; handing it back lets the transport serve a later Send from a free
+// list instead of the heap. (The internal bufPool cannot back delivered
+// messages for exactly this reason — see pool.go.)
+type Recycler interface {
+	// Recycle returns a buffer previously obtained from Recv or RecvAny.
+	// The caller must not touch the buffer afterwards.
+	Recycle(buf []byte)
+}
+
+// Recycle hands buf back to tr when the transport supports reuse and is a
+// no-op otherwise, so receive loops can recycle unconditionally.
+func Recycle(tr Transport, buf []byte) {
+	if r, ok := tr.(Recycler); ok {
+		r.Recycle(buf)
+	}
+}

@@ -63,6 +63,26 @@ func Overlap(o Owners, a int, p Owners, b int) int {
 	return hi - lo
 }
 
+// overlapIn is Overlap expressed on raw prefix sums: how many of the rows
+// rank r owns under the curPre decomposition fall inside the half-open row
+// range [pl, pr). The planner's incremental objective uses it to maintain
+// the kept-row count without materializing Owners pairs per candidate.
+//
+//netpart:hotpath
+func overlapIn(curPre []int, r, pl, pr int) int {
+	lo, hi := curPre[r], curPre[r+1]
+	if pl > lo {
+		lo = pl
+	}
+	if pr < hi {
+		hi = pr
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}
+
 // MovedRows counts the rows whose owner differs between the two vectors —
 // the set-difference size the migration protocol will put on the wire and
 // the rows_moved argument of cost.Migration.

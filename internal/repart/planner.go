@@ -181,18 +181,24 @@ func (p *Planner) Plan(cycle int, reason string, cur core.Vector, measuredMs []f
 		rate[i] = measuredMs[i] / float64(cur[i])
 	}
 	v := append(core.Vector(nil), plan.New...)
-	evals := 0
-	objective := func() float64 {
-		evals++
-		maxLoad := 0.0
-		for i := range v {
-			if l := rate[i] * float64(v[i]); l > maxLoad {
-				maxLoad = l
-			}
-		}
-		return maxLoad + p.cfg.Mig.Cost(MovedRows(cur, v))/p.cfg.horizon()
+	// Incremental objective state: both vectors' prefix sums plus the
+	// running kept-row count, so MovedRows(cur, v) = total - kept without
+	// materializing Owners pairs. A boundary-b shift only changes vPre[b+1],
+	// hence only ranks b and b+1's loads and overlap terms — each candidate
+	// is O(1) arithmetic on top of the per-boundary maxOther scan.
+	curPre := make([]int, ranks+1)
+	vPre := make([]int, ranks+1)
+	for i := 0; i < ranks; i++ {
+		curPre[i+1] = curPre[i] + cur[i]
+		vPre[i+1] = vPre[i] + v[i]
 	}
-	base := objective()
+	total := curPre[ranks]
+	kept := 0
+	for r := 0; r < ranks; r++ {
+		kept += overlapIn(curPre, r, vPre[r], vPre[r+1])
+	}
+	evals := 1
+	base := maxLoad(rate, v) + p.cfg.Mig.Cost(total-kept)/p.cfg.horizon()
 	best := base
 	for pass := 0; pass < p.cfg.passes(); pass++ {
 		improved := false
@@ -200,19 +206,38 @@ func (p *Planner) Plan(cycle int, reason string, cur core.Vector, measuredMs []f
 			// Best single shift across this boundary: either direction,
 			// doubling step sizes, stopping a direction once the objective
 			// turns upward (the load curve in k is convex).
+			maxOther := 0.0
+			for i := range v {
+				if i == b || i == b+1 {
+					continue
+				}
+				if l := rate[i] * float64(v[i]); l > maxOther {
+					maxOther = l
+				}
+			}
+			keptOut := kept - overlapIn(curPre, b, vPre[b], vPre[b+1]) -
+				overlapIn(curPre, b+1, vPre[b+1], vPre[b+2])
 			bestK, bestDonor, bestJ := 0, 0, best
 			for _, donor := range [2]int{b, b + 1} {
-				recv := b + 1
-				if donor == b+1 {
-					recv = b
-				}
 				prev := math.Inf(1)
 				for k := 1; k <= v[donor]-p.cfg.minRows(); k *= 2 {
-					v[donor] -= k
-					v[recv] += k
-					j := objective()
-					v[donor] += k
-					v[recv] -= k
+					evals++
+					var vb, vb1, mid int
+					if donor == b {
+						vb, vb1, mid = v[b]-k, v[b+1]+k, vPre[b+1]-k
+					} else {
+						vb, vb1, mid = v[b]+k, v[b+1]-k, vPre[b+1]+k
+					}
+					maxL := maxOther
+					if l := rate[b] * float64(vb); l > maxL {
+						maxL = l
+					}
+					if l := rate[b+1] * float64(vb1); l > maxL {
+						maxL = l
+					}
+					k2 := keptOut + overlapIn(curPre, b, vPre[b], mid) +
+						overlapIn(curPre, b+1, mid, vPre[b+2])
+					j := maxL + p.cfg.Mig.Cost(total-k2)/p.cfg.horizon()
 					if j < bestJ-1e-12 {
 						bestJ, bestK, bestDonor = j, k, donor
 					}
@@ -229,6 +254,13 @@ func (p *Planner) Plan(cycle int, reason string, cur core.Vector, measuredMs []f
 				}
 				v[bestDonor] -= bestK
 				v[recv] += bestK
+				if bestDonor == b {
+					vPre[b+1] -= bestK
+				} else {
+					vPre[b+1] += bestK
+				}
+				kept = keptOut + overlapIn(curPre, b, vPre[b], vPre[b+1]) +
+					overlapIn(curPre, b+1, vPre[b+1], vPre[b+2])
 				best = bestJ
 				improved = true
 			}

@@ -41,12 +41,24 @@ const (
 	RecvCPUMs = 0.05
 )
 
-// event is one scheduled closure.
+// event is one scheduled action: either a closure (fn) or a bare task
+// wake-up (wake). The wake fast path exists because the overwhelming
+// majority of events — every Advance, every post-delivery resume — only
+// step a parked task; representing them without a closure lets the
+// scheduler recycle event structs through a free list instead of
+// allocating one struct plus one closure per scheduled event.
 type event struct {
-	at  float64
-	seq int64
-	fn  func()
+	at   float64
+	seq  int64
+	fn   func()
+	wake *Proc
 }
+
+// maxFreeEvents bounds the event free list. The live set of events is
+// proportional to tasks plus in-flight messages, so the pool's high-water
+// mark is small; the cap only guards against a pathological burst pinning
+// memory forever.
+const maxFreeEvents = 4096
 
 type eventHeap []*event
 
@@ -99,6 +111,7 @@ type Sim struct {
 	now      float64
 	seq      int64
 	events   eventHeap
+	free     []*event // recycled event structs (see event)
 	procs    []*Proc
 	parked   chan parkReason
 	running  bool
@@ -236,13 +249,42 @@ func New(net *model.Network, opts ...Option) (*Sim, error) {
 // Now returns the current virtual time in milliseconds.
 func (s *Sim) Now() float64 { return s.now }
 
-// schedule queues fn at virtual time at (clamped to now).
-func (s *Sim) schedule(at float64, fn func()) {
+// alloc takes an event struct off the free list (or allocates one),
+// stamped with the clamped time and the next sequence number.
+//
+//netpart:hotpath
+func (s *Sim) alloc(at float64) *event {
 	if at < s.now {
 		at = s.now
 	}
 	s.seq++
-	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+	if len(s.free) == 0 {
+		return &event{at: at, seq: s.seq}
+	}
+	n := len(s.free)
+	ev := s.free[n-1]
+	s.free[n-1] = nil
+	s.free = s.free[:n-1]
+	ev.at = at
+	ev.seq = s.seq
+	return ev
+}
+
+// schedule queues fn at virtual time at (clamped to now).
+func (s *Sim) schedule(at float64, fn func()) {
+	ev := s.alloc(at)
+	ev.fn = fn
+	heap.Push(&s.events, ev)
+}
+
+// scheduleWake queues a bare resume of p at virtual time at (clamped to
+// now) — the closure-free fast path for Advance and delivery wake-ups.
+//
+//netpart:hotpath
+func (s *Sim) scheduleWake(at float64, p *Proc) {
+	ev := s.alloc(at)
+	ev.wake = p
+	heap.Push(&s.events, ev)
 }
 
 // Proc is one simulated task: a goroutine that advances only in virtual
@@ -256,8 +298,9 @@ type Proc struct {
 	done     bool
 	panicked error
 
-	// mailboxes maps sender rank to queued messages.
-	mailboxes map[int][]*Message
+	// mailboxes holds queued messages per sender rank (indexed by rank;
+	// sized once in Run, when the rank count is final).
+	mailboxes [][]*Message
 	// waitingOn is the sender rank a blocked Recv is waiting for, or -1.
 	waitingOn int
 	// waitGen increments at every blocking wait, so a RecvWithin deadline
@@ -301,7 +344,6 @@ func (s *Sim) Spawn(name, cluster string, body func(*Proc)) *Proc {
 		cluster:   c,
 		rank:      len(s.procs),
 		resume:    make(chan struct{}),
-		mailboxes: make(map[int][]*Message),
 		waitingOn: -1,
 	}
 	s.procs = append(s.procs, p)
@@ -316,7 +358,7 @@ func (s *Sim) Spawn(name, cluster string, body func(*Proc)) *Proc {
 		}()
 		body(p)
 	}()
-	s.schedule(0, func() { s.step(p) })
+	s.scheduleWake(0, p)
 	return p
 }
 
@@ -340,10 +382,31 @@ func (s *Sim) Run() error {
 	}
 	s.running = true
 	defer func() { s.running = false }()
+	// Size every task's per-sender mailbox table once: Spawn is forbidden
+	// during Run, so the rank count is final here and delivery indexes the
+	// slice directly with no map hashing and no growth.
+	for _, p := range s.procs {
+		if len(p.mailboxes) < len(s.procs) {
+			grown := make([][]*Message, len(s.procs))
+			copy(grown, p.mailboxes)
+			p.mailboxes = grown
+		}
+	}
 	for len(s.events) > 0 {
 		ev := heap.Pop(&s.events).(*event)
 		s.now = ev.at
-		ev.fn()
+		// Recycle before dispatch: the action's fields are copied out, so
+		// anything the action schedules may reuse this struct immediately.
+		fn, wake := ev.fn, ev.wake
+		ev.fn, ev.wake = nil, nil
+		if len(s.free) < maxFreeEvents {
+			s.free = append(s.free, ev)
+		}
+		if wake != nil {
+			s.step(wake)
+		} else {
+			fn()
+		}
 	}
 	var stuck []string
 	for _, p := range s.procs {
@@ -362,13 +425,15 @@ func (s *Sim) Run() error {
 }
 
 // Advance spends ms milliseconds of virtual time computing.
+//
+//netpart:hotpath
 func (p *Proc) Advance(ms float64) {
 	if ms < 0 {
-		panic(fmt.Sprintf("simnet: negative advance %v", ms))
+		panic("simnet: negative advance")
 	}
 	p.computeMs += ms
 	s := p.sim
-	s.schedule(s.now+ms, func() { s.step(p) })
+	s.scheduleWake(s.now+ms, p)
 	p.park()
 }
 
@@ -515,7 +580,7 @@ func (s *Sim) deliver(msg *Message, dst *Proc) {
 	dst.mailboxes[from] = append(dst.mailboxes[from], msg)
 	if dst.waitingOn == from {
 		dst.waitingOn = -1
-		s.schedule(s.now, func() { s.step(dst) })
+		s.scheduleWake(s.now, dst)
 	}
 }
 

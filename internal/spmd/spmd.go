@@ -125,6 +125,32 @@ func (t *Task) Compute(ops float64, class model.OpClass) {
 	t.proc.AdvanceOps(ops, class)
 }
 
+// ComputeBatch accumulates consecutive Compute charges into one scheduler
+// round-trip (see simnet.Batch). Virtual time is bit-for-bit identical to
+// per-charge Compute calls; only the scheduling overhead changes. The
+// batch must be flushed (Done) before the task communicates.
+type ComputeBatch struct {
+	b simnet.Batch
+}
+
+// BeginCompute starts a compute batch at the current virtual time.
+func (t *Task) BeginCompute() ComputeBatch {
+	return ComputeBatch{b: t.proc.BeginBatch()}
+}
+
+// Ops accrues n operations of the given class to the batch.
+//
+//netpart:hotpath
+func (c *ComputeBatch) Ops(n float64, class model.OpClass) {
+	c.b.AdvanceOps(n, class)
+}
+
+// Done flushes the batch: the task sleeps until the accumulated virtual
+// time and may then communicate.
+func (c *ComputeBatch) Done() {
+	c.b.Flush()
+}
+
 // Neighbors returns this task's neighbor ranks under the program topology.
 func (t *Task) Neighbors() []int {
 	return t.tp.Neighbors(t.rank, t.n)

@@ -79,7 +79,7 @@ func RunSimAdaptive(net *model.Network, cfg cost.Config, vec core.Vector, v Vari
 		return AdaptiveResult{}, fmt.Errorf("stencil: configuration and vector disagree on task count")
 	}
 	initial := NewGrid(n)
-	result := make([][]float64, n)
+	res := newResultGrid(n)
 	out := AdaptiveResult{FinalVector: append(core.Vector(nil), vec...)}
 	eng := &repart.Engine{
 		Planner:  repart.NewPlanner(opts.Planner),
@@ -96,21 +96,21 @@ func RunSimAdaptive(net *model.Network, cfg cost.Config, vec core.Vector, v Vari
 		Trace:      opts.Trace,
 		SimOptions: opts.SimOptions,
 		Body: func(t *spmd.Task) {
-			runAdaptiveTask(t, eng, initial, result, v, n, iters, opts, &out)
+			runAdaptiveTask(t, eng, initial, res, v, n, iters, opts, &out)
 		},
 	}
 	rep, err := spmd.Run(job)
 	if err != nil {
 		return AdaptiveResult{}, err
 	}
-	for i, row := range result {
+	for i, row := range res.rows {
 		if row == nil {
 			return AdaptiveResult{}, fmt.Errorf("stencil: row %d not produced", i)
 		}
 	}
 	opts.Metrics.Counter("adaptive.rebalances").Add(int64(out.Rebalances))
 	opts.Metrics.Counter("adaptive.migrated_rows").Add(int64(out.MigratedRows))
-	out.SimResult = SimResult{ElapsedMs: rep.ElapsedMs, Grid: result, Report: rep}
+	out.SimResult = SimResult{ElapsedMs: rep.ElapsedMs, Grid: res.rows, Report: rep}
 	return out, nil
 }
 
@@ -165,22 +165,18 @@ func (l simLink) Recv(src int) ([]byte, error) {
 // runAdaptiveTask is the per-rank body: the usual STEN-1/STEN-2 cycle with
 // injected slowdown, plus the repart engine's gather → plan → broadcast →
 // migrate round every R iterations.
-func runAdaptiveTask(t *spmd.Task, eng *repart.Engine, initial, result [][]float64, v Variant, n, iters int, opts AdaptiveOptions, out *AdaptiveResult) {
+func runAdaptiveTask(t *spmd.Task, eng *repart.Engine, initial [][]float64, res *resultGrid, v Variant, n, iters int, opts AdaptiveOptions, out *AdaptiveResult) {
 	rank, nTasks := t.Rank(), t.NumTasks()
 	rows := t.PDUs()
 	off := t.PDUOffset()
 
-	// Local state: rows indexed 1..rows with ghost slots 0 and rows+1.
-	cur := make([][]float64, rows+2)
-	next := make([][]float64, rows+2)
-	for i := range cur {
-		cur[i] = make([]float64, n)
-		next[i] = make([]float64, n)
-	}
+	// Local state: flat blocks, data rows at local indices 1..rows with
+	// ghost rows 0 and rows+1.
+	cur, next := newBlock(rows, n), newBlock(rows, n)
 	for i := 0; i < rows; i++ {
-		copy(cur[i+1], initial[off+i])
-		copy(next[i+1], initial[off+i])
+		copy(cur.row(i+1), initial[off+i])
 	}
+	copy(next.cells, cur.cells)
 
 	msgBytes := BytesPerPoint * n
 	windowComputeMs := 0.0
@@ -192,31 +188,33 @@ func runAdaptiveTask(t *spmd.Task, eng *repart.Engine, initial, result [][]float
 			factor = opts.Slowdown(rank, iter)
 		}
 		start := t.NowMs()
+		cb := t.BeginCompute()
 		for li := lo; li <= hi; li++ {
 			g := off + li - 1
 			if g == 0 || g == n-1 {
-				copy(next[li], cur[li])
+				copy(next.row(li), cur.row(li))
 			} else {
-				updateRow(next[li], cur[li], cur[li-1], cur[li+1])
+				updateRow(next.row(li), cur.row(li), cur.row(li-1), cur.row(li+1))
 			}
-			t.Compute(rowOps(g, n)*factor, model.OpFloat)
+			cb.Ops(rowOps(g, n)*factor, model.OpFloat)
 		}
+		cb.Done()
 		windowComputeMs += t.NowMs() - start
 	}
 	sendBorders := func() {
 		if rank > 0 {
-			t.Send(rank-1, msgBytes, append([]float64(nil), cur[1]...))
+			t.Send(rank-1, msgBytes, append([]float64(nil), cur.row(1)...))
 		}
 		if rank < nTasks-1 {
-			t.Send(rank+1, msgBytes, append([]float64(nil), cur[rows]...))
+			t.Send(rank+1, msgBytes, append([]float64(nil), cur.row(rows)...))
 		}
 	}
 	recvGhosts := func() {
 		if rank > 0 {
-			copy(cur[0], t.Recv(rank-1).([]float64))
+			copy(cur.row(0), t.Recv(rank-1).([]float64))
 		}
 		if rank < nTasks-1 {
-			copy(cur[rows+1], t.Recv(rank+1).([]float64))
+			copy(cur.row(rows+1), t.Recv(rank+1).([]float64))
 		}
 	}
 
@@ -265,15 +263,10 @@ func runAdaptiveTask(t *spmd.Task, eng *repart.Engine, initial, result [][]float
 		// Migrate rows to their new owners through the shared protocol.
 		newOwn := newOwners(plan.New)
 		newRows, newOff := newOwn.Count(rank), newOwn.First(rank)
-		ncur := make([][]float64, newRows+2)
-		nnext := make([][]float64, newRows+2)
-		for i := range ncur {
-			ncur[i] = make([]float64, n)
-			nnext[i] = make([]float64, n)
-		}
+		ncur, nnext := newBlock(newRows, n), newBlock(newRows, n)
 		_, _, err = mig.Migrate(simLink{t}, plan.Old, plan.New,
-			func(g int) []float64 { return cur[g-off+1] },
-			func(g int, row []float64) { copy(ncur[g-newOff+1], row) })
+			func(g int) []float64 { return cur.row(g - off + 1) },
+			func(g int, row []float64) { copy(ncur.row(g-newOff+1), row) })
 		if err != nil {
 			panic(fmt.Sprintf("stencil: rank %d migration: %v", rank, err))
 		}
@@ -281,6 +274,6 @@ func runAdaptiveTask(t *spmd.Task, eng *repart.Engine, initial, result [][]float
 		cur, next = ncur, nnext
 	}
 	for i := 0; i < rows; i++ {
-		result[off+i] = append([]float64(nil), cur[i+1]...)
+		copy(res.take(off+i), cur.row(i+1))
 	}
 }

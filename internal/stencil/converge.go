@@ -44,7 +44,7 @@ func RunSimUntil(net *model.Network, cfg cost.Config, vec core.Vector, v Variant
 		return ConvergeResult{}, fmt.Errorf("stencil: configuration and vector disagree on task count")
 	}
 	initial := NewGrid(n)
-	result := make([][]float64, n)
+	res := newResultGrid(n)
 	out := ConvergeResult{}
 	job := spmd.Job{
 		Net:       net,
@@ -52,7 +52,7 @@ func RunSimUntil(net *model.Network, cfg cost.Config, vec core.Vector, v Variant
 		Vector:    vec,
 		Topology:  topo.OneD{},
 		Body: func(t *spmd.Task) {
-			iters, delta := runConvergeTask(t, initial, result, v, n, tol, maxIters)
+			iters, delta := runConvergeTask(t, initial, res, v, n, tol, maxIters)
 			if t.Rank() == 0 {
 				out.Iterations = iters
 				out.FinalDelta = delta
@@ -63,13 +63,13 @@ func RunSimUntil(net *model.Network, cfg cost.Config, vec core.Vector, v Variant
 	if err != nil {
 		return ConvergeResult{}, err
 	}
-	for i, row := range result {
+	for i, row := range res.rows {
 		if row == nil {
 			return ConvergeResult{}, fmt.Errorf("stencil: row %d not produced", i)
 		}
 	}
 	out.ElapsedMs = rep.ElapsedMs
-	out.Grid = result
+	out.Grid = res.rows
 	out.Report = rep
 	return out, nil
 }
@@ -99,53 +99,52 @@ func SequentialUntil(grid [][]float64, tol float64, maxIters int) ([][]float64, 
 
 // runConvergeTask is the per-rank body: the STEN-1/STEN-2 cycle plus the
 // per-iteration max-delta reduction.
-func runConvergeTask(t *spmd.Task, initial, result [][]float64, v Variant, n int, tol float64, maxIters int) (int, float64) {
+func runConvergeTask(t *spmd.Task, initial [][]float64, res *resultGrid, v Variant, n int, tol float64, maxIters int) (int, float64) {
 	rows := t.PDUs()
 	off := t.PDUOffset()
-	cur := make([][]float64, rows+2)
-	next := make([][]float64, rows+2)
-	for i := range cur {
-		cur[i] = make([]float64, n)
-		next[i] = make([]float64, n)
-	}
+	cur := newBlock(rows, n)
+	next := newBlock(rows, n)
 	for i := 0; i < rows; i++ {
-		copy(cur[i+1], initial[off+i])
-		copy(next[i+1], initial[off+i])
+		copy(cur.row(i+1), initial[off+i])
 	}
+	copy(next.cells, cur.cells)
 	rank, nTasks := t.Rank(), t.NumTasks()
 	msgBytes := BytesPerPoint * n
 	localDelta := 0.0
 
 	computeRows := func(lo, hi int) {
+		cb := t.BeginCompute()
 		for li := lo; li <= hi; li++ {
 			g := off + li - 1
 			if g == 0 || g == n-1 {
-				copy(next[li], cur[li])
+				copy(next.row(li), cur.row(li))
 			} else {
-				updateRow(next[li], cur[li], cur[li-1], cur[li+1])
+				nr, cr := next.row(li), cur.row(li)
+				updateRow(nr, cr, cur.row(li-1), cur.row(li+1))
 				for j := 1; j < n-1; j++ {
-					if d := math.Abs(next[li][j] - cur[li][j]); d > localDelta {
+					if d := math.Abs(nr[j] - cr[j]); d > localDelta {
 						localDelta = d
 					}
 				}
 			}
-			t.Compute(rowOps(g, n), model.OpFloat)
+			cb.Ops(rowOps(g, n), model.OpFloat)
 		}
+		cb.Done()
 	}
 	sendBorders := func() {
 		if rank > 0 {
-			t.Send(rank-1, msgBytes, append([]float64(nil), cur[1]...))
+			t.Send(rank-1, msgBytes, append([]float64(nil), cur.row(1)...))
 		}
 		if rank < nTasks-1 {
-			t.Send(rank+1, msgBytes, append([]float64(nil), cur[rows]...))
+			t.Send(rank+1, msgBytes, append([]float64(nil), cur.row(rows)...))
 		}
 	}
 	recvGhosts := func() {
 		if rank > 0 {
-			copy(cur[0], t.Recv(rank-1).([]float64))
+			copy(cur.row(0), t.Recv(rank-1).([]float64))
 		}
 		if rank < nTasks-1 {
-			copy(cur[rows+1], t.Recv(rank+1).([]float64))
+			copy(cur.row(rows+1), t.Recv(rank+1).([]float64))
 		}
 	}
 
@@ -191,7 +190,7 @@ func runConvergeTask(t *spmd.Task, initial, result [][]float64, v Variant, n int
 		}
 	}
 	for i := 0; i < rows; i++ {
-		result[off+i] = append([]float64(nil), cur[i+1]...)
+		copy(res.take(off+i), cur.row(i+1))
 	}
 	return it, globalDelta
 }

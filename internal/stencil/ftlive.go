@@ -1,7 +1,6 @@
 package stencil
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/fnv"
@@ -281,8 +280,9 @@ type ftTask struct {
 	executed int // monotonic executed-cycle count (crash injection key)
 
 	rows, off int
-	cur, next [][]float64
+	cur, next block
 	scratch   []float64
+	sendBuf   []byte // reused border-frame buffer (one goroutine owns the task)
 
 	lastCkpt int                      // newest own checkpoint cycle (0 = implicit)
 	ownCkpt  map[int][][]float64      // cycle -> snapshot of my rows
@@ -449,26 +449,31 @@ func (t *ftTask) pump(d time.Duration) (bool, error) {
 		}
 		return false, err
 	}
+	err = t.dispatch(src, buf)
+	// Every dispatch path copies what it keeps out of the frame, so the
+	// delivered buffer can rejoin the transport's free list here.
+	mmps.Recycle(t.tr, buf)
+	return true, err
+}
+
+// dispatch routes one received frame; see pump for the buffering rules.
+func (t *ftTask) dispatch(src int, buf []byte) error {
 	typ, epoch, cycle, payload, err := ftParse(buf)
 	if err != nil {
-		return true, err
+		return err
 	}
 	t.lastHeard[src] = time.Now()
 	switch typ {
 	case ftBorder:
-		if len(payload) < 4 {
-			return true, fmt.Errorf("stencil: short ghost row from %d", src)
-		}
-		g := int(binary.BigEndian.Uint32(payload))
-		row, err := mmps.DecodeFloat64s(payload[4:])
+		g, _, row, err := parseHaloFrame(payload, nil)
 		if err != nil || len(row) != t.n {
-			return true, fmt.Errorf("stencil: bad ghost row from %d", src)
+			return fmt.Errorf("stencil: bad ghost row from %d", src)
 		}
 		t.borders[borderKey{g, cycle}] = row
 	case ftCkpt:
 		first, rows, err := repart.DecodeRows(payload, t.n)
 		if err != nil {
-			return true, err
+			return err
 		}
 		if t.ckptIn[src] == nil {
 			t.ckptIn[src] = map[int]ckptBlob{}
@@ -479,13 +484,13 @@ func (t *ftTask) pump(d time.Duration) (bool, error) {
 		if typ == ftSync {
 			si, err = decodeSyncInfo(payload)
 			if err != nil {
-				return true, err
+				return err
 			}
 			t.syncs[src] = si
 		} else {
 			si.dead, _, err = decodeDeadset(payload)
 			if err != nil {
-				return true, err
+				return err
 			}
 		}
 		for _, r := range si.dead {
@@ -506,7 +511,7 @@ func (t *ftTask) pump(d time.Duration) (bool, error) {
 	case ftRows:
 		first, rows, err := repart.DecodeRows(payload, t.n)
 		if err != nil {
-			return true, err
+			return err
 		}
 		t.rowsIn = append(t.rowsIn, rowsBatch{round: uint32(cycle), blob: ckptBlob{first: first, rows: rows}})
 	case ftFinish:
@@ -517,7 +522,7 @@ func (t *ftTask) pump(d time.Duration) (bool, error) {
 			t.finished[src] = true
 		}
 	}
-	return true, nil
+	return nil
 }
 
 // ftdebugf prints protocol events when NETPART_FT_DEBUG is set.
@@ -554,12 +559,16 @@ func (t *ftTask) verdict(src int) {
 // loop and run recovery.
 var errNeedRecovery = errors.New("stencil: recovery required")
 
-// encodeBorder frames a ghost row as [u32 global row index][float64s].
-func encodeBorder(g int, row []float64) []byte {
-	buf := make([]byte, 4+8*len(row))
-	binary.BigEndian.PutUint32(buf, uint32(g))
-	copy(buf[4:], mmps.EncodeFloat64s(row))
-	return buf
+// sendBorder ships one ghost row: the halo frame (halo.go) nested in the
+// epoch/cycle envelope, built in the task's reused send buffer so the
+// per-cycle exchange allocates nothing. Transport errors are swallowed
+// like t.send's: an undeliverable peer surfaces through detection.
+//
+//netpart:hotpath
+func (t *ftTask) sendBorder(dst, g int, row []float64) {
+	t.sendBuf = appendFTFrame(t.sendBuf[:0], ftBorder, t.epoch, t.iter)
+	t.sendBuf = appendHaloFrame(t.sendBuf, g, t.iter, row)
+	_ = t.tr.Send(dst, t.sendBuf)
 }
 
 // validCkpt returns src's replicated block at cycle, if one is buffered
@@ -609,9 +618,9 @@ func (t *ftTask) run() error {
 	}
 	t.cur, t.next = t.allocBlock(t.rows)
 	for i := 0; i < t.rows; i++ {
-		copy(t.cur[i+1], t.initial[t.off+i])
-		copy(t.next[i+1], t.initial[t.off+i])
+		copy(t.cur.row(i+1), t.initial[t.off+i])
 	}
+	copy(t.next.cells, t.cur.cells)
 	for {
 		if err := t.computeLoop(); err != nil {
 			if errors.Is(err, errNeedRecovery) {
@@ -638,20 +647,14 @@ func (t *ftTask) run() error {
 	}
 	t.sh.mu.Lock()
 	for i := 0; i < t.rows; i++ {
-		t.sh.result[t.off+i] = append([]float64(nil), t.cur[i+1]...)
+		t.sh.result[t.off+i] = append([]float64(nil), t.cur.row(i+1)...)
 	}
 	t.sh.mu.Unlock()
 	return nil
 }
 
-func (t *ftTask) allocBlock(rows int) ([][]float64, [][]float64) {
-	a := make([][]float64, rows+2)
-	b := make([][]float64, rows+2)
-	for i := range a {
-		a[i] = make([]float64, t.n)
-		b[i] = make([]float64, t.n)
-	}
-	return a, b
+func (t *ftTask) allocBlock(rows int) (block, block) {
+	return newBlock(rows, t.n), newBlock(rows, t.n)
 }
 
 // neighbors under the current vector: adjacent row-owners, not adjacent
@@ -682,12 +685,12 @@ func (t *ftTask) computeRows(lo, hi int) {
 	for li := lo; li <= hi; li++ {
 		g := t.off + li - 1
 		if g == 0 || g == t.n-1 {
-			copy(t.next[li], t.cur[li])
+			copy(t.next.row(li), t.cur.row(li))
 			continue
 		}
-		updateRow(t.next[li], t.cur[li], t.cur[li-1], t.cur[li+1])
+		updateRow(t.next.row(li), t.cur.row(li), t.cur.row(li-1), t.cur.row(li+1))
 		for extra := 1; extra < reps; extra++ {
-			updateRow(t.scratch, t.cur[li], t.cur[li-1], t.cur[li+1])
+			updateRow(t.scratch, t.cur.row(li), t.cur.row(li-1), t.cur.row(li+1))
 		}
 	}
 }
@@ -707,19 +710,19 @@ func (t *ftTask) computeLoop() error {
 		cycleStart := time.Now()
 		north, south, hasN, hasS := t.northSouth()
 		if hasN {
-			t.send(north, ftBorder, t.iter, encodeBorder(t.off, t.cur[1]))
+			t.sendBorder(north, t.off, t.cur.row(1))
 		}
 		if hasS {
-			t.send(south, ftBorder, t.iter, encodeBorder(t.off+t.rows-1, t.cur[t.rows]))
+			t.sendBorder(south, t.off+t.rows-1, t.cur.row(t.rows))
 		}
 		await := func() error {
 			if hasN {
-				if err := t.awaitBorder(north, t.off-1, t.iter, t.cur[0]); err != nil {
+				if err := t.awaitBorder(north, t.off-1, t.iter, t.cur.row(0)); err != nil {
 					return err
 				}
 			}
 			if hasS {
-				if err := t.awaitBorder(south, t.off+t.rows, t.iter, t.cur[t.rows+1]); err != nil {
+				if err := t.awaitBorder(south, t.off+t.rows, t.iter, t.cur.row(t.rows+1)); err != nil {
 					return err
 				}
 			}
@@ -764,7 +767,7 @@ func (t *ftTask) computeLoop() error {
 func (t *ftTask) checkpoint(cycle int) {
 	snap := make([][]float64, t.rows)
 	for i := 0; i < t.rows; i++ {
-		snap[i] = append([]float64(nil), t.cur[i+1]...)
+		snap[i] = append([]float64(nil), t.cur.row(i+1)...)
 	}
 	t.ownCkpt[cycle] = snap
 	t.lastCkpt = cycle
@@ -1077,17 +1080,17 @@ func (t *ftTask) applyRecovery(dl []int, parts []int) error {
 	for g := newOff; g < newOff+newRows; g++ {
 		switch {
 		case cstar == 0:
-			copy(ncur[g-newOff+1], t.initial[g])
+			copy(ncur.row(g-newOff+1), t.initial[g])
 			have[g-newOff] = true
 		case holder(g) == t.rank:
 			if g >= oldOff && g < oldOff+oldRows {
-				copy(ncur[g-newOff+1], t.ownCkpt[cstar][g-oldOff])
+				copy(ncur.row(g-newOff+1), t.ownCkpt[cstar][g-oldOff])
 			} else {
 				blk, ok := t.validCkpt(oldOwn.OwnerOf(g), cstar)
 				if !ok {
 					return fmt.Errorf("stencil: rank %d lost the cycle-%d replica of row %d", t.rank, cstar, g)
 				}
-				copy(ncur[g-newOff+1], blk.rows[g-blk.first])
+				copy(ncur.row(g-newOff+1), blk.rows[g-blk.first])
 			}
 			have[g-newOff] = true
 		default:
@@ -1105,7 +1108,7 @@ func (t *ftTask) applyRecovery(dl []int, parts []int) error {
 			for i, row := range b.blob.rows {
 				g := b.blob.first + i
 				if g >= newOff && g < newOff+newRows && !have[g-newOff] {
-					copy(ncur[g-newOff+1], row)
+					copy(ncur.row(g-newOff+1), row)
 					have[g-newOff] = true
 					pending--
 				}

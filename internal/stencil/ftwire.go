@@ -18,7 +18,7 @@ import (
 // epoch for tracing only; FINISH is the exception, gated on epoch equality
 // so a pre-rollback completion announcement cannot count afterwards.
 const (
-	ftBorder byte = iota + 1 // payload: EncodeFloat64s(ghost row); cycle = iteration
+	ftBorder byte = iota + 1 // payload: halo frame (halo.go); cycle = iteration
 	ftCkpt                   // payload: encodeRows(first, rows); cycle = checkpoint cycle
 	ftFail                   // payload: deadset; a failure verdict being flooded
 	ftSync                   // payload: syncInfo; recovery barrier contribution
@@ -37,6 +37,25 @@ func ftFrame(typ byte, epoch, cycle int, payload []byte) []byte {
 	binary.BigEndian.PutUint32(buf[5:], uint32(cycle))
 	copy(buf[ftHeaderLen:], payload)
 	return buf
+}
+
+// appendFTFrame appends the frame header onto dst and returns the extended
+// slice — the allocation-free variant for reused send buffers; the caller
+// appends the payload behind it.
+//
+//netpart:hotpath
+func appendFTFrame(dst []byte, typ byte, epoch, cycle int) []byte {
+	off := len(dst)
+	if need := off + ftHeaderLen; cap(dst) < need {
+		grown := make([]byte, off, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+ftHeaderLen]
+	dst[off] = typ
+	binary.BigEndian.PutUint32(dst[off+1:], uint32(epoch))
+	binary.BigEndian.PutUint32(dst[off+5:], uint32(cycle))
+	return dst
 }
 
 // ftParse splits a frame into its header fields and payload (aliasing buf).

@@ -1,0 +1,174 @@
+package stencil
+
+import (
+	"testing"
+
+	"netpart/internal/mmps"
+)
+
+// seedUpdateRow is the original (pre-flat-grid) row kernel, kept verbatim
+// as the bit-identity reference: dst[j] = (up[j] + down[j] + cur[j-1] +
+// cur[j+1]) * 0.25, in exactly that operand order. The cache-blocked,
+// unrolled kernel in grid.go must reproduce it bit for bit.
+func seedUpdateRow(dst, cur, up, down []float64) {
+	n := len(cur)
+	dst[0] = cur[0]
+	dst[n-1] = cur[n-1]
+	for j := 1; j < n-1; j++ {
+		dst[j] = (up[j] + down[j] + cur[j-1] + cur[j+1]) * 0.25
+	}
+}
+
+// seedSequential is the original [][]float64 reference kernel.
+func seedSequential(grid [][]float64, iters int) [][]float64 {
+	n := len(grid)
+	cur := cloneGrid(grid)
+	next := cloneGrid(grid)
+	for it := 0; it < iters; it++ {
+		for i := 1; i < n-1; i++ {
+			seedUpdateRow(next[i], cur[i], cur[i-1], cur[i+1])
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// goldenSizes covers the kernel's tiling and unrolling edges: tiny grids,
+// interior widths not divisible by the 4-wide unroll, widths around the
+// colTile boundary, and one comfortably multi-tile width.
+var goldenSizes = []int{3, 4, 5, 7, 16, 60, 61, 127, 240, colTile + 1, colTile + 7}
+
+// TestFlatKernelMatchesSeed pins the tentpole's hard invariant: the flat
+// cache-blocked kernel produces bit-for-bit the seed kernel's grids for
+// every size and several iteration counts.
+func TestFlatKernelMatchesSeed(t *testing.T) {
+	for _, n := range goldenSizes {
+		for _, iters := range []int{1, 2, 7} {
+			got := Sequential(NewGrid(n), iters)
+			want := seedSequential(NewGrid(n), iters)
+			for i := range want {
+				for j := range want[i] {
+					if got[i][j] != want[i][j] {
+						t.Fatalf("n=%d iters=%d: grid[%d][%d] = %v, seed %v", n, iters, i, j, got[i][j], want[i][j])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUpdateRowMatchesSeed pins the row kernel (the distributed runtimes'
+// unit of compute) against the seed row kernel on awkward widths.
+func TestUpdateRowMatchesSeed(t *testing.T) {
+	for _, n := range goldenSizes {
+		g := NewGrid(n)
+		got := make([]float64, n)
+		want := make([]float64, n)
+		for i := 1; i < n-1; i++ {
+			updateRow(got, g[i], g[i-1], g[i+1])
+			seedUpdateRow(want, g[i], g[i-1], g[i+1])
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("n=%d row %d col %d: %v, seed %v", n, i, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestLiveMatchesSeedKernel runs the live runtime (flat blocks, pooled halo
+// frames) across awkward sizes and both variants and requires bit-identity
+// with the seed kernel — the end-to-end form of the golden guarantee.
+func TestLiveMatchesSeedKernel(t *testing.T) {
+	for _, n := range []int{7, 61, 127} {
+		for _, v := range []Variant{STEN1, STEN2} {
+			world, err := mmps.NewLocalWorld(3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			trs := make([]mmps.Transport, len(world))
+			for i, w := range world {
+				trs[i] = w
+			}
+			vec := core3Vector(n)
+			res, err := RunLive(trs, vec, v, n, 5, nil)
+			if err != nil {
+				t.Fatalf("n=%d %v: %v", n, v, err)
+			}
+			want := seedSequential(NewGrid(n), 5)
+			for i := range want {
+				for j := range want[i] {
+					if res.Grid[i][j] != want[i][j] {
+						t.Fatalf("n=%d %v: grid[%d][%d] = %v, seed %v", n, v, i, j, res.Grid[i][j], want[i][j])
+					}
+				}
+			}
+			for _, w := range world {
+				w.Close()
+			}
+		}
+	}
+}
+
+// core3Vector splits n rows over 3 ranks with a deliberately uneven split.
+func core3Vector(n int) []int {
+	a := n / 4
+	if a == 0 {
+		a = 1
+	}
+	b := n / 2
+	if a+b >= n {
+		b = n - a - 1
+	}
+	return []int{a, b, n - a - b}
+}
+
+// TestHaloFrameRoundTrip pins the halo frame codec: header fields and
+// payload survive the round trip, short frames error, and the parse scratch
+// is reused.
+func TestHaloFrameRoundTrip(t *testing.T) {
+	row := []float64{1.5, -2.25, 3.75, 0, 1e-300}
+	buf := appendHaloFrame(nil, 41, 7, row)
+	if len(buf) != haloHeaderLen+8*len(row) {
+		t.Fatalf("frame length %d, want %d", len(buf), haloHeaderLen+8*len(row))
+	}
+	scratch := make([]float64, 0, len(row))
+	g, cycle, vals, err := parseHaloFrame(buf, scratch[:0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 41 || cycle != 7 {
+		t.Fatalf("header (%d, %d), want (41, 7)", g, cycle)
+	}
+	for i := range row {
+		if vals[i] != row[i] {
+			t.Fatalf("vals[%d] = %v, want %v", i, vals[i], row[i])
+		}
+	}
+	if _, _, _, err := parseHaloFrame(buf[:haloHeaderLen-1], nil); err == nil {
+		t.Fatal("short frame must error")
+	}
+}
+
+// TestHaloCodecZeroAllocs pins the codec's allocation guarantee: with
+// capacity-sized buffers, encode and decode are allocation-free.
+func TestHaloCodecZeroAllocs(t *testing.T) {
+	const n = 240
+	row := make([]float64, n)
+	for i := range row {
+		row[i] = float64(i) * 0.5
+	}
+	buf := make([]byte, 0, haloHeaderLen+8*n)
+	vals := make([]float64, 0, n)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = appendHaloFrame(buf[:0], 3, 9, row)
+		_, _, v, err := parseHaloFrame(buf, vals[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals = v
+	})
+	if allocs != 0 {
+		t.Errorf("halo codec allocates %.2f/op, want 0", allocs)
+	}
+}

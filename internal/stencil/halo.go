@@ -1,0 +1,55 @@
+package stencil
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"netpart/internal/mmps"
+)
+
+// Halo frame codec. One ghost row travels as a single self-describing
+// frame:
+//
+//	[u32 global row index][u32 cycle][row in the mmps float64 coercion format]
+//
+// Header and values are appended into one reused buffer, so the send side
+// of a border exchange allocates nothing in steady state (Transport.Send
+// copies, and the Local transport's copy comes from its recycled-buffer
+// list). The receiver parses into a reused scratch and validates the row
+// index and cycle against what the protocol expects — a check the previous
+// bare-payload format could not express. The fault-tolerant runtime nests
+// this same frame inside its epoch/cycle envelope (ftwire.go), replacing
+// its former two-allocation encodeBorder + ftFrame path.
+const haloHeaderLen = 8
+
+// appendHaloFrame appends one framed ghost row onto dst and returns the
+// extended slice.
+//
+//netpart:hotpath
+func appendHaloFrame(dst []byte, g, cycle int, row []float64) []byte {
+	off := len(dst)
+	if need := off + haloHeaderLen + 8*len(row); cap(dst) < need {
+		grown := make([]byte, off, need)
+		copy(grown, dst)
+		dst = grown
+	}
+	dst = dst[:off+haloHeaderLen]
+	binary.BigEndian.PutUint32(dst[off:], uint32(g))
+	binary.BigEndian.PutUint32(dst[off+4:], uint32(cycle))
+	return mmps.AppendFloat64s(dst, row)
+}
+
+// parseHaloFrame splits a halo frame, decoding the row values into vals's
+// capacity. Pass a reused scratch as vals[:0] for an allocation-free
+// parse, or nil to allocate a fresh row (when the row outlives the call).
+//
+//netpart:hotpath
+func parseHaloFrame(buf []byte, vals []float64) (g, cycle int, row []float64, err error) {
+	if len(buf) < haloHeaderLen {
+		return 0, 0, nil, fmt.Errorf("stencil: short halo frame (%d bytes)", len(buf))
+	}
+	g = int(binary.BigEndian.Uint32(buf))
+	cycle = int(binary.BigEndian.Uint32(buf[4:]))
+	row, err = mmps.DecodeFloat64sInto(vals, buf[haloHeaderLen:])
+	return g, cycle, row, err
+}

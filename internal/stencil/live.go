@@ -65,7 +65,7 @@ func RunLiveMonitored(world []mmps.Transport, vec core.Vector, v Variant, n, ite
 		return LiveResult{}, fmt.Errorf("stencil: %d work factors for %d tasks", len(workFactor), len(world))
 	}
 	initial := NewGrid(n)
-	result := make([][]float64, n)
+	res := newResultGrid(n)
 	offsets := make([]int, len(vec))
 	off := 0
 	for r, a := range vec {
@@ -92,7 +92,7 @@ func RunLiveMonitored(world []mmps.Transport, vec core.Vector, v Variant, n, ite
 			if workFactor != nil {
 				factor = workFactor[rank]
 			}
-			errs[rank] = runLiveTask(world[rank], vec[rank], offsets[rank], initial, result, v, n, iters, factor, lo)
+			errs[rank] = runLiveTask(world[rank], vec[rank], offsets[rank], initial, res, v, n, iters, factor, lo)
 		}()
 	}
 	wg.Wait()
@@ -103,12 +103,12 @@ func RunLiveMonitored(world []mmps.Transport, vec core.Vector, v Variant, n, ite
 			return LiveResult{}, fmt.Errorf("stencil: rank %d: %w", rank, err)
 		}
 	}
-	for i, row := range result {
+	for i, row := range res.rows {
 		if row == nil {
 			return LiveResult{}, fmt.Errorf("stencil: row %d not produced", i)
 		}
 	}
-	return LiveResult{Elapsed: elapsed, Grid: result}, nil
+	return LiveResult{Elapsed: elapsed, Grid: res.rows}, nil
 }
 
 // liveObs carries the wall-clock observability hooks into runLiveTask.
@@ -128,20 +128,17 @@ func (lo liveObs) sinceMs() float64 {
 
 // runLiveTask is the real-execution analogue of runTask: identical cycle
 // structure, but borders are marshaled through the transport and the row
-// update is executed for real.
-func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, v Variant, n, iters, workFactor int, lo liveObs) error {
+// update is executed for real. cur/next are flat blocks (grid.go) and each
+// border exchange is one pooled halo frame per neighbor per cycle.
+func runLiveTask(tr mmps.Transport, rows, off int, initial [][]float64, res *resultGrid, v Variant, n, iters, workFactor int, lo liveObs) error {
 	rank, size := tr.Rank(), tr.Size()
-	cur := make([][]float64, rows+2)
-	next := make([][]float64, rows+2)
+	cur := newBlock(rows, n)
+	next := newBlock(rows, n)
 	scratch := make([]float64, n)
-	for i := 0; i < rows+2; i++ {
-		cur[i] = make([]float64, n)
-		next[i] = make([]float64, n)
-	}
 	for i := 0; i < rows; i++ {
-		copy(cur[i+1], initial[off+i])
-		copy(next[i+1], initial[off+i])
+		copy(cur.row(i+1), initial[off+i])
 	}
+	copy(next.cells, cur.cells)
 	north, south := rank-1, rank+1
 	hasNorth, hasSouth := north >= 0, south < size
 
@@ -149,59 +146,63 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, 
 		for li := lo; li <= hi; li++ {
 			g := off + li - 1
 			if g == 0 || g == n-1 {
-				copy(next[li], cur[li])
+				copy(next.row(li), cur.row(li))
 				continue
 			}
-			updateRow(next[li], cur[li], cur[li-1], cur[li+1])
+			updateRow(next.row(li), cur.row(li), cur.row(li-1), cur.row(li+1))
 			// Heterogeneity emulation: redo the work into a scratch row.
 			for extra := 1; extra < workFactor; extra++ {
-				updateRow(scratch, cur[li], cur[li-1], cur[li+1])
+				updateRow(scratch, cur.row(li), cur.row(li-1), cur.row(li+1))
 			}
 		}
 	}
 	// Reusable halo buffers: Send copies its argument before returning and
-	// the decode scratch is consumed by the copy into the ghost row, so one
-	// encode buffer and one decode scratch serve every exchange of the run.
-	sendBuf := make([]byte, 0, 8*n)
+	// the parse scratch is consumed by the copy into the ghost row, so one
+	// frame buffer and one value scratch serve every exchange of the run.
+	// Delivered buffers go back to the transport's free list (Recycle).
+	sendBuf := make([]byte, 0, haloHeaderLen+8*n)
 	ghostVals := make([]float64, 0, n)
-	sendBorders := func() error {
+	sendBorders := func(it int) error {
 		if hasNorth {
-			sendBuf = mmps.AppendFloat64s(sendBuf[:0], cur[1])
+			sendBuf = appendHaloFrame(sendBuf[:0], off, it, cur.row(1))
 			if err := tr.Send(north, sendBuf); err != nil {
 				return err
 			}
 		}
 		if hasSouth {
-			sendBuf = mmps.AppendFloat64s(sendBuf[:0], cur[rows])
+			sendBuf = appendHaloFrame(sendBuf[:0], off+rows-1, it, cur.row(rows))
 			if err := tr.Send(south, sendBuf); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	recvGhost := func(from int, into []float64) error {
+	recvGhost := func(from, wantRow, it int, into []float64) error {
 		buf, err := tr.Recv(from)
 		if err != nil {
 			return err
 		}
-		ghostVals, err = mmps.DecodeFloat64sInto(ghostVals[:0], buf)
+		g, cyc, vals, err := parseHaloFrame(buf, ghostVals[:0])
 		if err != nil {
 			return err
 		}
-		if len(ghostVals) != n {
-			return fmt.Errorf("ghost row of %d values, want %d", len(ghostVals), n)
+		ghostVals = vals
+		if g != wantRow || cyc != it || len(vals) != n {
+			return fmt.Errorf("ghost row %d at cycle %d with %d values, want row %d cycle %d (%d values)",
+				g, cyc, len(vals), wantRow, it, n)
 		}
-		copy(into, ghostVals)
+		copy(into, vals)
+		mmps.Recycle(tr, buf)
 		return nil
 	}
-	recvGhosts := func() error {
+	recvGhosts := func(it int) error {
 		if hasNorth {
-			if err := recvGhost(north, cur[0]); err != nil {
+			if err := recvGhost(north, off-1, it, cur.row(0)); err != nil {
 				return err
 			}
 		}
 		if hasSouth {
-			if err := recvGhost(south, cur[rows+1]); err != nil {
+			if err := recvGhost(south, off+rows, it, cur.row(rows+1)); err != nil {
 				return err
 			}
 		}
@@ -213,10 +214,10 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, 
 		switch v {
 		case STEN1:
 			exchStart := lo.sinceMs()
-			if err := sendBorders(); err != nil {
+			if err := sendBorders(it); err != nil {
 				return err
 			}
-			if err := recvGhosts(); err != nil {
+			if err := recvGhosts(it); err != nil {
 				return err
 			}
 			exchMs := lo.sinceMs() - exchStart
@@ -227,13 +228,13 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, 
 			computeRows(1, rows)
 		case STEN2:
 			exchStart := lo.sinceMs()
-			if err := sendBorders(); err != nil {
+			if err := sendBorders(it); err != nil {
 				return err
 			}
 			if rows > 2 {
 				computeRows(2, rows-1)
 			}
-			if err := recvGhosts(); err != nil {
+			if err := recvGhosts(it); err != nil {
 				return err
 			}
 			exchMs := lo.sinceMs() - exchStart
@@ -257,7 +258,7 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial, result [][]float64, 
 		}
 	}
 	for i := 0; i < rows; i++ {
-		result[off+i] = append([]float64(nil), cur[i+1]...)
+		copy(res.take(off+i), cur.row(i+1))
 	}
 	return nil
 }

@@ -90,7 +90,7 @@ func RunLiveAdaptive(world []mmps.Transport, vec core.Vector, v Variant, n, iter
 		return LiveAdaptiveResult{}, fmt.Errorf("stencil: %d work factors for %d tasks", len(opts.WorkFactor), len(world))
 	}
 	initial := NewGrid(n)
-	result := make([][]float64, n)
+	res := newResultGrid(n)
 	out := LiveAdaptiveResult{FinalVector: append(core.Vector(nil), vec...)}
 	eng := &repart.Engine{
 		Planner:  repart.NewPlanner(opts.Planner),
@@ -110,7 +110,7 @@ func RunLiveAdaptive(world []mmps.Transport, vec core.Vector, v Variant, n, iter
 			if opts.WorkFactor != nil {
 				factor = opts.WorkFactor[rank]
 			}
-			errs[rank] = runLiveAdaptiveTask(world[rank], eng, vec, initial, result, v, n, iters, factor, opts, &out)
+			errs[rank] = runLiveAdaptiveTask(world[rank], eng, vec, initial, res, v, n, iters, factor, opts, &out)
 		}()
 	}
 	wg.Wait()
@@ -120,19 +120,19 @@ func RunLiveAdaptive(world []mmps.Transport, vec core.Vector, v Variant, n, iter
 			return LiveAdaptiveResult{}, fmt.Errorf("stencil: rank %d: %w", rank, err)
 		}
 	}
-	for i, row := range result {
+	for i, row := range res.rows {
 		if row == nil {
 			return LiveAdaptiveResult{}, fmt.Errorf("stencil: row %d not produced", i)
 		}
 	}
-	out.Grid = result
+	out.Grid = res.rows
 	return out, nil
 }
 
 // runLiveAdaptiveTask mirrors the simulated adaptive body over real
 // transports: the border cycle, then — at the check cadence — one repart
 // engine round and, when the plan changed, one Migrator round.
-func runLiveAdaptiveTask(tr mmps.Transport, eng *repart.Engine, initVec core.Vector, initial, result [][]float64, v Variant, n, iters, workFactor int, opts LiveAdaptiveOptions, out *LiveAdaptiveResult) error {
+func runLiveAdaptiveTask(tr mmps.Transport, eng *repart.Engine, initVec core.Vector, initial [][]float64, res *resultGrid, v Variant, n, iters, workFactor int, opts LiveAdaptiveOptions, out *LiveAdaptiveResult) error {
 	rank, nTasks := tr.Rank(), tr.Size()
 	own := newOwners(initVec)
 	rows := own.Count(rank)
@@ -140,20 +140,11 @@ func runLiveAdaptiveTask(tr mmps.Transport, eng *repart.Engine, initVec core.Vec
 	every := opts.checkEvery()
 
 	scratch := make([]float64, n)
-	alloc := func(k int) ([][]float64, [][]float64) {
-		a := make([][]float64, k+2)
-		b := make([][]float64, k+2)
-		for i := range a {
-			a[i] = make([]float64, n)
-			b[i] = make([]float64, n)
-		}
-		return a, b
-	}
-	cur, next := alloc(rows)
+	cur, next := newBlock(rows, n), newBlock(rows, n)
 	for i := 0; i < rows; i++ {
-		copy(cur[i+1], initial[off+i])
-		copy(next[i+1], initial[off+i])
+		copy(cur.row(i+1), initial[off+i])
 	}
+	copy(next.cells, cur.cells)
 	windowMs := 0.0
 	mig := repart.Migrator{Width: n}
 	epoch := time.Now()
@@ -164,32 +155,40 @@ func runLiveAdaptiveTask(tr mmps.Transport, eng *repart.Engine, initVec core.Vec
 		for li := lo; li <= hi; li++ {
 			g := off + li - 1
 			if g == 0 || g == n-1 {
-				copy(next[li], cur[li])
+				copy(next.row(li), cur.row(li))
 				continue
 			}
-			updateRow(next[li], cur[li], cur[li-1], cur[li+1])
+			updateRow(next.row(li), cur.row(li), cur.row(li-1), cur.row(li+1))
 			for extra := 1; extra < workFactor; extra++ {
-				updateRow(scratch, cur[li], cur[li-1], cur[li+1])
+				updateRow(scratch, cur.row(li), cur.row(li-1), cur.row(li+1))
 			}
 		}
 		windowMs += sinceMs() - start
 	}
-	sendBorder := func(dst int, row []float64) error {
-		return tr.Send(dst, mmps.EncodeFloat64s(row))
+	// One pooled halo frame per neighbor per cycle; the reused buffers
+	// survive migrations because every block is n columns wide.
+	sendBuf := make([]byte, 0, haloHeaderLen+8*n)
+	ghostVals := make([]float64, 0, n)
+	sendBorder := func(dst, g, iter int, row []float64) error {
+		sendBuf = appendHaloFrame(sendBuf[:0], g, iter, row)
+		return tr.Send(dst, sendBuf)
 	}
-	recvBorder := func(src int, into []float64) error {
+	recvBorder := func(src, wantRow, iter int, into []float64) error {
 		buf, err := tr.Recv(src)
 		if err != nil {
 			return err
 		}
-		vals, err := mmps.DecodeFloat64s(buf)
+		g, cyc, vals, err := parseHaloFrame(buf, ghostVals[:0])
 		if err != nil {
 			return err
 		}
-		if len(vals) != n {
-			return fmt.Errorf("border of %d values", len(vals))
+		ghostVals = vals
+		if g != wantRow || cyc != iter || len(vals) != n {
+			return fmt.Errorf("border row %d at cycle %d with %d values, want row %d cycle %d",
+				g, cyc, len(vals), wantRow, iter)
 		}
 		copy(into, vals)
+		mmps.Recycle(tr, buf)
 		return nil
 	}
 
@@ -200,12 +199,12 @@ func runLiveAdaptiveTask(tr mmps.Transport, eng *repart.Engine, initVec core.Vec
 		// One synchronous border cycle.
 		exchStart := sinceMs()
 		if hasNorth {
-			if err := sendBorder(rank-1, cur[1]); err != nil {
+			if err := sendBorder(rank-1, off, iter, cur.row(1)); err != nil {
 				return err
 			}
 		}
 		if hasSouth {
-			if err := sendBorder(rank+1, cur[rows]); err != nil {
+			if err := sendBorder(rank+1, off+rows-1, iter, cur.row(rows)); err != nil {
 				return err
 			}
 		}
@@ -213,12 +212,12 @@ func runLiveAdaptiveTask(tr mmps.Transport, eng *repart.Engine, initVec core.Vec
 			start := sinceMs()
 			defer func() { exchMs += sinceMs() - start }()
 			if hasNorth {
-				if err := recvBorder(rank-1, cur[0]); err != nil {
+				if err := recvBorder(rank-1, off-1, iter, cur.row(0)); err != nil {
 					return err
 				}
 			}
 			if hasSouth {
-				if err := recvBorder(rank+1, cur[rows+1]); err != nil {
+				if err := recvBorder(rank+1, off+rows, iter, cur.row(rows+1)); err != nil {
 					return err
 				}
 			}
@@ -282,10 +281,10 @@ func runLiveAdaptiveTask(tr mmps.Transport, eng *repart.Engine, initVec core.Vec
 		// Migrate rows to their new owners through the shared protocol.
 		newOwn := newOwners(plan.New)
 		newRows, newOff := newOwn.Count(rank), newOwn.First(rank)
-		ncur, nnext := alloc(newRows)
+		ncur, nnext := newBlock(newRows, n), newBlock(newRows, n)
 		_, _, err = mig.Migrate(tr, plan.Old, plan.New,
-			func(g int) []float64 { return cur[g-off+1] },
-			func(g int, row []float64) { copy(ncur[g-newOff+1], row) })
+			func(g int) []float64 { return cur.row(g - off + 1) },
+			func(g int, row []float64) { copy(ncur.row(g-newOff+1), row) })
 		if err != nil {
 			return err
 		}
@@ -293,7 +292,7 @@ func runLiveAdaptiveTask(tr mmps.Transport, eng *repart.Engine, initVec core.Vec
 		cur, next = ncur, nnext
 	}
 	for i := 0; i < rows; i++ {
-		result[off+i] = append([]float64(nil), cur[i+1]...)
+		copy(res.take(off+i), cur.row(i+1))
 	}
 	return nil
 }

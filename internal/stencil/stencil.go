@@ -139,31 +139,18 @@ func cloneGrid(g [][]float64) [][]float64 {
 	return out
 }
 
-// updateRow computes the five-point Jacobi update of one interior row:
-// dst[j] = (up[j] + down[j] + cur[j-1] + cur[j+1]) / 4 for interior
-// columns; boundary columns keep their values.
-func updateRow(dst, cur, up, down []float64) {
-	n := len(cur)
-	dst[0] = cur[0]
-	dst[n-1] = cur[n-1]
-	for j := 1; j < n-1; j++ {
-		dst[j] = (up[j] + down[j] + cur[j-1] + cur[j+1]) * 0.25
-	}
-}
-
 // Sequential runs iters Jacobi iterations on a copy of grid and returns the
-// result. It is the correctness reference for the distributed variants.
+// result. It is the correctness reference for the distributed variants,
+// running the cache-blocked flat kernel (grid.go) over two flat buffers.
 func Sequential(grid [][]float64, iters int) [][]float64 {
 	n := len(grid)
-	cur := cloneGrid(grid)
-	next := cloneGrid(grid)
+	cur := flatten(grid)
+	next := append([]float64(nil), cur...)
 	for it := 0; it < iters; it++ {
-		for i := 1; i < n-1; i++ {
-			updateRow(next[i], cur[i], cur[i-1], cur[i+1])
-		}
+		jacobiIter(next, cur, n)
 		cur, next = next, cur
 	}
-	return cur
+	return rowsView(cur, n, n)
 }
 
 // SimResult is the outcome of one simulated distributed execution.
@@ -211,7 +198,7 @@ func RunSimMonitored(net *model.Network, cfg cost.Config, vec core.Vector, v Var
 		return SimResult{}, errors.New("stencil: configuration and vector disagree on task count")
 	}
 	initial := NewGrid(n)
-	result := make([][]float64, n)
+	res := newResultGrid(n)
 	job := spmd.Job{
 		Net:       net,
 		Placement: pl,
@@ -221,19 +208,19 @@ func RunSimMonitored(net *model.Network, cfg cost.Config, vec core.Vector, v Var
 		Trace:     rec,
 		Cycles:    sink,
 		Body: func(t *spmd.Task) {
-			runTask(t, initial, result, v, n, iters)
+			runTask(t, initial, res, v, n, iters)
 		},
 	}
 	rep, err := spmd.Run(job)
 	if err != nil {
 		return SimResult{}, err
 	}
-	for i, row := range result {
+	for i, row := range res.rows {
 		if row == nil {
 			return SimResult{}, fmt.Errorf("stencil: row %d not produced", i)
 		}
 	}
-	return SimResult{ElapsedMs: rep.ElapsedMs, Grid: result, Report: rep}, nil
+	return SimResult{ElapsedMs: rep.ElapsedMs, Grid: res.rows, Report: rep}, nil
 }
 
 // RunSimNoisy is RunSim with explicit placement and simulator options
@@ -247,7 +234,7 @@ func RunSimNoisy(net *model.Network, pl topo.Placement, vec core.Vector, v Varia
 		return 0, errors.New("stencil: placement and vector disagree on task count")
 	}
 	initial := NewGrid(n)
-	result := make([][]float64, n)
+	res := newResultGrid(n)
 	job := spmd.Job{
 		Net:        net,
 		Placement:  pl,
@@ -255,7 +242,7 @@ func RunSimNoisy(net *model.Network, pl topo.Placement, vec core.Vector, v Varia
 		Topology:   topo.OneD{},
 		SimOptions: opts,
 		Body: func(t *spmd.Task) {
-			runTask(t, initial, result, v, n, iters)
+			runTask(t, initial, res, v, n, iters)
 		},
 	}
 	rep, err := spmd.Run(job)
@@ -275,51 +262,52 @@ func rowOps(globalRow, n int) float64 {
 }
 
 // runTask is the per-rank body shared by STEN-1 and STEN-2. The task owns
-// global rows [off, off+rows); cur/next include one ghost row on each side
-// at local indices 0 and rows+1.
-func runTask(t *spmd.Task, initial, result [][]float64, v Variant, n, iters int) {
+// global rows [off, off+rows); cur/next are flat blocks with one ghost row
+// on each side at local indices 0 and rows+1.
+func runTask(t *spmd.Task, initial [][]float64, res *resultGrid, v Variant, n, iters int) {
 	rows := t.PDUs()
 	off := t.PDUOffset()
-	cur := make([][]float64, rows+2)
-	next := make([][]float64, rows+2)
-	for i := 0; i < rows+2; i++ {
-		cur[i] = make([]float64, n)
-		next[i] = make([]float64, n)
-	}
+	cur := newBlock(rows, n)
+	next := newBlock(rows, n)
 	for i := 0; i < rows; i++ {
-		copy(cur[i+1], initial[off+i])
-		copy(next[i+1], initial[off+i])
+		copy(cur.row(i+1), initial[off+i])
 	}
+	copy(next.cells, cur.cells)
 	north, south := t.Rank()-1, t.Rank()+1
 	hasNorth, hasSouth := north >= 0, south < t.NumTasks()
 	msgBytes := BytesPerPoint * n
 
-	// computeRows updates local rows [lo, hi] (1-based local indices).
+	// computeRows updates local rows [lo, hi] (1-based local indices),
+	// batching the per-row virtual-time charges into one scheduler trip.
 	computeRows := func(lo, hi int) {
+		cb := t.BeginCompute()
 		for li := lo; li <= hi; li++ {
 			g := off + li - 1 // global row
 			if g == 0 || g == n-1 {
-				copy(next[li], cur[li])
+				copy(next.row(li), cur.row(li))
 			} else {
-				updateRow(next[li], cur[li], cur[li-1], cur[li+1])
+				updateRow(next.row(li), cur.row(li), cur.row(li-1), cur.row(li+1))
 			}
-			t.Compute(rowOps(g, n), model.OpFloat)
+			cb.Ops(rowOps(g, n), model.OpFloat)
 		}
+		cb.Done()
 	}
 	sendBorders := func() {
+		// Payloads are copies: the sim delivers them at a later virtual
+		// time, after this task may have swapped and begun overwriting.
 		if hasNorth {
-			t.Send(north, msgBytes, append([]float64(nil), cur[1]...))
+			t.Send(north, msgBytes, append([]float64(nil), cur.row(1)...))
 		}
 		if hasSouth {
-			t.Send(south, msgBytes, append([]float64(nil), cur[rows]...))
+			t.Send(south, msgBytes, append([]float64(nil), cur.row(rows)...))
 		}
 	}
 	recvGhosts := func() {
 		if hasNorth {
-			copy(cur[0], t.Recv(north).([]float64))
+			copy(cur.row(0), t.Recv(north).([]float64))
 		}
 		if hasSouth {
-			copy(cur[rows+1], t.Recv(south).([]float64))
+			copy(cur.row(rows+1), t.Recv(south).([]float64))
 		}
 	}
 
@@ -348,6 +336,6 @@ func runTask(t *spmd.Task, initial, result [][]float64, v Variant, n, iters int)
 		t.EndCycle()
 	}
 	for i := 0; i < rows; i++ {
-		result[off+i] = append([]float64(nil), cur[i+1]...)
+		copy(res.take(off+i), cur.row(i+1))
 	}
 }
