@@ -596,6 +596,36 @@ func BenchmarkLintWholeTree(b *testing.B) {
 	}
 }
 
+// BenchmarkCallGraphWholeTree measures the interprocedural layer alone:
+// building the whole-module call graph (interface type-set resolution
+// included) and solving every function summary bottom-up in SCC order —
+// the fixed cost the allocfree/msgproto/determinism analyzers add to a
+// lint run. Loading and typechecking stay outside the timer, mirroring
+// BenchmarkLintWholeTree.
+func BenchmarkCallGraphWholeTree(b *testing.B) {
+	root, modPath, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	loader := analysis.NewLoader(root, modPath)
+	if _, err := loader.Load("./..."); err != nil {
+		b.Fatal(err)
+	}
+	pkgs := loader.Packages()
+	if len(pkgs) == 0 {
+		b.Fatal("no packages loaded")
+	}
+	fset := pkgs[0].Fset
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ip := analysis.BuildInterproc(fset, pkgs)
+		if ip == nil {
+			b.Fatal("BuildInterproc returned nil")
+		}
+	}
+}
+
 // BenchmarkNoise regenerates E15: cost-model fitting and partitioning
 // across channel-jitter levels.
 func BenchmarkNoise(b *testing.B) {

@@ -7,7 +7,7 @@
 //
 //	go test -bench . -benchmem ./... | benchdiff parse > BENCH_pr.json
 //	benchdiff compare [-threshold 0.30] [-soft] BENCH_baseline.json BENCH_pr.json
-//	benchdiff gate [-policy BENCH_policy.json] BENCH_pr.json
+//	benchdiff gate [-policy BENCH_policy.json] [-hotpath-src .] BENCH_pr.json
 //
 // compare exits 1 when any benchmark present in both snapshots regressed
 // beyond the threshold in time (ns/op) or allocations (allocs/op); -soft
@@ -21,6 +21,17 @@
 // the budgets are chosen loose enough (latency) or exact (zero-alloc
 // guarantees, which shared-runner noise cannot perturb) to hard-fail CI.
 //
+// With -hotpath-src, gate additionally ties the dynamic zero-alloc
+// budgets to the static allocfree proof: each policy entry may list the
+// functions its benchmark exercises under "hotpath" (anchor form
+// "internal/core.(Estimator).Estimate" — package directory relative to
+// the source root, then the receiver-qualified name), every listed
+// function must carry a //netpart:hotpath annotation in the tree (so
+// netpartlint's interprocedural allocfree analyzer proves it), and every
+// zero-alloc budget must list at least one anchor. De-annotating,
+// renaming, or moving a hot function then fails the gate instead of
+// silently orphaning its budget.
+//
 //netpart:deterministic
 package main
 
@@ -29,8 +40,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
 	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
 	"regexp"
 	"sort"
 	"strconv"
@@ -261,6 +277,12 @@ func runCompare(args []string, out io.Writer) (int, error) {
 type Limit struct {
 	MaxNsPerOp     *float64 `json:"max_ns_per_op,omitempty"`
 	MaxAllocsPerOp *float64 `json:"max_allocs_per_op,omitempty"`
+	// Hotpath names the //netpart:hotpath functions this benchmark's
+	// zero-alloc ceiling dynamically verifies (anchor form
+	// "internal/core.(Estimator).Estimate"). Checked with -hotpath-src:
+	// every anchor must be annotated in the source tree, and a
+	// zero-alloc budget without anchors is a violation.
+	Hotpath []string `json:"hotpath,omitempty"`
 }
 
 // Policy maps "package/BenchmarkName" to its budget. Every entry is
@@ -269,8 +291,10 @@ type Limit struct {
 type Policy map[string]Limit
 
 // gate checks snap against policy and returns human-readable verdict lines
-// plus the number of violations.
-func gate(policy Policy, snap Snapshot) (lines []string, violations int) {
+// plus the number of violations. annotated is the //netpart:hotpath anchor
+// set from hotpathAnnotated; nil skips the anchor cross-check (no
+// -hotpath-src given).
+func gate(policy Policy, snap Snapshot, annotated map[string]bool) (lines []string, violations int) {
 	names := make([]string, 0, len(policy))
 	for name := range policy {
 		names = append(names, name)
@@ -304,13 +328,108 @@ func gate(policy Policy, snap Snapshot) (lines []string, violations int) {
 				lines = append(lines, fmt.Sprintf("ok   %s: %.4g allocs/op within budget %.4g", name, m.AllocsPerOp, *lim.MaxAllocsPerOp))
 			}
 		}
+		if annotated == nil {
+			continue
+		}
+		if lim.MaxAllocsPerOp != nil && *lim.MaxAllocsPerOp == 0 && len(lim.Hotpath) == 0 {
+			lines = append(lines, fmt.Sprintf("FAIL %s: zero-alloc budget lists no hotpath anchors; name the //netpart:hotpath functions it verifies", name))
+			violations++
+		}
+		for _, fn := range lim.Hotpath {
+			if annotated[fn] {
+				lines = append(lines, fmt.Sprintf("ok   %s: anchor %s carries //netpart:hotpath", name, fn))
+			} else {
+				lines = append(lines, fmt.Sprintf("FAIL %s: anchor %s has no //netpart:hotpath annotation in the source tree", name, fn))
+				violations++
+			}
+		}
 	}
 	return lines, violations
+}
+
+// hotpathAnnotated scans the Go source tree under root (skipping testdata,
+// vendor, hidden directories, and _test.go files) for function
+// declarations annotated //netpart:hotpath, returning their anchor keys:
+// "<dir>.<Func>" for functions and "<dir>.(<Recv>).<Func>" for methods,
+// with <dir> the package directory relative to root ("" for the root
+// package itself). Parser-only — no type checking — so the scan stays
+// cheap enough for every CI gate run.
+func hotpathAnnotated(root string) (map[string]bool, error) {
+	out := map[string]bool{}
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path == root {
+				return nil
+			}
+			name := d.Name()
+			if name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			hot := false
+			for _, c := range fd.Doc.List {
+				if strings.HasPrefix(c.Text, "//netpart:hotpath") {
+					hot = true
+				}
+			}
+			if !hot {
+				continue
+			}
+			key := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) > 0 {
+				key = "(" + recvTypeName(fd.Recv.List[0].Type) + ")." + key
+			}
+			if rel != "." {
+				key = filepath.ToSlash(rel) + "." + key
+			}
+			out[key] = true
+		}
+		return nil
+	})
+	return out, err
+}
+
+// recvTypeName extracts the base type name of a method receiver,
+// unwrapping pointers and type parameters.
+func recvTypeName(e ast.Expr) string {
+	switch t := e.(type) {
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexListExpr:
+		return recvTypeName(t.X)
+	case *ast.Ident:
+		return t.Name
+	}
+	return "?"
 }
 
 func runGate(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("gate", flag.ExitOnError)
 	policyPath := fs.String("policy", "BENCH_policy.json", "policy file of absolute per-benchmark budgets")
+	hotpathSrc := fs.String("hotpath-src", "", "source root: cross-check the policy's hotpath anchors against //netpart:hotpath annotations")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -325,7 +444,14 @@ func runGate(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 2, err
 	}
-	lines, violations := gate(policy, snap)
+	var annotated map[string]bool
+	if *hotpathSrc != "" {
+		annotated, err = hotpathAnnotated(*hotpathSrc)
+		if err != nil {
+			return 2, err
+		}
+	}
+	lines, violations := gate(policy, snap, annotated)
 	for _, l := range lines {
 		fmt.Fprintln(out, l)
 	}

@@ -202,7 +202,7 @@ func TestGateVerdicts(t *testing.T) {
 		"p/BenchmarkLatency":   {NsPerOp: 2e6},
 		"p/BenchmarkNoMem":     {NsPerOp: 100},
 	}
-	lines, violations := gate(policy, snap)
+	lines, violations := gate(policy, snap, nil)
 	joined := strings.Join(lines, "\n")
 	if violations != 3 {
 		t.Fatalf("gate found %d violations, want 3:\n%s", violations, joined)
@@ -222,7 +222,7 @@ func TestGateVerdicts(t *testing.T) {
 func TestGateAllocRegression(t *testing.T) {
 	policy := Policy{"p/BenchmarkZeroAlloc": {MaxAllocsPerOp: f64(0)}}
 	snap := Snapshot{"p/BenchmarkZeroAlloc": {NsPerOp: 500, AllocsPerOp: 2, HaveMem: true}}
-	if _, violations := gate(policy, snap); violations != 1 {
+	if _, violations := gate(policy, snap, nil); violations != 1 {
 		t.Fatalf("broken zero-alloc guarantee found %d violations, want 1", violations)
 	}
 }
@@ -273,8 +273,109 @@ func TestCommittedPolicyGatesCurrentBenchmarks(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lines, violations := gate(policy, snap)
+	annotated, err := hotpathAnnotated(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, violations := gate(policy, snap, annotated)
 	if violations != 0 {
 		t.Fatalf("committed baseline violates committed policy:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestGateHotpathAnchors pins the -hotpath-src cross-check: a zero-alloc
+// budget must name annotated functions, and an anchor that lost its
+// //netpart:hotpath annotation (rename, move, or de-annotation) is a
+// violation.
+func TestGateHotpathAnchors(t *testing.T) {
+	policy := Policy{
+		"p/BenchmarkAnchored":   {MaxAllocsPerOp: f64(0), Hotpath: []string{"internal/x.Fast", "internal/x.(T).fill"}},
+		"p/BenchmarkUnanchored": {MaxAllocsPerOp: f64(0)},
+		"p/BenchmarkStale":      {MaxAllocsPerOp: f64(0), Hotpath: []string{"internal/x.Gone"}},
+		"p/BenchmarkLatency":    {MaxNsPerOp: f64(1e9)}, // no zero-alloc ceiling: anchors optional
+	}
+	snap := Snapshot{
+		"p/BenchmarkAnchored":   {NsPerOp: 10, AllocsPerOp: 0, HaveMem: true},
+		"p/BenchmarkUnanchored": {NsPerOp: 10, AllocsPerOp: 0, HaveMem: true},
+		"p/BenchmarkStale":      {NsPerOp: 10, AllocsPerOp: 0, HaveMem: true},
+		"p/BenchmarkLatency":    {NsPerOp: 10},
+	}
+	annotated := map[string]bool{"internal/x.Fast": true, "internal/x.(T).fill": true}
+	lines, violations := gate(policy, snap, annotated)
+	joined := strings.Join(lines, "\n")
+	if violations != 2 {
+		t.Fatalf("gate found %d violations, want 2 (unanchored + stale):\n%s", violations, joined)
+	}
+	for _, want := range []string{
+		"ok   p/BenchmarkAnchored: anchor internal/x.Fast",
+		"FAIL p/BenchmarkUnanchored: zero-alloc budget lists no hotpath anchors",
+		"FAIL p/BenchmarkStale: anchor internal/x.Gone has no //netpart:hotpath annotation",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("gate output lacks %q:\n%s", want, joined)
+		}
+	}
+	// Without -hotpath-src (nil set) the anchor checks are skipped.
+	if _, v := gate(policy, snap, nil); v != 0 {
+		t.Errorf("anchor checks must be skipped without a source scan, got %d violations", v)
+	}
+}
+
+// TestHotpathAnnotatedScan exercises the parser-only source scan on a
+// synthetic tree: functions and methods are keyed by relative package
+// directory, testdata and _test.go files are skipped.
+func TestHotpathAnnotatedScan(t *testing.T) {
+	dir := t.TempDir()
+	write := func(rel, src string) {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("internal/x/x.go", `package x
+
+//netpart:hotpath
+func Fast() {}
+
+type T struct{}
+
+// fill is hot.
+//
+//netpart:hotpath
+func (t *T) fill() {}
+
+func cold() {}
+`)
+	write("root.go", `package root
+
+//netpart:hotpath
+func Top() {}
+`)
+	write("internal/x/x_test.go", `package x
+
+//netpart:hotpath
+func testOnly() {}
+`)
+	write("internal/x/testdata/fix.go", `package fix
+
+//netpart:hotpath
+func fixture() {}
+`)
+	got, err := hotpathAnnotated(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"internal/x.Fast", "internal/x.(T).fill", "Top"} {
+		if !got[want] {
+			t.Errorf("scan missed %s; got %v", want, got)
+		}
+	}
+	for _, bad := range []string{"internal/x.cold", "internal/x.testOnly", "internal/x/testdata.fixture"} {
+		if got[bad] {
+			t.Errorf("scan must not include %s", bad)
+		}
 	}
 }

@@ -74,6 +74,58 @@ func TestWriteNDJSON(t *testing.T) {
 	}
 }
 
+// TestWriteNDJSONSorted: the stream is globally ordered by
+// (file, line, analyzer) regardless of the order packages were loaded
+// and checked in, so -json output is byte-stable across runs.
+func TestWriteNDJSONSorted(t *testing.T) {
+	diags := []analysis.Diagnostic{
+		{Analyzer: "units", Pos: token.Position{Filename: "z/late.go", Line: 3}, Message: "m3"},
+		{Analyzer: "hotpath", Pos: token.Position{Filename: "a/early.go", Line: 90}, Message: "m2"},
+		{Analyzer: "msgproto", Pos: token.Position{Filename: "a/early.go", Line: 7}, Message: "m1"},
+		{Analyzer: "allocfree", Pos: token.Position{Filename: "a/early.go", Line: 7}, Message: "m0"},
+	}
+	var buf bytes.Buffer
+	if _, err := writeNDJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	var order []string
+	for _, line := range lines {
+		var jd jsonDiag
+		if err := json.Unmarshal([]byte(line), &jd); err != nil {
+			t.Fatal(err)
+		}
+		order = append(order, jd.Message)
+	}
+	want := []string{"m0", "m1", "m2", "m3"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("emission order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestSelectAnalyzers pins the -analyzers flag semantics: subsetting keeps
+// suite order, whitespace is tolerated, and any unknown name rejects the
+// whole list (nil) rather than silently running a partial suite.
+func TestSelectAnalyzers(t *testing.T) {
+	all := analysis.Analyzers()
+	got := selectAnalyzers(all, "msgproto, allocfree")
+	if len(got) != 2 {
+		t.Fatalf("selected %d analyzers, want 2", len(got))
+	}
+	// Suite order, not flag order: allocfree precedes msgproto in Analyzers().
+	if got[0].Name != "allocfree" || got[1].Name != "msgproto" {
+		t.Errorf("selection = [%s %s], want suite order [allocfree msgproto]", got[0].Name, got[1].Name)
+	}
+	if selectAnalyzers(all, "allocfree,nosuchanalyzer") != nil {
+		t.Error("unknown analyzer name must reject the whole selection")
+	}
+	if selectAnalyzers(all, " , ") != nil {
+		t.Error("a blank selection must be rejected, not run zero analyzers")
+	}
+}
+
 // TestWriteNDJSONEmpty: a clean tree emits nothing, not an empty array or
 // a trailing newline.
 func TestWriteNDJSONEmpty(t *testing.T) {

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/types"
+)
+
+// AllocFree is the interprocedural companion of the hotpath analyzer. The
+// intraprocedural pass proves a //netpart:hotpath function's own body
+// allocation-free; this one proves the claim through the whole call tree,
+// turning BENCH_policy.json's bench-time zero-alloc ceilings into
+// lint-time findings. For every hot function it consults the solved
+// summary (summary.go) and reports each allocation fact that arrives
+// through a call — direct sites in the hot body itself are hotpath's
+// territory and are not re-reported — with the provenance chain down to
+// the originating expression:
+//
+//	hot path core.Estimate reaches an allocation: call to
+//	core.(Estimator).cluster → make allocates (estimate.go:101)
+//
+// Guarded slow paths, fmt.Errorf failure returns, //netpart:purecallback
+// fields, and //nolint-waived sites have already been excluded at
+// summary-build time, so a finding here means a real steady-state
+// allocation (or an unresolved indirect call / unmodeled stdlib call that
+// must be annotated or waived with a reason).
+var AllocFree = &Analyzer{
+	Name: "allocfree",
+	Doc:  "proves //netpart:hotpath functions allocation-free through their whole call tree",
+	Run:  runAllocFree,
+}
+
+func runAllocFree(pass *Pass) error {
+	ip := pass.Inter
+	if ip == nil {
+		return nil // no interprocedural state wired (single-pass unit tests)
+	}
+	for _, fd := range enclosingFuncDecls(pass.Files) {
+		if !funcHasDirective(fd, "netpart:hotpath") {
+			continue
+		}
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		sum := ip.Summary(fn)
+		if sum == nil {
+			continue
+		}
+		for _, site := range sum.Allocs {
+			if !site.ViaCall {
+				continue // direct site in the hot body: hotpath reports it
+			}
+			pass.Reportf(site.Pos, "hot path %s reaches an allocation: %s",
+				funcLabel(fn), ip.RenderChain(site))
+		}
+	}
+	return nil
+}

@@ -24,6 +24,20 @@
 //	                                     composed with · and /) that the units
 //	                                     analyzer propagates through the cost
 //	                                     arithmetic
+//	//netpart:purecallback    (field)    callbacks installed in this func-typed
+//	                                     field are pure and allocation-free, so
+//	                                     interprocedural solves trust calls
+//	                                     through it
+//	//netpart:wallclock       (func/package) measures real time by design; its
+//	                                     wall-clock/rand use is data, not hidden
+//	                                     nondeterminism, and does not propagate
+//	                                     to callers
+//	//netpart:wire <group> <encode|decode> (func) assigns a codec function to a
+//	                                     wire group and side when its name does
+//	                                     not follow the EncodeX/DecodeX pattern
+//	//netpart:lockstep        (func)     the function's sends and receives form
+//	                                     a lockstep protocol round msgproto
+//	                                     checks for symmetry and deadlock
 //
 // A finding is suppressed with an explained escape hatch on the same line:
 //
@@ -68,6 +82,11 @@ type Pass struct {
 	// dependencies of the package under analysis. Nil outside a loader, and
 	// nil results for packages the loader has not seen (GOROOT).
 	Dep func(path string) *Package
+	// Inter is the module-wide interprocedural state (call graph + solved
+	// summaries) shared by every pass of one Loader; nil when the package
+	// was checked without a loader. allocfree, msgproto, and determinism's
+	// helper-call propagation consume it.
+	Inter *Interproc
 
 	diags *[]Diagnostic
 }
@@ -98,7 +117,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns the full netpartlint suite in reporting order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Determinism, HotPath, PoolLifetime, PoolFlow, ConcSafety, Units, ObsNil, ErrCheck}
+	return []*Analyzer{Determinism, HotPath, AllocFree, MsgProto, PoolLifetime, PoolFlow, ConcSafety, Units, ObsNil, ErrCheck}
 }
 
 // Check runs the given analyzers over one loaded package and returns the
@@ -125,6 +144,10 @@ func Check(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 // are still diagnosed, and the result is sorted by position.
 func CheckAll(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	var inter *Interproc
+	if pkg.loader != nil {
+		inter = pkg.loader.Interproc()
+	}
 	for _, a := range analyzers {
 		pass := &Pass{
 			Analyzer:  a,
@@ -134,6 +157,7 @@ func CheckAll(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			PkgPath:   pkg.Path,
 			TypesInfo: pkg.Info,
 			Dep:       pkg.Dep,
+			Inter:     inter,
 			diags:     &diags,
 		}
 		if err := a.Run(pass); err != nil {

@@ -380,11 +380,21 @@ func (b *cfgBuilder) switchClauses(list []ast.Stmt, label string, caseExprs func
 }
 
 func endsInFallthrough(body []ast.Stmt) bool {
-	if len(body) == 0 {
-		return false
+	// The spec only requires fallthrough to be the final NON-EMPTY
+	// statement of its clause, so trailing empty statements are legal Go
+	// ("fallthrough;;") and must be walked past — checking body[len-1]
+	// alone would drop the fallthrough edge and corrupt the clause graph.
+	for i := len(body) - 1; i >= 0; i-- {
+		switch s := body[i].(type) {
+		case *ast.EmptyStmt:
+			continue
+		case *ast.BranchStmt:
+			return s.Tok == token.FALLTHROUGH
+		default:
+			return false
+		}
 	}
-	bs, ok := body[len(body)-1].(*ast.BranchStmt)
-	return ok && bs.Tok == token.FALLTHROUGH
+	return false
 }
 
 func labelName(id *ast.Ident) string {

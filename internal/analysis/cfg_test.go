@@ -161,6 +161,111 @@ func f(ch chan int) int {
 	}
 }
 
+// TestCFGLabeledBreakOutOfSelect: `break loop` inside a select nested in
+// a labeled for must edge to the FOR's after block, not the select's join.
+// The for has no condition, so the after block — and with it the trailing
+// return — is reachable ONLY through that labeled break: if the builder
+// resolved the label against the select scope, exit would go dead.
+func TestCFGLabeledBreakOutOfSelect(t *testing.T) {
+	g := buildCFG(t, `
+func f(ch chan int, done chan struct{}) int {
+	n := 0
+loop:
+	for {
+		select {
+		case v := <-ch:
+			n += v
+		case <-done:
+			break loop
+		}
+	}
+	return n
+}`)
+	// exitPreds counts the dead fall-off-the-end block too; only one pred
+	// is live (checked below).
+	want := shape{blocks: 12, edges: 12, reachable: 10, defers: 0, nonBlocking: 0, exitPreds: 2}
+	if got := summarize(g); got != want {
+		t.Errorf("shape = %+v, want %+v", got, want)
+	}
+	reach := g.Reachable()
+	liveExit := 0
+	for _, p := range g.Exit.Preds {
+		if reach[p.Index] {
+			liveExit++
+		}
+	}
+	if liveExit != 1 {
+		t.Errorf("exit has %d live preds, want 1 (return n via break loop)", liveExit)
+	}
+}
+
+// TestCFGFallthroughTrailingEmpty: fallthrough need only be the final
+// NON-EMPTY statement of its clause, so a trailing empty statement
+// ("fallthrough;;") is legal Go and the fallthrough edge to the next
+// clause must survive it.
+func TestCFGFallthroughTrailingEmpty(t *testing.T) {
+	src := `
+func f(x int) int {
+	n := 0
+	switch x {
+	case 0:
+		n = 1
+		fallthrough;;
+	case 1:
+		n += 2
+	}
+	return n
+}`
+	// Guard the premise: the clause body must actually end in an
+	// *ast.EmptyStmt, otherwise this test degenerates into the plain
+	// fallthrough case and proves nothing.
+	{
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		sawEmpty := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if cc, ok := n.(*ast.CaseClause); ok && len(cc.Body) > 0 {
+				if _, ok := cc.Body[len(cc.Body)-1].(*ast.EmptyStmt); ok {
+					sawEmpty = true
+				}
+			}
+			return true
+		})
+		if !sawEmpty {
+			t.Fatal("fixture lost its trailing empty statement")
+		}
+	}
+	g := buildCFG(t, src)
+	// Reconstruct the clause bodies: the case-0 block must edge into the
+	// case-1 block (fallthrough), never straight to the join.
+	var from, to *analysis.Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ASSIGN {
+				from = b
+			}
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ADD_ASSIGN {
+				to = b
+			}
+		}
+	}
+	if from == nil || to == nil {
+		t.Fatal("could not locate the two clause bodies")
+	}
+	linked := false
+	for _, s := range from.Succs {
+		if s == to {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Error("fallthrough followed by an empty statement lost its edge to the next clause")
+	}
+}
+
 // TestCFGDeferInLoop: the defer site registers once (Defers records
 // registration points, not dynamic executions) and stays inside the loop
 // body block so the dataflow replay can see it run per iteration.

@@ -45,7 +45,64 @@ func runDeterminism(pass *Pass) error {
 	for _, fd := range enclosingFuncDecls(pass.Files) {
 		checkMapRanges(pass, fd)
 	}
+	propagateDeterminism(pass)
 	return nil
+}
+
+// propagateDeterminism is the interprocedural half of the clock/rand
+// check: a deterministic package must not reach the wall clock or the
+// global rand source through helper calls either. Using the solved
+// summaries (Pass.Inter), every call from this package to a function of
+// an unmarked module package whose call tree touches time.Now/Since/Until
+// or auto-seeded rand is reported at the call site with the provenance
+// chain. Calls into other //netpart:deterministic packages are skipped —
+// their own analysis run reports the origin — and //netpart:wallclock
+// functions neither propagate (their summaries are clean by contract) nor
+// are they checked as callers (they are declared measurement boundaries).
+func propagateDeterminism(pass *Pass) {
+	ip := pass.Inter
+	if ip == nil {
+		return
+	}
+	for _, fd := range enclosingFuncDecls(pass.Files) {
+		fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+		if fn == nil {
+			continue
+		}
+		node := ip.Node(fn)
+		if node == nil || ip.wallclockWaived(node) {
+			continue
+		}
+		for _, cs := range node.Calls {
+			var clock, rand *Site
+			var via *types.Func
+			for _, target := range cs.Targets {
+				tn := ip.Node(target)
+				if tn == nil {
+					continue // stdlib: the direct check covers it
+				}
+				if target.Pkg() != nil && ip.DeterministicPkg(target.Pkg().Path()) {
+					continue // callee package is checked in its own right
+				}
+				sum := ip.Summary(target)
+				if sum == nil {
+					continue
+				}
+				if clock == nil && len(sum.Clock) > 0 {
+					clock, via = sum.Clock[0], target
+				}
+				if rand == nil && len(sum.Rand) > 0 {
+					rand, via = sum.Rand[0], target
+				}
+			}
+			if clock != nil {
+				pass.Reportf(cs.Call.Pos(), "call to %s reaches the wall clock in a deterministic package: %s", funcLabel(via), ip.RenderChain(clock))
+			}
+			if rand != nil {
+				pass.Reportf(cs.Call.Pos(), "call to %s reaches the global rand source in a deterministic package: %s", funcLabel(via), ip.RenderChain(rand))
+			}
+		}
+	}
 }
 
 // nondeterministicTimeFuncs read the wall clock.

@@ -57,6 +57,12 @@ type Loader struct {
 	std    types.ImporterFrom
 	pkgs   map[string]*Package // keyed by directory
 	byPath map[string]*Package // keyed by import path
+
+	// inter caches the interprocedural solve over the packages loaded so
+	// far; interN is the byPath count at build time, so loading more
+	// packages invalidates the cache.
+	inter  *Interproc
+	interN int
 }
 
 // NewLoader returns a loader for the module rooted at root.
@@ -80,6 +86,33 @@ func NewLoader(root, modulePath string) *Loader {
 
 // Fset returns the loader's shared file set.
 func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Packages returns every package loaded so far, in import-path order.
+func (l *Loader) Packages() []*Package {
+	paths := make([]string, 0, len(l.byPath))
+	for p := range l.byPath {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		if pkg := l.byPath[p]; pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// Interproc returns the interprocedural state (call graph + summaries)
+// over every package loaded so far, building it on first use and
+// rebuilding when the loaded set has grown since.
+func (l *Loader) Interproc() *Interproc {
+	if l.inter == nil || l.interN != len(l.byPath) {
+		l.inter = BuildInterproc(l.fset, l.Packages())
+		l.interN = len(l.byPath)
+	}
+	return l.inter
+}
 
 // Load resolves the given patterns ("./...", "./internal/core", absolute
 // directories) into loaded packages, in deterministic directory order.

@@ -1,6 +1,7 @@
 package analysis_test
 
 import (
+	"strings"
 	"testing"
 
 	"netpart/internal/analysis"
@@ -47,5 +48,49 @@ func TestModuleLoadsAndIsLintClean(t *testing.T) {
 		for _, d := range diags {
 			t.Errorf("committed tree must be lint-clean: %s", d)
 		}
+	}
+}
+
+// TestModuleIsAllocfreeClean is the interprocedural zero-alloc gate run
+// whole-tree under plain `go test`: every //netpart:hotpath function in
+// the module must prove allocation-free through its entire call tree, and
+// the wire/lockstep protocols must be symmetric. The hotpath-count floor
+// keeps the test honest — if the annotations were ever stripped, the
+// analyzers would pass vacuously and this fails instead.
+func TestModuleIsAllocfreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module from source")
+	}
+	root, modPath, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := analysis.NewLoader(root, modPath)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	subset := []*analysis.Analyzer{analysis.AllocFree, analysis.MsgProto}
+	hot := 0
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if strings.HasPrefix(c.Text, "//netpart:hotpath") {
+						hot++
+					}
+				}
+			}
+		}
+		diags, err := analysis.Check(pkg, subset)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg.Path, err)
+		}
+		for _, d := range diags {
+			t.Errorf("hot paths must stay provably allocation-free: %s", d)
+		}
+	}
+	if hot < 5 {
+		t.Errorf("found %d //netpart:hotpath annotations module-wide, want >= 5 (gate would be vacuous)", hot)
 	}
 }

@@ -20,6 +20,17 @@ func TestHotPath(t *testing.T) {
 	antest.Run(t, []*analysis.Analyzer{analysis.HotPath}, fixture("hotpath"))
 }
 
+// TestAllocFree runs hotpath and allocfree together: the fixture pins the
+// division of labor (direct sites → hotpath, call-derived sites →
+// allocfree with provenance chains) and the scoped-suppression interplay.
+func TestAllocFree(t *testing.T) {
+	antest.Run(t, []*analysis.Analyzer{analysis.HotPath, analysis.AllocFree}, fixture("allocfree"))
+}
+
+func TestMsgProto(t *testing.T) {
+	antest.Run(t, []*analysis.Analyzer{analysis.MsgProto}, fixture("msgproto"))
+}
+
 func TestPoolLifetime(t *testing.T) {
 	antest.Run(t, []*analysis.Analyzer{analysis.PoolLifetime}, fixture("poollifetime"))
 }

@@ -1,0 +1,196 @@
+// Package msgproto is the fixture for the wire-protocol analyzer: codec
+// encode/decode symmetry (field order and widths) and lockstep send/recv
+// matching in //netpart:lockstep exchange rounds.
+package msgproto
+
+import "encoding/binary"
+
+// Transport mirrors the mmps transport surface the lockstep checker keys
+// on: Send(dst, frame) / Recv(src).
+type Transport interface {
+	Rank() int
+	Size() int
+	Send(dst int, b []byte) error
+	Recv(src int) ([]byte, error)
+}
+
+// --- group "stat": symmetric, the well-formed baseline ---
+
+//netpart:wire stat encode
+func encodeStat(ms, rows uint64) []byte {
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint64(buf[0:8], ms)
+	binary.BigEndian.PutUint64(buf[8:16], rows)
+	return buf
+}
+
+//netpart:wire stat decode
+func decodeStat(buf []byte) (uint64, uint64) {
+	ms := binary.BigEndian.Uint64(buf[0:8])
+	rows := binary.BigEndian.Uint64(buf[8:16])
+	return ms, rows
+}
+
+// --- group "meas": the decoder reads the two fields in the wrong order ---
+
+//netpart:wire meas encode
+func encodeMeas(ms, rows uint64) []byte {
+	buf := make([]byte, 16)
+	binary.BigEndian.PutUint64(buf[0:8], ms)
+	binary.BigEndian.PutUint64(buf[8:16], rows)
+	return buf
+}
+
+//netpart:wire meas decode
+func decodeMeas(buf []byte) (uint64, uint64) {
+	rows := binary.BigEndian.Uint64(buf[8:16])
+	ms := binary.BigEndian.Uint64(buf[0:8]) // want `wire group "meas"`
+	return ms, rows
+}
+
+// --- group "pair": the decoder is missing the trailing field ---
+
+//netpart:wire pair encode
+func encodePair(a, b uint32, tag byte) []byte {
+	buf := make([]byte, 9)
+	buf[0] = tag
+	binary.BigEndian.PutUint32(buf[1:5], a)
+	binary.BigEndian.PutUint32(buf[5:9], b)
+	return buf
+}
+
+//netpart:wire pair decode
+func decodePair(buf []byte) (uint32, uint32, byte) { // want `wire group "pair".*field operations`
+	tag := buf[0]
+	a := binary.BigEndian.Uint32(buf[1:5])
+	return a, 0, tag
+}
+
+// --- lockstep rounds ---
+
+// goodRound is the Engine.Round shape done right: symmetric hub exchange,
+// no findings.
+//
+//netpart:lockstep
+func goodRound(tr Transport, ms, rows uint64) error {
+	rank, size := tr.Rank(), tr.Size()
+	if rank != 0 {
+		if err := tr.Send(0, encodeStat(ms, rows)); err != nil {
+			return err
+		}
+		buf, err := tr.Recv(0)
+		if err != nil {
+			return err
+		}
+		_, _ = decodeStat(buf)
+		return nil
+	}
+	for src := 1; src < size; src++ {
+		buf, err := tr.Recv(src)
+		if err != nil {
+			return err
+		}
+		_, _ = decodeStat(buf)
+	}
+	msg := encodeStat(ms, rows)
+	for dst := 1; dst < size; dst++ {
+		if err := tr.Send(dst, msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// lostRound: the workers report upward but the hub never drains the
+// reports — an unmatched send on both sides of the rank split.
+//
+//netpart:lockstep
+func lostRound(tr Transport, ms, rows uint64) error {
+	rank, size := tr.Rank(), tr.Size()
+	if rank != 0 {
+		return tr.Send(0, encodeStat(ms, rows)) // want `sent on one side but never received`
+	}
+	msg := encodeStat(ms, rows)
+	for dst := 1; dst < size; dst++ {
+		if err := tr.Send(dst, msg); err != nil { // want `sent on one side but never received`
+			return err
+		}
+	}
+	return nil
+}
+
+// selfRound: the broadcast loop starts at rank 0 — the hub routes its own
+// share through the transport and deadlocks on itself.
+//
+//netpart:lockstep
+func selfRound(tr Transport, ms, rows uint64) error {
+	rank, size := tr.Rank(), tr.Size()
+	if rank != 0 {
+		if err := tr.Send(0, encodeStat(ms, rows)); err != nil {
+			return err
+		}
+		buf, err := tr.Recv(0)
+		if err != nil {
+			return err
+		}
+		_, _ = decodeStat(buf)
+		return nil
+	}
+	for src := 1; src < size; src++ {
+		buf, err := tr.Recv(src)
+		if err != nil {
+			return err
+		}
+		_, _ = decodeStat(buf)
+	}
+	msg := encodeStat(ms, rows)
+	if err := tr.Send(0, msg); err != nil { // want `sends to itself`
+		return err
+	}
+	for dst := 1; dst < size; dst++ {
+		if err := tr.Send(dst, msg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deadlockRound: both sides of the split receive before sending, so every
+// rank waits on the other.
+//
+//netpart:lockstep
+func deadlockRound(tr Transport, ms, rows uint64) error {
+	rank := tr.Rank()
+	if rank != 0 {
+		buf, err := tr.Recv(0) // want `both sides receive before sending`
+		if err != nil {
+			return err
+		}
+		_, _ = decodeStat(buf)
+		return tr.Send(0, encodeStat(ms, rows))
+	}
+	buf, err := tr.Recv(1)
+	if err != nil {
+		return err
+	}
+	_, _ = decodeStat(buf)
+	return tr.Send(1, encodeStat(ms, rows))
+}
+
+// peerSkew: ranks run the same code against their neighbor, but what goes
+// out is group "stat" and what is expected back is group "meas" — the
+// matching receive/send for each group is missing.
+//
+//netpart:lockstep
+func peerSkew(tr Transport, ms, rows uint64) error {
+	peer := tr.Rank() ^ 1
+	if err := tr.Send(peer, encodeStat(ms, rows)); err != nil { // want `sends wire group "stat" but never receives it`
+		return err
+	}
+	buf, err := tr.Recv(peer) // want `receives wire group "meas" but never sends it`
+	if err != nil {
+		return err
+	}
+	_, _ = decodeMeas(buf)
+	return nil
+}

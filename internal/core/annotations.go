@@ -25,14 +25,18 @@ type ComputationPhase struct {
 	// ComplexityPerPDU is the computational-complexity callback: the number
 	// of operations executed per PDU in one cycle. It may close over
 	// problem parameters such as the problem size N (5N for the paper's
-	// stencil).
+	// stencil). Installed callbacks must be pure arithmetic — the estimator
+	// invokes them on its zero-allocation hot path.
 	//netpart:unit ops/pdus
+	//netpart:purecallback
 	ComplexityPerPDU func() float64
 	// TotalOps optionally replaces the linear form S·complexity·A of Eq. 4
 	// for computations whose per-task cost is not linear in the number of
 	// PDUs held (the paper's Gaussian-elimination case). Given a PDU count
-	// it returns the operations per cycle. Nil means linear.
+	// it returns the operations per cycle. Nil means linear. Installed
+	// callbacks must be pure arithmetic (see ComplexityPerPDU).
 	//netpart:unit ops
+	//netpart:purecallback
 	TotalOps func(pdus float64) float64
 	// Class selects which instruction speed (integer or floating point) the
 	// cluster manager's S_i refers to for this phase.
@@ -61,8 +65,10 @@ type CommunicationPhase struct {
 	// BytesPerMessage is the communication-complexity callback: the number
 	// of bytes transmitted to each neighbor in one cycle. It receives the
 	// PDU count of the sending task because message size may depend on the
-	// assignment (for the paper's stencil it is the constant 4N).
+	// assignment (for the paper's stencil it is the constant 4N). Installed
+	// callbacks must be pure arithmetic (see ComplexityPerPDU).
 	//netpart:unit bytes
+	//netpart:purecallback
 	BytesPerMessage func(pdus float64) float64
 	// Overlap names the computation phase this communication is overlapped
 	// with, or is empty for no overlap (STEN-1 vs STEN-2).
@@ -75,7 +81,10 @@ type Annotations struct {
 	// Name identifies the program (for reports).
 	Name string
 	// NumPDUs is the number-of-PDUs callback (N rows for the stencil).
+	// Installed callbacks must be pure arithmetic (see
+	// ComputationPhase.ComplexityPerPDU).
 	//netpart:unit pdus
+	//netpart:purecallback
 	NumPDUs func() int
 	// Compute and Comm list the phases of one cycle.
 	Compute []ComputationPhase

@@ -125,6 +125,8 @@ func (e *Engine) Decide(cycle int, reason string, cur core.Vector, measuredMs []
 // decision fields of the returned Plan are populated at rank 0 only.
 // Migration is the caller's next step (Migrator.Migrate) when the plan
 // changed.
+//
+//netpart:lockstep
 func (e *Engine) Round(lk Link, cycle int, reason string, rows int, measuredMs float64, plan bool) (Plan, error) {
 	rank, size := lk.Rank(), lk.Size()
 	if rank != 0 {

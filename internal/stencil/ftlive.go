@@ -137,6 +137,8 @@ type ftShared struct {
 // with failure detection and recovery. The transports must outlive the
 // call; a crashed rank stops participating but its transport endpoint is
 // left to the caller to close.
+//
+//netpart:wallclock
 func RunLiveFT(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, opts FTOptions) (FTResult, error) {
 	if len(world) == 0 || len(world) != len(vec) {
 		return FTResult{}, fmt.Errorf("stencil: %d transports for %d vector entries", len(world), len(vec))

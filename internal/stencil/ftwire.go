@@ -30,6 +30,8 @@ const (
 const ftHeaderLen = 9
 
 // ftFrame prepends the frame header to payload.
+//
+//netpart:wire ftframe encode
 func ftFrame(typ byte, epoch, cycle int, payload []byte) []byte {
 	buf := make([]byte, ftHeaderLen+len(payload))
 	buf[0] = typ
@@ -59,6 +61,8 @@ func appendFTFrame(dst []byte, typ byte, epoch, cycle int) []byte {
 }
 
 // ftParse splits a frame into its header fields and payload (aliasing buf).
+//
+//netpart:wire ftframe decode
 func ftParse(buf []byte) (typ byte, epoch, cycle int, payload []byte, err error) {
 	if len(buf) < ftHeaderLen {
 		return 0, 0, 0, nil, fmt.Errorf("stencil: short ft frame (%d bytes)", len(buf))

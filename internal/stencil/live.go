@@ -37,6 +37,8 @@ type LiveResult struct {
 // their row updates workFactor[rank]-1 extra times into a scratch buffer,
 // making a rank behave like a proportionally slower processor. Nil means
 // uniform speed.
+//
+//netpart:wallclock
 func RunLive(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, workFactor []int) (LiveResult, error) {
 	return RunLiveObserved(world, vec, v, n, iters, workFactor, nil, nil)
 }
@@ -46,6 +48,8 @@ func RunLive(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, w
 // and one span per task per cycle into rec, timestamped relative to the
 // iteration loop's start so the Chrome trace aligns all ranks. Either may
 // be nil to disable.
+//
+//netpart:wallclock
 func RunLiveObserved(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, workFactor []int, m *obs.Registry, rec *obs.Recorder) (LiveResult, error) {
 	return RunLiveMonitored(world, vec, v, n, iters, workFactor, m, rec, nil)
 }
@@ -54,6 +58,8 @@ func RunLiveObserved(world []mmps.Transport, vec core.Vector, v Variant, n, iter
 // (when non-nil) receives every rank's wall-clock cycle and
 // border-exchange duration as it completes, from that rank's goroutine —
 // the hookup point for the drift monitor (internal/obs/drift).
+//
+//netpart:wallclock
 func RunLiveMonitored(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, workFactor []int, m *obs.Registry, rec *obs.Recorder, sink obs.CycleSink) (LiveResult, error) {
 	if len(world) == 0 || len(world) != len(vec) {
 		return LiveResult{}, fmt.Errorf("stencil: %d transports for %d vector entries", len(world), len(vec))
@@ -130,6 +136,8 @@ func (lo liveObs) sinceMs() float64 {
 // structure, but borders are marshaled through the transport and the row
 // update is executed for real. cur/next are flat blocks (grid.go) and each
 // border exchange is one pooled halo frame per neighbor per cycle.
+//
+//netpart:lockstep
 func runLiveTask(tr mmps.Transport, rows, off int, initial [][]float64, res *resultGrid, v Variant, n, iters, workFactor int, lo liveObs) error {
 	rank, size := tr.Rank(), tr.Size()
 	cur := newBlock(rows, n)

@@ -79,6 +79,8 @@ type LiveAdaptiveResult struct {
 // result is bit-exact with the sequential kernel for any plan sequence
 // (decisions may vary with wall-clock noise; the migration protocol keeps
 // every rank consistent because only rank 0 decides and broadcasts).
+//
+//netpart:wallclock
 func RunLiveAdaptive(world []mmps.Transport, vec core.Vector, v Variant, n, iters int, opts LiveAdaptiveOptions) (LiveAdaptiveResult, error) {
 	if len(world) == 0 || len(world) != len(vec) {
 		return LiveAdaptiveResult{}, fmt.Errorf("stencil: %d transports for %d vector entries", len(world), len(vec))

@@ -57,7 +57,7 @@ func SegmentCrosses(t Topology, lo, hi, p int) bool {
 		return false
 	default:
 		for rank := lo; rank < hi; rank++ {
-			for _, nb := range t.Neighbors(rank, p) {
+			for _, nb := range t.Neighbors(rank, p) { //nolint:netpart/allocfree reason=fallback for out-of-module Topology implementations only; every built-in topology is special-cased above and never reaches this allocation
 				if outside(nb, lo, hi) {
 					return true
 				}
