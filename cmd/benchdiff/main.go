@@ -6,13 +6,15 @@
 // Usage:
 //
 //	go test -bench . -benchmem ./... | benchdiff parse > BENCH_pr.json
-//	benchdiff compare [-threshold 0.30] [-soft] BENCH_baseline.json BENCH_pr.json
+//	benchdiff compare [-threshold 0.30] [-soft] [-json] BENCH_baseline.json BENCH_pr.json
 //	benchdiff gate [-policy BENCH_policy.json] [-hotpath-src .] BENCH_pr.json
 //
 // compare exits 1 when any benchmark present in both snapshots regressed
 // beyond the threshold in time (ns/op) or allocations (allocs/op); -soft
 // downgrades regressions to warnings (exit 0), the mode CI uses on shared
-// noisy runners.
+// noisy runners. -json replaces the text report with one JSON document
+// (compared, regressions, threshold, findings) so tooling can consume the
+// verdict without scraping; the exit-code contract is unchanged.
 //
 // gate enforces absolute per-benchmark budgets from a committed policy
 // file instead of diffing against a baseline: each entry names a hard
@@ -170,14 +172,15 @@ func parseBench(r io.Reader) (Snapshot, error) {
 	return snap, sc.Err()
 }
 
-// Finding is one comparison outcome worth reporting.
+// Finding is one comparison outcome worth reporting. The JSON field names
+// are the machine-readable contract of `compare -json`.
 type Finding struct {
-	Name   string
-	Metric string // "ns/op" or "allocs/op"
-	Base   float64
-	Cur    float64
+	Name   string  `json:"name"`
+	Metric string  `json:"metric"` // "ns/op" or "allocs/op"
+	Base   float64 `json:"base"`
+	Cur    float64 `json:"current"`
 	// Regressed marks findings beyond the threshold in the bad direction.
-	Regressed bool
+	Regressed bool `json:"regressed"`
 }
 
 func (f Finding) String() string {
@@ -231,10 +234,20 @@ func compare(base, cur Snapshot, threshold float64) []Finding {
 	return findings
 }
 
+// CompareReport is the whole-run result `compare -json` emits: the
+// verdict CI scripts parse instead of grepping the text report.
+type CompareReport struct {
+	Compared    int       `json:"compared"`
+	Regressions int       `json:"regressions"`
+	Threshold   float64   `json:"threshold"`
+	Findings    []Finding `json:"findings"`
+}
+
 func runCompare(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("compare", flag.ExitOnError)
 	threshold := fs.Float64("threshold", 0.30, "fractional regression threshold (0.30 = 30%)")
 	soft := fs.Bool("soft", false, "report regressions but exit 0 (for noisy shared runners)")
+	asJSON := fs.Bool("json", false, "emit the comparison as one JSON document instead of text")
 	if err := fs.Parse(args); err != nil {
 		return 2, err
 	}
@@ -252,7 +265,6 @@ func runCompare(args []string, out io.Writer) (int, error) {
 	findings := compare(base, cur, *threshold)
 	regressions := 0
 	for _, f := range findings {
-		fmt.Fprintln(out, f)
 		if f.Regressed {
 			regressions++
 		}
@@ -263,8 +275,23 @@ func runCompare(args []string, out io.Writer) (int, error) {
 			shared++
 		}
 	}
-	fmt.Fprintf(out, "benchdiff: %d benchmarks compared, %d regressions (threshold %.0f%%)\n",
-		shared, regressions, *threshold*100)
+	if *asJSON {
+		rep := CompareReport{Compared: shared, Regressions: regressions, Threshold: *threshold, Findings: findings}
+		if rep.Findings == nil {
+			rep.Findings = []Finding{}
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
+		fmt.Fprintf(out, "benchdiff: %d benchmarks compared, %d regressions (threshold %.0f%%)\n",
+			shared, regressions, *threshold*100)
+	}
 	if regressions > 0 && !*soft {
 		return 1, nil
 	}

@@ -379,3 +379,74 @@ func fixture() {}
 		}
 	}
 }
+
+// TestCompareJSON pins the machine-readable form of `compare -json`
+// against the same synthetic regression the exit-code test injects: one
+// JSON document whose findings carry the regression verdicts, with the
+// exit-code contract unchanged.
+func TestCompareJSON(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, s Snapshot) string {
+		data, err := json.Marshal(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	base := write("base.json", Snapshot{
+		"p/BenchmarkSlow":  {NsPerOp: 1000, AllocsPerOp: 10, HaveMem: true},
+		"p/BenchmarkAlloc": {NsPerOp: 1000, AllocsPerOp: 0, HaveMem: true},
+		"p/BenchmarkFine":  {NsPerOp: 1000, AllocsPerOp: 10, HaveMem: true},
+	})
+	cur := write("cur.json", Snapshot{
+		"p/BenchmarkSlow":  {NsPerOp: 1500, AllocsPerOp: 10, HaveMem: true}, // +50% time
+		"p/BenchmarkAlloc": {NsPerOp: 1000, AllocsPerOp: 1, HaveMem: true},  // zero-alloc broken
+		"p/BenchmarkFine":  {NsPerOp: 1100, AllocsPerOp: 11, HaveMem: true}, // within threshold
+	})
+
+	var out strings.Builder
+	code, err := runCompare([]string{"-json", base, cur}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; output:\n%s", code, out.String())
+	}
+	var rep CompareReport
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("output is not one JSON document: %v\n%s", err, out.String())
+	}
+	if rep.Compared != 3 || rep.Regressions != 2 || rep.Threshold != 0.30 {
+		t.Errorf("summary = %+v, want compared=3 regressions=2 threshold=0.3", rep)
+	}
+	want := map[string]bool{
+		"p/BenchmarkSlow ns/op":      true,
+		"p/BenchmarkAlloc allocs/op": true,
+	}
+	for _, f := range rep.Findings {
+		if f.Regressed != want[f.Name+" "+f.Metric] {
+			t.Errorf("finding %+v has wrong verdict", f)
+		}
+		if f.Cur <= 0 {
+			t.Errorf("finding %+v lost its measurements", f)
+		}
+	}
+	if len(rep.Findings) != 2 {
+		t.Errorf("got %d findings, want 2: %+v", len(rep.Findings), rep.Findings)
+	}
+
+	// A clean comparison still emits a well-formed document with an empty
+	// findings array, not null.
+	out.Reset()
+	code, err = runCompare([]string{"-json", base, base}, &out)
+	if err != nil || code != 0 {
+		t.Fatalf("clean compare: code=%d err=%v", code, err)
+	}
+	if !strings.Contains(out.String(), `"findings": []`) {
+		t.Errorf("empty findings must serialize as [], got:\n%s", out.String())
+	}
+}

@@ -57,7 +57,12 @@ func run(args []string) int {
 	if *only != "" {
 		analyzers = selectAnalyzers(analyzers, *only)
 		if analyzers == nil {
-			fmt.Fprintf(os.Stderr, "netpartlint: -analyzers %q names an unknown analyzer (see -list)\n", *only)
+			names := make([]string, len(analysis.Analyzers()))
+			for i, a := range analysis.Analyzers() {
+				names[i] = a.Name
+			}
+			fmt.Fprintf(os.Stderr, "netpartlint: -analyzers %q names an unknown analyzer; valid: %s\n",
+				*only, strings.Join(names, ", "))
 			return 2
 		}
 	}

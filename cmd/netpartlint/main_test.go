@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"go/token"
+	"io"
+	"os"
 	"strings"
 	"testing"
 
@@ -136,5 +138,37 @@ func TestWriteNDJSONEmpty(t *testing.T) {
 	}
 	if live != 0 || buf.Len() != 0 {
 		t.Errorf("empty input: live=%d output=%q, want 0 and empty", live, buf.String())
+	}
+}
+
+// TestUnknownAnalyzerListsValidNames pins the -analyzers failure mode: an
+// unknown name must fail fast (exit 2, nothing analyzed) and the error
+// must list every valid analyzer name so the caller can fix the flag
+// without hunting for -list.
+func TestUnknownAnalyzerListsValidNames(t *testing.T) {
+	oldStderr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	code := run([]string{"-analyzers", "nosuchanalyzer"})
+	w.Close()
+	os.Stderr = oldStderr
+	var buf bytes.Buffer
+	if _, err := io.Copy(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr:\n%s", code, buf.String())
+	}
+	msg := buf.String()
+	if !strings.Contains(msg, `"nosuchanalyzer"`) {
+		t.Errorf("error does not quote the offending name: %s", msg)
+	}
+	for _, a := range analysis.Analyzers() {
+		if !strings.Contains(msg, a.Name) {
+			t.Errorf("error does not list valid analyzer %q: %s", a.Name, msg)
+		}
 	}
 }

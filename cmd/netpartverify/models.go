@@ -1,0 +1,230 @@
+// Builtin protocol models for the //netpart:lockstep model=<name>
+// functions, whose traffic is computed at runtime rather than fixed by
+// control flow: the Migrator's set-difference row spans and the FT
+// recovery barrier. The models are built per instance (per migration plan,
+// per dead set) by the same exported runtime functions that compute the
+// real traffic — repart.NewOwners, repart.ForEachSpan, repart.Overlap —
+// so who-sends-what-to-whom is the implementation's answer, not a
+// transcription of it.
+//
+// Where the runtime is free to reorder (mmps sends are asynchronous and
+// the FT absorb loop is pump-driven, applying rows tagged with their
+// global position in any arrival order), the models serialize operations
+// in a canonical order — ascending global row spans, lexicographic pair
+// order for the sync flood, parity order for the ward ring — so that a
+// single program per rank covers the protocol under both semantics. This
+// is the same arrival-order reduction protomc's UniformRecv makes, applied
+// at model construction.
+package main
+
+import (
+	"fmt"
+
+	"netpart/internal/analysis/protomc"
+	"netpart/internal/core"
+	"netpart/internal/repart"
+)
+
+// builtinSystems builds every instance of a named builtin model at world
+// size p. Unknown names are an error (a directive typo must not verify
+// vacuously).
+func builtinSystems(model string, p int) ([]*protomc.System, error) {
+	switch model {
+	case "migration":
+		return migrationSystems(p), nil
+	case "ft-recovery":
+		return ftRecoverySystems(p), nil
+	}
+	return nil, fmt.Errorf("unknown builtin protocol model %q", model)
+}
+
+// migrationPlans returns representative (old, new) vector pairs at world
+// size p: the revector shapes the adaptive engine actually produces
+// (boundary shifts, concentration onto rank 0, growth from rank 0,
+// retiring a middle rank).
+func migrationPlans(p int) []struct {
+	label    string
+	old, new core.Vector
+} {
+	n := 4 * p // rows: enough that every rank owns a span under every plan
+	balanced := make(core.Vector, p)
+	for r := range balanced {
+		balanced[r] = n / p
+	}
+	shift := append(core.Vector{}, balanced...)
+	shift[0] += 2
+	shift[p-1] -= 2
+	concentrate := make(core.Vector, p)
+	concentrate[0] = n
+	retire := append(core.Vector{}, balanced...)
+	mid := p / 2
+	moved := retire[mid]
+	retire[mid] = 0
+	retire[0] += moved - moved/2
+	retire[p-1] += moved / 2
+	return []struct {
+		label    string
+		old, new core.Vector
+	}{
+		{"shift", balanced, shift},
+		{"concentrate", balanced, concentrate},
+		{"grow", concentrate, balanced},
+		{"retire-mid", balanced, retire},
+	}
+}
+
+// migrationSystems models Migrator.Migrate for each representative plan:
+// every rank sends its span overlaps ascending (the ForEachSpan order of
+// the implementation), then receives from every lower-to-higher source
+// with a nonzero overlap (the implementation's ascending receive loop).
+func migrationSystems(p int) []*protomc.System {
+	var out []*protomc.System
+	for _, plan := range migrationPlans(p) {
+		oldOwn, newOwn := repart.NewOwners(plan.old), repart.NewOwners(plan.new)
+		b := protomc.NewSystem("repart.Migrator.Migrate", p)
+		for r := 0; r < p; r++ {
+			rp := b.Rank(r)
+			// ForEachSpan with skip=r is exactly Migrate's send loop.
+			_ = repart.ForEachSpan(oldOwn.First(r), oldOwn.Count(r), newOwn, r,
+				func(dst, spanFirst, spanCount int) error {
+					rp.Send(dst, "rows", fmt.Sprintf("model:migrate[%s] rows %d+%d", plan.label, spanFirst, spanCount))
+					return nil
+				})
+			for src := 0; src < p; src++ {
+				if src == r || repart.Overlap(oldOwn, src, newOwn, r) == 0 {
+					continue
+				}
+				rp.Recv(src, "rows", fmt.Sprintf("model:migrate[%s] from %d", plan.label, src))
+			}
+		}
+		sys := b.System()
+		sys.Assign = "plan=" + plan.label
+		out = append(out, sys)
+	}
+	return out
+}
+
+// ftDeadSets returns the failure scenarios modeled at world size p: each
+// single-rank failure position that is distinct (first, middle, last) and
+// one double failure when the quorum rule (dead*2 <= P) admits it.
+func ftDeadSets(p int) [][]int {
+	sets := [][]int{{0}}
+	if p >= 3 {
+		sets = append(sets, []int{p / 2}, []int{p - 1})
+	}
+	if p >= 4 {
+		sets = append(sets, []int{1, 2})
+	}
+	return sets
+}
+
+// ftRecoverySystems models one recovery round of the FT runtime per dead
+// set: (1) the failure-agreement sync flood among survivors, all-to-all in
+// lexicographic pair order; (2) row redistribution from each row's holder
+// (its owner if alive, else the lowest survivor, which holds every dead
+// rank's checkpoint replica in the model) to its new owner under the
+// survivors' rebalanced vector, in ascending span order; (3) checkpoint
+// re-replication around the survivor ward ring in parity order.
+func ftRecoverySystems(p int) []*protomc.System {
+	var out []*protomc.System
+	for _, dead := range ftDeadSets(p) {
+		isDead := make([]bool, p)
+		for _, d := range dead {
+			isDead[d] = true
+		}
+		var survivors []int
+		for r := 0; r < p; r++ {
+			if !isDead[r] {
+				survivors = append(survivors, r)
+			}
+		}
+		if len(survivors) == 0 || len(dead)*2 > p {
+			continue
+		}
+		label := fmt.Sprintf("dead=%v", dead)
+		b := protomc.NewSystem("stencil.ftTask.recover", p)
+		rank := make(map[int]*protomc.RankProg, len(survivors))
+		for _, s := range survivors {
+			rank[s] = b.Rank(s)
+		}
+
+		// Phase 1: sync flood, lexicographic pair order. Each pair (i, j)
+		// with i < j exchanges both directions; the lower rank initiates.
+		// Processing pairs in a single global order keeps the all-to-all
+		// rendezvous-safe: the smallest incomplete pair always has both
+		// endpoints available.
+		for a := 0; a < len(survivors); a++ {
+			for bidx := a + 1; bidx < len(survivors); bidx++ {
+				i, j := survivors[a], survivors[bidx]
+				src := fmt.Sprintf("model:recover[%s] sync %d<->%d", label, i, j)
+				rank[i].Send(j, "ftsync", src)
+				rank[j].Recv(i, "ftsync", src)
+				rank[j].Send(i, "ftsync", src)
+				rank[i].Recv(j, "ftsync", src)
+			}
+		}
+
+		// Phase 2: row redistribution. Old ownership spans the full world
+		// (dead ranks owned rows); the new vector rebalances over the
+		// survivors. Each row's holder is its old owner when alive, else
+		// the lowest survivor. Spans stream in ascending global-row order
+		// on both sides, so every send meets a receiver whose program has
+		// already disposed of all earlier spans.
+		n := 4 * p
+		oldVec := make(core.Vector, p)
+		for r := 0; r < p; r++ {
+			oldVec[r] = n / p
+		}
+		newVec := make(core.Vector, p) // dead ranks get 0
+		for i, s := range survivors {
+			newVec[s] = n / len(survivors)
+			if i < n%len(survivors) {
+				newVec[s]++
+			}
+		}
+		oldOwn, newOwn := repart.NewOwners(oldVec), repart.NewOwners(newVec)
+		holder := func(g int) int {
+			o := oldOwn.OwnerOf(g)
+			if isDead[o] {
+				return survivors[0]
+			}
+			return o
+		}
+		for g := 0; g < n; {
+			h, s := holder(g), newOwn.OwnerOf(g)
+			end := g + 1
+			for end < n && holder(end) == h && newOwn.OwnerOf(end) == s {
+				end++
+			}
+			if h != s {
+				src := fmt.Sprintf("model:recover[%s] rows %d..%d", label, g, end-1)
+				rank[h].Send(s, "ftrows", src)
+				rank[s].Recv(h, "ftrows", src)
+			}
+			g = end
+		}
+
+		// Phase 3: checkpoint re-replication around the survivor ring in
+		// parity order: even positions send to their ward first, odd
+		// positions receive from their warder first.
+		if m := len(survivors); m >= 2 {
+			for i, s := range survivors {
+				ward := survivors[(i+1)%m]
+				warder := survivors[(i-1+m)%m]
+				src := fmt.Sprintf("model:recover[%s] ward %d->%d", label, s, ward)
+				if i%2 == 0 {
+					rank[s].Send(ward, "ftckpt", src)
+					rank[s].Recv(warder, "ftckpt", src)
+				} else {
+					rank[s].Recv(warder, "ftckpt", src)
+					rank[s].Send(ward, "ftckpt", src)
+				}
+			}
+		}
+
+		sys := b.System()
+		sys.Assign = label
+		out = append(out, sys)
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+// Package protofix holds seeded-bug lockstep protocols for
+// netpartverify's counterexample tests. Each function is a minimal
+// protocol with one deliberate defect; the tests assert the checker finds
+// it, that the counterexample schedule is minimal, and that the simnet
+// replay confirms it. The package lives under testdata so the module's
+// recursive build, test, and lint sweeps never see it — only netpartverify
+// runs pointed directly at this directory do.
+package protofix
+
+// conn is transport-shaped: the extractor matches Send/Recv/RecvAny by
+// selector name and arity, so a local stand-in exercises the whole
+// pipeline without importing the runtime transport.
+type conn struct{ rank, size int }
+
+func (c *conn) Rank() int { return c.rank }
+
+func (c *conn) Size() int { return c.size }
+
+func (c *conn) Send(dst int, payload []byte) error { return nil }
+
+func (c *conn) Recv(src int) ([]byte, error) { return nil, nil }
+
+// UnmatchedSend seeds the classic conditional-send bug: rank 0 sends only
+// when a data-dependent predicate holds, but rank 1 receives
+// unconditionally. On the branch where the predicate is false, rank 1
+// blocks forever.
+//
+//netpart:lockstep
+func UnmatchedSend(c *conn, ready bool) {
+	if c.Rank() == 0 {
+		if ready {
+			c.Send(1, nil)
+		}
+	}
+	if c.Rank() == 1 {
+		c.Recv(0)
+	}
+}
+
+// RecvCycle seeds a receive-receive cycle that is reachable only at
+// P >= 3: ranks 1 and 2 each wait for the other's message before sending
+// their own. At P = 2 the guard disables the cycle, so a checker that only
+// tries the smallest world proves nothing.
+//
+//netpart:lockstep
+func RecvCycle(c *conn) {
+	if c.Size() >= 3 {
+		if c.Rank() == 1 {
+			c.Recv(2)
+			c.Send(2, nil)
+		}
+		if c.Rank() == 2 {
+			c.Recv(1)
+			c.Send(1, nil)
+		}
+	}
+}
+
+// DoubleSend seeds a buffer-exhaustion deadlock: both ranks of a pair
+// send two messages before receiving any. With per-channel capacity 1
+// (and under rendezvous) both block on the second send; capacity 2 is
+// sufficient, which the checker's max-in-flight report makes precise.
+//
+//netpart:lockstep
+func DoubleSend(c *conn) {
+	if c.Size() == 2 {
+		peer := 1 - c.Rank()
+		c.Send(peer, nil)
+		c.Send(peer, nil)
+		c.Recv(peer)
+		c.Recv(peer)
+	}
+}

@@ -309,3 +309,87 @@ func f(ch chan int) int {
 		t.Errorf("len(NonBlocking) = %d, want 0 for a select without default", len(g.NonBlocking))
 	}
 }
+
+// TestCFGGotoIntoLoopBody: a goto whose label sits INSIDE a for body jumps
+// within the current iteration, bypassing the post statement and the
+// condition. The label block must collect both the iteration fall-through
+// and the goto edge, while the loop head keeps its own back edge — a
+// builder that resolves the label against the function scope would wire
+// the goto to a fresh dead block and sever the in-iteration cycle.
+func TestCFGGotoIntoLoopBody(t *testing.T) {
+	g := buildCFG(t, `
+func f(xs []int) int {
+	n := 0
+	for i := 0; i < len(xs); i++ {
+	inner:
+		n += xs[i]
+		if n < 0 {
+			goto inner
+		}
+	}
+	return n
+}`)
+	want := shape{blocks: 11, edges: 12, reachable: 9, defers: 0, nonBlocking: 0, exitPreds: 2}
+	if got := summarize(g); got != want {
+		t.Errorf("shape = %+v, want %+v", got, want)
+	}
+	// The label target is a join: fall-through into the iteration plus the
+	// goto edge. Find the block holding the += node and count live preds.
+	reach := g.Reachable()
+	var label *analysis.Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if as, ok := n.(*ast.AssignStmt); ok && as.Tok == token.ADD_ASSIGN {
+				label = b
+			}
+		}
+	}
+	if label == nil {
+		t.Fatal("could not locate the labeled block")
+	}
+	livePreds := 0
+	for _, p := range label.Preds {
+		if reach[p.Index] {
+			livePreds++
+		}
+	}
+	if livePreds < 2 {
+		t.Errorf("label block has %d live preds, want >= 2 (iteration entry + goto)", livePreds)
+	}
+}
+
+// TestCFGNestedSelectInnerDefault: when only the inner of two nested
+// selects has a default, exactly the inner's comm clauses become
+// non-blocking; the outer's comms must stay blocking even though a
+// non-blocking select executes inside one of their bodies.
+func TestCFGNestedSelectInnerDefault(t *testing.T) {
+	g := buildCFG(t, `
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		select {
+		case w := <-b:
+			return v + w
+		default:
+		}
+		return v
+	case a <- 1:
+	}
+	return 0
+}`)
+	want := shape{blocks: 11, edges: 12, reachable: 8, defers: 0, nonBlocking: 1, exitPreds: 4}
+	if got := summarize(g); got != want {
+		t.Errorf("shape = %+v, want %+v", got, want)
+	}
+	// The single non-blocking comm is the inner receive `w := <-b`; the
+	// outer receive binds v and the outer send must not be in the map.
+	for stmt := range g.NonBlocking {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok {
+			t.Fatalf("NonBlocking holds %T, want the inner receive assign", stmt)
+		}
+		if as.Lhs[0].(*ast.Ident).Name != "w" {
+			t.Errorf("NonBlocking holds the %q comm, want the inner receive into w", as.Lhs[0].(*ast.Ident).Name)
+		}
+	}
+}

@@ -58,7 +58,12 @@ func runMsgProto(pass *Pass) error {
 			checkWireShape(pass, wi, wf)
 		}
 		if funcHasDirective(fd, "netpart:lockstep") {
-			checkLockstep(pass, ip, wi, fd)
+			// model=<name> protocols opt out of syntactic pairing: their
+			// traffic is data-dependent and verified against a builtin
+			// model by netpartverify instead.
+			if lockstepModel(fd) == "" {
+				checkLockstep(pass, ip, wi, fd)
+			}
 		}
 	}
 	return nil

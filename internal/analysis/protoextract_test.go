@@ -1,0 +1,178 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"netpart/internal/analysis"
+	"netpart/internal/analysis/protomc"
+)
+
+// loadModule loads the whole module and its call graph once per test.
+func loadModule(t *testing.T) ([]*analysis.Package, *analysis.Interproc) {
+	t.Helper()
+	root, modPath, err := analysis.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := analysis.NewLoader(root, modPath)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pkgs, l.Interproc()
+}
+
+// TestExtractRealProtocols extracts every //netpart:lockstep protocol of
+// the committed tree and pins the inventory: the stencil halo exchange and
+// the repartitioning round extract symbolically, the row migration and FT
+// recovery barrier route to builtin models, and nothing is unextractable.
+func TestExtractRealProtocols(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module from source")
+	}
+	pkgs, ip := loadModule(t)
+	protos, diags := analysis.ExtractProtos(pkgs, ip)
+	for _, d := range diags {
+		t.Errorf("unexpected extraction diagnostic: %s", d)
+	}
+	byName := map[string]*analysis.LockstepProto{}
+	models := map[string]bool{}
+	for _, lp := range protos {
+		if lp.Model != "" {
+			models[lp.Model] = true
+			continue
+		}
+		byName[lp.Proto.Name] = lp
+	}
+	for _, want := range []string{"stencil.runLiveTask", "repart.Round"} {
+		if byName[want] == nil {
+			t.Fatalf("protocol %s not extracted; got %v (models %v)", want, keys(byName), models)
+		}
+	}
+	for _, want := range []string{"migration", "ft-recovery"} {
+		if !models[want] {
+			t.Errorf("builtin model %s not declared by any //netpart:lockstep model= directive", want)
+		}
+	}
+}
+
+func keys(m map[string]*analysis.LockstepProto) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// extractOne extracts a single named protocol from the committed tree.
+func extractOne(t *testing.T, name string) *protomc.Proto {
+	t.Helper()
+	pkgs, ip := loadModule(t)
+	protos, diags := analysis.ExtractProtos(pkgs, ip)
+	for _, d := range diags {
+		t.Errorf("unexpected extraction diagnostic: %s", d)
+	}
+	for _, lp := range protos {
+		if lp.Proto != nil && lp.Proto.Name == name {
+			return lp.Proto
+		}
+	}
+	t.Fatalf("protocol %s not found", name)
+	return nil
+}
+
+// TestRepartRoundProtocol checks the extracted gather/broadcast round is
+// deadlock-free and message-conserving at every bounded P under both
+// transport semantics. The round has no data-dependent unknowns: its loop
+// bounds are affine in P and its only branch is the rank-0 hub split.
+func TestRepartRoundProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module from source")
+	}
+	proto := extractOne(t, "repart.Round")
+	if len(proto.Params) != 0 {
+		t.Fatalf("repart.Round extracted %d shared parameters, want 0: %+v", len(proto.Params), proto.Params)
+	}
+	for p := 2; p <= 5; p++ {
+		sys, err := protomc.Instantiate(proto, p)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		for _, sem := range []protomc.Semantics{protomc.Rendezvous, protomc.Buffered} {
+			res, err := protomc.Check(sys, protomc.Config{Sem: sem})
+			if err != nil {
+				t.Fatalf("P=%d %s: %v", p, sem, err)
+			}
+			if !res.OK() {
+				t.Errorf("P=%d %s: %s: %s", p, sem, res.Violation.Kind, res.Violation.Detail)
+			}
+		}
+	}
+}
+
+// TestHaloExchangeProtocol checks the extracted stencil halo exchange —
+// the odd-even pairwise order — is deadlock-free and message-conserving
+// under BOTH semantics at every bounded P, across every assignment of its
+// shared parameters (iteration count, variant selector). Rendezvous
+// safety is the point: the old send-both-then-receive-both order
+// deadlocks on an unbuffered transport (TestUnpairedHaloDeadlocks pins
+// that counterexample), and this test is the proof the rewrite closed it.
+func TestHaloExchangeProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module from source")
+	}
+	proto := extractOne(t, "stencil.runLiveTask")
+	if len(proto.Params) != 2 {
+		t.Fatalf("runLiveTask extracted %d shared parameters, want 2 (trip count, variant): %+v",
+			len(proto.Params), proto.Params)
+	}
+	if !hasModGuard(proto.Ops) {
+		t.Errorf("expected a rank%%2 parity guard in the extracted halo protocol")
+	}
+	for p := 2; p <= 5; p++ {
+		systems, err := protomc.InstantiateAll(proto, p)
+		if err != nil {
+			t.Fatalf("P=%d: %v", p, err)
+		}
+		if len(systems) != 9 {
+			t.Fatalf("P=%d: %d parameter assignments, want 9 (3 trip counts x 3 selector values)", p, len(systems))
+		}
+		for _, sys := range systems {
+			for _, sem := range []protomc.Semantics{protomc.Rendezvous, protomc.Buffered} {
+				res, err := protomc.Check(sys, protomc.Config{Sem: sem})
+				if err != nil {
+					t.Fatalf("P=%d %s [%s]: %v", p, sem, sys.Assign, err)
+				}
+				if !res.OK() {
+					t.Errorf("P=%d %s [%s]: %s: %s\nschedule: %v",
+						p, sem, sys.Assign, res.Violation.Kind, res.Violation.Detail, res.Violation.Steps)
+				}
+			}
+		}
+	}
+}
+
+// hasModGuard walks the op tree for a GMod parity guard.
+func hasModGuard(ops []protomc.Op) bool {
+	var guardHasMod func(g protomc.Guard) bool
+	guardHasMod = func(g protomc.Guard) bool {
+		if g.Kind == protomc.GMod {
+			return true
+		}
+		for _, s := range g.Subs {
+			if guardHasMod(s) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, op := range ops {
+		if op.Kind == protomc.OpIf && guardHasMod(op.Cond) {
+			return true
+		}
+		if hasModGuard(op.Then) || hasModGuard(op.Else) || hasModGuard(op.Body) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,612 @@
+package protomc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Semantics selects the transport model the interleavings are explored
+// under.
+type Semantics int
+
+const (
+	// Rendezvous pairs every send with its receive as one synchronous
+	// transition: the sender blocks until the receiver is at the matching
+	// receive. The strictest model — anything deadlock-free here survives
+	// any buffering.
+	Rendezvous Semantics = iota
+	// Buffered is the mmps contract: per-(src,dst) FIFO channels of
+	// Capacity messages; a send blocks only when its channel is full, a
+	// receive blocks until a message from its source is pending. mmps
+	// itself never backpressures (unbounded queues), so checking at a
+	// finite capacity proves the protocol also survives a transport that
+	// does.
+	Buffered
+)
+
+func (s Semantics) String() string {
+	if s == Rendezvous {
+		return "rendezvous"
+	}
+	return "buffered"
+}
+
+// Config parameterizes one exploration.
+type Config struct {
+	Sem Semantics
+	// Capacity is the per-channel message capacity under Buffered
+	// semantics (ignored under Rendezvous). Zero defaults to 1.
+	Capacity int
+	// MaxStates caps the exploration; exceeding it is an error, not a
+	// verdict. Zero defaults to 4 million.
+	MaxStates int
+}
+
+// Step is one scheduled action of a counterexample or replay schedule.
+type Step struct {
+	Rank   int    `json:"rank"`
+	Action string `json:"action"` // "send", "recv", "xfer", "branch"
+	Peer   int    `json:"peer"`   // counterpart rank; -1 for branch
+	Group  string `json:"group"`
+	Src    string `json:"src"`
+}
+
+func (s Step) String() string {
+	switch s.Action {
+	case "branch":
+		return fmt.Sprintf("rank %d: branch (%s)", s.Rank, s.Src)
+	case "send":
+		return fmt.Sprintf("rank %d: send %q -> rank %d (%s)", s.Rank, s.Group, s.Peer, s.Src)
+	case "recv":
+		return fmt.Sprintf("rank %d: recv %q <- rank %d (%s)", s.Rank, s.Group, s.Peer, s.Src)
+	default: // xfer: rendezvous handoff
+		return fmt.Sprintf("rank %d: send %q -> rank %d (rendezvous) (%s)", s.Rank, s.Group, s.Peer, s.Src)
+	}
+}
+
+// Violation is one checked property failing, with the minimal schedule
+// reaching it (Steps) — BFS order guarantees no shorter schedule exists.
+type Violation struct {
+	// Kind is "deadlock", "leftover" (message conservation), "skew" (wire
+	// group mismatch), or "bad-peer" (send/recv outside the world or to
+	// self).
+	Kind    string   `json:"kind"`
+	Detail  string   `json:"detail"`
+	Steps   []Step   `json:"steps"`
+	Blocked []string `json:"blocked,omitempty"`
+}
+
+func (v *Violation) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", v.Kind, v.Detail)
+	for i, s := range v.Steps {
+		fmt.Fprintf(&b, "  %2d. %s\n", i+1, s)
+	}
+	for _, bl := range v.Blocked {
+		fmt.Fprintf(&b, "  blocked: %s\n", bl)
+	}
+	return b.String()
+}
+
+// Result is the outcome of one exploration.
+type Result struct {
+	Protocol    string `json:"protocol"`
+	P           int    `json:"p"`
+	Sem         string `json:"semantics"`
+	Capacity    int    `json:"capacity,omitempty"`
+	States      int    `json:"states"`
+	Transitions int    `json:"transitions"`
+	Depth       int    `json:"depth"`
+	// Symmetry is the order of the rank-automorphism group the canonical
+	// hash quotiented by (1 = no symmetry).
+	Symmetry int `json:"symmetry"`
+	// MaxInFlight is the largest single-channel occupancy over every
+	// reachable state: the buffer capacity a backpressuring transport
+	// needs so this protocol never blocks on a send. Zero under
+	// rendezvous.
+	MaxInFlight int        `json:"max_in_flight"`
+	Unrolled    []string   `json:"unrolled,omitempty"`
+	Violation   *Violation `json:"violation,omitempty"`
+}
+
+// OK reports whether every property held.
+func (r *Result) OK() bool { return r.Violation == nil }
+
+// Check exhaustively explores every interleaving of sys's rank programs
+// under cfg's semantics: breadth-first over canonically hashed states,
+// quotiented by the system's rank automorphisms. The first violation (in
+// schedule-length order, so the schedule is minimal) aborts the search.
+func Check(sys *System, cfg Config) (*Result, error) {
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 1
+	}
+	if cfg.MaxStates <= 0 {
+		cfg.MaxStates = 4 << 20
+	}
+	for r, prog := range sys.Progs {
+		for pc, in := range prog {
+			if next := pc + 1; in.Next < next || (in.Op == IChoice && in.Alt < next) {
+				return nil, fmt.Errorf("protomc: %s rank %d pc %d jumps backward; programs must be acyclic", sys.Name, r, pc)
+			}
+		}
+	}
+	c := &checker{sys: sys, cfg: cfg, groups: map[string]byte{"?": 0}, groupNames: []string{"?"}}
+	c.perms = sys.Automorphisms()
+	res := &Result{
+		Protocol: sys.Name, P: sys.P, Sem: cfg.Sem.String(),
+		Symmetry: len(c.perms), Unrolled: sys.Unrolled,
+	}
+	if cfg.Sem == Buffered {
+		res.Capacity = cfg.Capacity
+	}
+	if err := c.run(res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// state is one decoded global configuration.
+type state struct {
+	pcs    []int
+	queues [][]byte // [src*P+dst] -> pending group ids, FIFO
+}
+
+// rec is the visited-set entry of one canonical state, linking back to its
+// BFS parent for schedule reconstruction. perm indexes the automorphism
+// that won canonicalization: the recorded step is valid in the parent's
+// canonical frame, and this state's canonical frame is the successor
+// permuted by perms[perm] — schedule() composes these back out so the
+// reported counterexample is a literal run, not a run up to symmetry.
+type rec struct {
+	key    string
+	parent int32
+	depth  int32
+	perm   int32
+	step   Step
+}
+
+type checker struct {
+	sys        *System
+	cfg        Config
+	perms      [][]int
+	groups     map[string]byte
+	groupNames []string
+
+	visited map[string]int32
+	states  []rec
+	queue   []int32
+}
+
+func (c *checker) groupID(g string) byte {
+	if id, ok := c.groups[g]; ok {
+		return id
+	}
+	if len(c.groupNames) == 255 {
+		return 0 // degrade to "any": 255 distinct wire groups will not happen
+	}
+	id := byte(len(c.groupNames))
+	c.groups[g] = id
+	c.groupNames = append(c.groupNames, g)
+	return id
+}
+
+// encode serializes st permuted by perm; canonical returns the minimum
+// over the automorphism group.
+func (c *checker) encode(st *state, perm []int, buf []byte) []byte {
+	p := c.sys.P
+	buf = buf[:0]
+	// inv[i] = the rank whose image is i.
+	for i := 0; i < p; i++ {
+		pc := 0
+		for r, img := range perm {
+			if img == i {
+				pc = st.pcs[r]
+				break
+			}
+		}
+		buf = append(buf, byte(pc>>8), byte(pc))
+	}
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			var q []byte
+			for rs, imgS := range perm {
+				if imgS != s {
+					continue
+				}
+				for rd, imgD := range perm {
+					if imgD == d {
+						q = st.queues[rs*p+rd]
+					}
+				}
+			}
+			buf = append(buf, byte(len(q)))
+			buf = append(buf, q...)
+		}
+	}
+	return buf
+}
+
+func (c *checker) canonical(st *state) (string, int32) {
+	best := c.encode(st, c.perms[0], nil)
+	bestPerm := int32(0)
+	scratch := make([]byte, 0, len(best))
+	for i, perm := range c.perms[1:] {
+		scratch = c.encode(st, perm, scratch)
+		if string(scratch) < string(best) {
+			best = append(best[:0], scratch...)
+			bestPerm = int32(i + 1)
+		}
+	}
+	return string(best), bestPerm
+}
+
+func (c *checker) decode(key string) *state {
+	p := c.sys.P
+	st := &state{pcs: make([]int, p), queues: make([][]byte, p*p)}
+	off := 0
+	for i := 0; i < p; i++ {
+		st.pcs[i] = int(key[off])<<8 | int(key[off+1])
+		off += 2
+	}
+	for ch := 0; ch < p*p; ch++ {
+		n := int(key[off])
+		off++
+		if n > 0 {
+			st.queues[ch] = []byte(key[off : off+n])
+		}
+		off += n
+	}
+	return st
+}
+
+// intern records a state, returning its index and whether it was new.
+func (c *checker) intern(st *state, parent int32, depth int32, step Step) (int32, bool) {
+	key, perm := c.canonical(st)
+	if idx, ok := c.visited[key]; ok {
+		return idx, false
+	}
+	idx := int32(len(c.states))
+	c.states = append(c.states, rec{key: key, parent: parent, depth: depth, perm: perm, step: step})
+	c.visited[key] = idx
+	return idx, true
+}
+
+// schedule reconstructs the path from the initial state to states[idx] as a
+// literal run. Each stored step is valid only in its parent's canonical
+// frame, and canonicalization may permute ranks at every level; walking
+// root-to-leaf while composing the inverse automorphisms yields the frame
+// map phi (canonical rank -> run rank) under which each step — and the
+// optional final step, which is in states[idx]'s own frame — becomes a
+// transition of the unpermuted system. phi is returned so violation
+// details about states[idx] can be rendered in the same frame as the
+// schedule.
+func (c *checker) schedule(idx int32, extra *Step) ([]Step, []int) {
+	var chain []int32
+	for i := idx; i > 0; i = c.states[i].parent {
+		chain = append(chain, i)
+	}
+	for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+		chain[l], chain[r] = chain[r], chain[l]
+	}
+	p := c.sys.P
+	phi := make([]int, p)
+	for i := range phi {
+		phi[i] = i
+	}
+	steps := make([]Step, 0, len(chain)+1)
+	for _, i := range chain {
+		steps = append(steps, mapStep(c.states[i].step, phi))
+		// states[i]'s frame is sigma(successor): fold sigma's inverse into
+		// phi so the next level's step lands back in the run's frame.
+		sigma := c.perms[c.states[i].perm]
+		next := make([]int, p)
+		for r := 0; r < p; r++ {
+			next[sigma[r]] = phi[r]
+		}
+		phi = next
+	}
+	if extra != nil {
+		steps = append(steps, mapStep(*extra, phi))
+	}
+	return steps, phi
+}
+
+// mapStep renames a step's ranks through the frame map; peers outside the
+// world (including branch's -1) pass through untouched.
+func mapStep(s Step, phi []int) Step {
+	s.Rank = phi[s.Rank]
+	if s.Peer >= 0 && s.Peer < len(phi) {
+		s.Peer = phi[s.Peer]
+	}
+	return s
+}
+
+// realize maps a canonical-frame state into the run frame phi: canonical
+// rank r's program counter and outgoing queues become run rank phi[r]'s.
+func realize(st *state, phi []int, p int) *state {
+	out := &state{pcs: make([]int, p), queues: make([][]byte, p*p)}
+	for r := 0; r < p; r++ {
+		out.pcs[phi[r]] = st.pcs[r]
+	}
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			out.queues[phi[s]*p+phi[d]] = st.queues[s*p+d]
+		}
+	}
+	return out
+}
+
+func (c *checker) run(res *Result) error {
+	p := c.sys.P
+	init := &state{pcs: make([]int, p), queues: make([][]byte, p*p)}
+	c.visited = make(map[string]int32, 1<<12)
+	c.intern(init, -1, 0, Step{})
+	c.queue = append(c.queue, 0)
+
+	for len(c.queue) > 0 {
+		idx := c.queue[0]
+		c.queue = c.queue[1:]
+		cur := c.states[idx]
+		st := c.decode(cur.key)
+		if int(cur.depth) > res.Depth {
+			res.Depth = int(cur.depth)
+		}
+		progress := false
+		allDone := true
+		for r := 0; r < p; r++ {
+			in := c.sys.Progs[r][st.pcs[r]]
+			if in.Op != IEnd {
+				allDone = false
+			}
+			moved, viol := c.expand(res, st, idx, r, in)
+			if viol != nil {
+				res.Violation = viol
+				res.States = len(c.states)
+				return nil
+			}
+			progress = progress || moved
+		}
+		switch {
+		case allDone:
+			if left := leftover(c, st); left != "" {
+				steps, phi := c.schedule(idx, nil)
+				res.Violation = &Violation{
+					Kind:   "leftover",
+					Detail: "round terminated with unconsumed messages: " + leftover(c, realize(st, phi, p)),
+					Steps:  steps,
+				}
+				res.States = len(c.states)
+				return nil
+			}
+		case !progress:
+			steps, phi := c.schedule(idx, nil)
+			real := realize(st, phi, p)
+			res.Violation = &Violation{
+				Kind:    "deadlock",
+				Detail:  fmt.Sprintf("no rank can move; %s", c.blockedSummary(real)),
+				Steps:   steps,
+				Blocked: c.blockedList(real),
+			}
+			res.States = len(c.states)
+			return nil
+		}
+		if len(c.states) > c.cfg.MaxStates {
+			return fmt.Errorf("protomc: %s at P=%d exceeds %d states", c.sys.Name, p, c.cfg.MaxStates)
+		}
+	}
+	res.States = len(c.states)
+	return nil
+}
+
+// expand generates rank r's transitions from st. moved reports whether at
+// least one was enabled; a non-nil violation aborts the search.
+func (c *checker) expand(res *Result, st *state, idx int32, r int, in Instr) (moved bool, _ *Violation) {
+	p := c.sys.P
+	depth := c.states[idx].depth + 1
+	push := func(next *state, step Step) {
+		res.Transitions++
+		if ni, fresh := c.intern(next, idx, depth, step); fresh {
+			c.queue = append(c.queue, ni)
+		}
+	}
+	switch in.Op {
+	case IEnd:
+		return false, nil // finished: contributes no transitions
+	case IChoice:
+		next := cloneState(st, p)
+		next.pcs[r] = in.Next
+		push(next, Step{Rank: r, Action: "branch", Peer: -1, Src: in.Src})
+		if in.Alt != in.Next {
+			alt := cloneState(st, p)
+			alt.pcs[r] = in.Alt
+			push(alt, Step{Rank: r, Action: "branch", Peer: -1, Src: in.Src})
+		}
+		return true, nil
+	case ISend:
+		step := Step{Rank: r, Action: "send", Peer: in.Peer, Group: in.Group, Src: in.Src}
+		if in.Peer < 0 || in.Peer >= p || in.Peer == r {
+			kind := "outside the world of P=" + itoa(p)
+			if in.Peer == r {
+				kind = "to itself"
+			}
+			steps, phi := c.schedule(idx, &step)
+			return false, &Violation{
+				Kind:   "bad-peer",
+				Detail: fmt.Sprintf("rank %d sends %s at %s", phi[r], kind, in.Src),
+				Steps:  steps,
+			}
+		}
+		if c.cfg.Sem == Buffered {
+			ch := r*p + in.Peer
+			if len(st.queues[ch]) >= c.cfg.Capacity {
+				return false, nil // backpressured
+			}
+			next := cloneState(st, p)
+			next.pcs[r] = in.Next
+			next.queues[ch] = append(append([]byte{}, next.queues[ch]...), c.groupID(in.Group))
+			if n := len(next.queues[ch]); n > res.MaxInFlight {
+				res.MaxInFlight = n
+			}
+			push(next, step)
+			return true, nil
+		}
+		// Rendezvous: enabled only when the receiver is at the matching
+		// receive; the pair advances as one transition.
+		d := in.Peer
+		rin := c.sys.Progs[d][st.pcs[d]]
+		matches := (rin.Op == IRecv && rin.Peer == r) || rin.Op == IRecvAny
+		if !matches {
+			return false, nil
+		}
+		if v := groupSkew(in.Group, rin.Group); v != "" {
+			step.Action = "xfer"
+			steps, phi := c.schedule(idx, &step)
+			return false, &Violation{
+				Kind: "skew",
+				Detail: fmt.Sprintf("rank %d sends wire group %q to rank %d, which decodes %q (%s vs %s)",
+					phi[r], in.Group, phi[d], rin.Group, in.Src, rin.Src),
+				Steps: steps,
+			}
+		}
+		next := cloneState(st, p)
+		next.pcs[r] = in.Next
+		next.pcs[d] = rin.Next
+		step.Action = "xfer"
+		push(next, step)
+		return true, nil
+	case IRecv:
+		if in.Peer < 0 || in.Peer >= p || in.Peer == r {
+			step := Step{Rank: r, Action: "recv", Peer: in.Peer, Group: in.Group, Src: in.Src}
+			steps, phi := c.schedule(idx, &step)
+			badPeer := in.Peer
+			if badPeer >= 0 && badPeer < p {
+				badPeer = phi[badPeer] // self-receive: rename with the rank
+			}
+			return false, &Violation{
+				Kind:   "bad-peer",
+				Detail: fmt.Sprintf("rank %d receives from rank %d outside its peers at %s", phi[r], badPeer, in.Src),
+				Steps:  steps,
+			}
+		}
+		if c.cfg.Sem == Rendezvous {
+			return false, nil // paired by the sender's transition
+		}
+		return c.consume(res, st, idx, r, in, in.Peer)
+	case IRecvAny:
+		if c.cfg.Sem == Rendezvous {
+			return false, nil
+		}
+		for src := 0; src < p; src++ {
+			if src == r || len(st.queues[src*p+r]) == 0 {
+				continue
+			}
+			m, viol := c.consume(res, st, idx, r, in, src)
+			if viol != nil {
+				return false, viol
+			}
+			moved = moved || m
+			if c.sys.UniformRecv {
+				// Sound reduction for straight-line receivers: which
+				// message arrives first cannot change later behavior, so
+				// one representative arrival order suffices.
+				break
+			}
+		}
+		return moved, nil
+	}
+	return false, nil
+}
+
+// consume pops the head of src->r under buffered semantics.
+func (c *checker) consume(res *Result, st *state, idx int32, r int, in Instr, src int) (bool, *Violation) {
+	p := c.sys.P
+	ch := src*p + r
+	q := st.queues[ch]
+	if len(q) == 0 {
+		return false, nil
+	}
+	got := c.groupNames[q[0]]
+	step := Step{Rank: r, Action: "recv", Peer: src, Group: got, Src: in.Src}
+	if v := groupSkew(got, in.Group); v != "" {
+		steps, phi := c.schedule(idx, &step)
+		return false, &Violation{
+			Kind: "skew",
+			Detail: fmt.Sprintf("rank %d decodes wire group %q but the pending message from rank %d is group %q (%s)",
+				phi[r], in.Group, phi[src], got, in.Src),
+			Steps: steps,
+		}
+	}
+	next := cloneState(st, p)
+	next.pcs[r] = in.Next
+	next.queues[ch] = append([]byte{}, q[1:]...)
+	if len(next.queues[ch]) == 0 {
+		next.queues[ch] = nil
+	}
+	res.Transitions++
+	if ni, fresh := c.intern(next, idx, c.states[idx].depth+1, step); fresh {
+		c.queue = append(c.queue, ni)
+	}
+	return true, nil
+}
+
+// groupSkew reports a non-empty string when sent and expected wire groups
+// conflict; "?" matches anything.
+func groupSkew(sent, expected string) string {
+	if sent == "?" || expected == "?" || sent == expected {
+		return ""
+	}
+	return sent + "!=" + expected
+}
+
+func cloneState(st *state, p int) *state {
+	next := &state{pcs: append([]int{}, st.pcs...), queues: make([][]byte, p*p)}
+	copy(next.queues, st.queues)
+	return next
+}
+
+// leftover describes unconsumed channel contents, or "".
+func leftover(c *checker, st *state) string {
+	p := c.sys.P
+	var parts []string
+	for s := 0; s < p; s++ {
+		for d := 0; d < p; d++ {
+			for _, g := range st.queues[s*p+d] {
+				parts = append(parts, fmt.Sprintf("%q from rank %d to rank %d", c.groupNames[g], s, d))
+			}
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// blockedList describes each unfinished rank's pending instruction.
+func (c *checker) blockedList(st *state) []string {
+	var out []string
+	for r := 0; r < c.sys.P; r++ {
+		in := c.sys.Progs[r][st.pcs[r]]
+		switch in.Op {
+		case IEnd:
+			continue
+		case ISend:
+			out = append(out, fmt.Sprintf("rank %d blocked sending %q to rank %d at %s", r, in.Group, in.Peer, in.Src))
+		case IRecv:
+			out = append(out, fmt.Sprintf("rank %d blocked receiving %q from rank %d at %s", r, in.Group, in.Peer, in.Src))
+		case IRecvAny:
+			out = append(out, fmt.Sprintf("rank %d blocked receiving %q from any rank at %s", r, in.Group, in.Src))
+		default:
+			out = append(out, fmt.Sprintf("rank %d blocked at %s", r, in.Src))
+		}
+	}
+	return out
+}
+
+func (c *checker) blockedSummary(st *state) string {
+	var ranks []string
+	for r := 0; r < c.sys.P; r++ {
+		if c.sys.Progs[r][st.pcs[r]].Op != IEnd {
+			ranks = append(ranks, itoa(r))
+		}
+	}
+	return "ranks " + strings.Join(ranks, ",") + " wait on each other"
+}
+
+func itoa(n int) string { return fmt.Sprint(n) }

@@ -1,0 +1,375 @@
+package protomc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Instruction opcodes of an instantiated rank program. Programs are flat
+// instruction slices forming a DAG: every instruction names its successor
+// (Next), choices add a second (Alt), and control never jumps backward —
+// loops are fully unrolled at instantiation, which is what makes every
+// schedule finite.
+const (
+	ISend byte = iota + 1
+	IRecv
+	IRecvAny
+	IChoice
+	IEnd
+)
+
+// Instr is one instantiated instruction.
+type Instr struct {
+	Op    byte
+	Peer  int    // ISend destination, IRecv source
+	Group string // wire group ("?" = unknown/any)
+	Src   string // source anchor for diagnostics
+	Next  int    // successor pc
+	Alt   int    // IChoice's second successor
+}
+
+// System is one protocol instantiated at a concrete world size: the input
+// to Check and ReplaySimnet.
+type System struct {
+	Name  string
+	P     int
+	Progs [][]Instr
+	// Assign records the shared-parameter assignment this instance was
+	// built under ("" when the protocol has none).
+	Assign string
+	// UniformRecv asserts that no rank's control flow depends on *which*
+	// message a RecvAny consumed (true for the straight-line builder
+	// models). The checker then fixes lowest-source-first consumption — a
+	// sound partial-order reduction that collapses the factorial
+	// arrival-order blowup of all-to-all barriers.
+	UniformRecv bool
+	// Unrolled propagates Proto.Unrolled: verification is bounded in these
+	// loops' iteration depth.
+	Unrolled []string
+}
+
+// Instantiate flattens a symbolic protocol at world size p. Every rank
+// gets its own program: guards are evaluated with the rank bound, loops
+// over affine bounds unroll exactly, and unknown guards/bounds become
+// nondeterministic choices. Peers are range-checked at check time, not
+// here, so an out-of-range peer on an unreachable path is not a false
+// alarm. Protocols with shared parameters need InstantiateAll.
+func Instantiate(proto *Proto, p int) (*System, error) {
+	if len(proto.Params) > 0 {
+		return nil, fmt.Errorf("protomc: %s has %d shared parameters; use InstantiateAll", proto.Name, len(proto.Params))
+	}
+	return instantiateWith(proto, p, nil, "")
+}
+
+// maxParamAssignments caps the shared-parameter cross product: a protocol
+// abstracting more unknowns than this is beyond bounded checking.
+const maxParamAssignments = 81
+
+// InstantiateAll instantiates the protocol at world size p under every
+// shared-parameter assignment. A parameter-free protocol yields exactly
+// one system.
+func InstantiateAll(proto *Proto, p int) ([]*System, error) {
+	total := 1
+	for _, pa := range proto.Params {
+		if pa.Values < 1 {
+			return nil, fmt.Errorf("protomc: %s parameter %s has no values", proto.Name, pa.Name)
+		}
+		total *= pa.Values
+		if total > maxParamAssignments {
+			return nil, fmt.Errorf("protomc: %s has %d shared-parameter assignments; bound is %d", proto.Name, total, maxParamAssignments)
+		}
+	}
+	systems := make([]*System, 0, total)
+	vals := make([]int, len(proto.Params))
+	for {
+		env := make(map[string]int, len(vals))
+		var assign strings.Builder
+		for i, pa := range proto.Params {
+			env[pa.Name] = vals[i]
+			if i > 0 {
+				assign.WriteByte(' ')
+			}
+			fmt.Fprintf(&assign, "%s=%d", pa.Name, vals[i])
+		}
+		sys, err := instantiateWith(proto, p, env, assign.String())
+		if err != nil {
+			return nil, err
+		}
+		systems = append(systems, sys)
+		i := len(vals) - 1
+		for ; i >= 0; i-- {
+			if vals[i]++; vals[i] < proto.Params[i].Values {
+				break
+			}
+			vals[i] = 0
+		}
+		if i < 0 {
+			break
+		}
+	}
+	return systems, nil
+}
+
+func instantiateWith(proto *Proto, p int, params map[string]int, assign string) (*System, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("protomc: world size %d", p)
+	}
+	sys := &System{Name: proto.Name, P: p, Progs: make([][]Instr, p), Assign: assign, Unrolled: proto.Unrolled}
+	for r := 0; r < p; r++ {
+		env := make(map[string]int, len(params))
+		for k, v := range params {
+			env[k] = v
+		}
+		fl := &flattener{rank: r, p: p, env: env}
+		if err := fl.seq(proto.Ops); err != nil {
+			return nil, fmt.Errorf("protomc: %s rank %d: %w", proto.Name, r, err)
+		}
+		fl.emit(Instr{Op: IEnd})
+		sys.Progs[r] = fl.prog
+	}
+	return sys, nil
+}
+
+// flattener unrolls one rank's program into instructions.
+type flattener struct {
+	rank, p int
+	env     map[string]int
+	prog    []Instr
+	depth   int
+}
+
+// maxFlattenDepth bounds nested unrolling so a pathological symbolic
+// program cannot expand unboundedly.
+const maxFlattenDepth = 64
+
+// emit appends an instruction wired to fall through to its successor.
+func (fl *flattener) emit(in Instr) int {
+	in.Next = len(fl.prog) + 1
+	fl.prog = append(fl.prog, in)
+	return len(fl.prog) - 1
+}
+
+func (fl *flattener) seq(ops []Op) error {
+	fl.depth++
+	defer func() { fl.depth-- }()
+	if fl.depth > maxFlattenDepth {
+		return fmt.Errorf("program nests deeper than %d (unbounded expansion?)", maxFlattenDepth)
+	}
+	for i := range ops {
+		if err := fl.op(&ops[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (fl *flattener) op(op *Op) error {
+	switch op.Kind {
+	case OpSend, OpRecv:
+		peer, ok := op.Peer.Eval(fl.rank, fl.p, fl.env)
+		if !ok {
+			return fmt.Errorf("%s: peer %s references an unbound variable", op.Src, op.Peer)
+		}
+		kind := ISend
+		if op.Kind == OpRecv {
+			kind = IRecv
+		}
+		fl.emit(Instr{Op: kind, Peer: peer, Group: op.Group, Src: op.Src})
+	case OpRecvAny:
+		fl.emit(Instr{Op: IRecvAny, Peer: -1, Group: op.Group, Src: op.Src})
+	case OpIf:
+		val, unknown := op.Cond.Eval(fl.rank, fl.p, fl.env)
+		if !unknown {
+			if val {
+				return fl.seq(op.Then)
+			}
+			return fl.seq(op.Else)
+		}
+		return fl.choice(op.Src, op.Then, op.Else)
+	case OpLoop:
+		if op.Bounded > 0 {
+			// Unknown trip count: at most Bounded iterations, each entered
+			// nondeterministically, nested so iteration k implies 1..k-1 ran.
+			return fl.boundedLoop(op, op.Bounded)
+		}
+		from, okF := op.From.Eval(fl.rank, fl.p, fl.env)
+		to, okT := op.To.Eval(fl.rank, fl.p, fl.env)
+		if !okF || !okT {
+			return fmt.Errorf("%s: loop bounds %s..%s reference an unbound variable", op.Src, op.From, op.To)
+		}
+		if to-from > 4*fl.p+16 {
+			return fmt.Errorf("%s: loop unrolls %d iterations at P=%d; bound is not affine in the protocol size", op.Src, to-from, fl.p)
+		}
+		saved, had := fl.env[op.LoopVar]
+		for v := from; v < to; v++ {
+			fl.env[op.LoopVar] = v
+			if err := fl.seq(op.Body); err != nil {
+				return err
+			}
+		}
+		if had {
+			fl.env[op.LoopVar] = saved
+		} else {
+			delete(fl.env, op.LoopVar)
+		}
+	default:
+		return fmt.Errorf("%s: unknown op kind %d", op.Src, op.Kind)
+	}
+	return nil
+}
+
+// choice emits [then-branch] with a nondeterministic entry into either arm:
+//
+//	IChoice{Next: then, Alt: else}; then...; jump join; else...; join:
+func (fl *flattener) choice(src string, then, els []Op) error {
+	ch := fl.emit(Instr{Op: IChoice, Peer: -1, Src: src})
+	if err := fl.seq(then); err != nil {
+		return err
+	}
+	// Placeholder jump from the then-arm's end over the else-arm; a choice
+	// with Next==Alt is a plain jump.
+	jmp := fl.emit(Instr{Op: IChoice, Peer: -1, Src: src})
+	fl.prog[ch].Alt = len(fl.prog)
+	if err := fl.seq(els); err != nil {
+		return err
+	}
+	fl.prog[jmp].Next = len(fl.prog)
+	fl.prog[jmp].Alt = len(fl.prog)
+	fl.prog[ch].Next = ch + 1
+	return nil
+}
+
+// boundedLoop expands "run body up to n more times, or stop".
+func (fl *flattener) boundedLoop(op *Op, n int) error {
+	if n == 0 {
+		return nil
+	}
+	body := append(append([]Op{}, op.Body...), Op{
+		Kind: OpLoop, LoopVar: op.LoopVar, Bounded: n - 1,
+		Body: op.Body, Src: op.Src,
+	})
+	return fl.choice(op.Src, body, nil)
+}
+
+// --- programmatic construction ---
+
+// Builder assembles a System rank by rank, for protocols whose traffic is
+// computed by runtime code (Migrator spans, FT recovery) rather than
+// extracted from source.
+type Builder struct {
+	sys *System
+}
+
+// NewSystem starts a builder for world size p.
+func NewSystem(name string, p int) *Builder {
+	b := &Builder{sys: &System{Name: name, P: p, Progs: make([][]Instr, p), UniformRecv: true}}
+	return b
+}
+
+// RankProg appends ops to rank r's program.
+type RankProg struct {
+	b *Builder
+	r int
+}
+
+// Rank returns the program builder of rank r.
+func (b *Builder) Rank(r int) *RankProg { return &RankProg{b: b, r: r} }
+
+func (rp *RankProg) emit(in Instr) *RankProg {
+	prog := rp.b.sys.Progs[rp.r]
+	in.Next = len(prog) + 1
+	rp.b.sys.Progs[rp.r] = append(prog, in)
+	return rp
+}
+
+// Send appends a send of group to dst.
+func (rp *RankProg) Send(dst int, group, src string) *RankProg {
+	return rp.emit(Instr{Op: ISend, Peer: dst, Group: group, Src: src})
+}
+
+// Recv appends a receive from src expecting group.
+func (rp *RankProg) Recv(from int, group, src string) *RankProg {
+	return rp.emit(Instr{Op: IRecv, Peer: from, Group: group, Src: src})
+}
+
+// RecvAny appends a pump-style receive from whichever rank has a pending
+// message.
+func (rp *RankProg) RecvAny(group, src string) *RankProg {
+	return rp.emit(Instr{Op: IRecvAny, Peer: -1, Group: group, Src: src})
+}
+
+// System finalizes every rank with an IEnd and returns the system.
+func (b *Builder) System() *System {
+	for r := range b.sys.Progs {
+		prog := b.sys.Progs[r]
+		if n := len(prog); n == 0 || prog[n-1].Op != IEnd {
+			b.sys.Progs[r] = append(prog, Instr{Op: IEnd, Next: n + 1})
+		}
+	}
+	return b.sys
+}
+
+// Automorphisms returns the rank permutations under which the system is
+// invariant: π is valid when renaming every rank r to π(r) — its program
+// position and every peer reference — reproduces the system exactly. The
+// checker canonicalizes each explored state by the group, so symmetric
+// ranks (the interior of a halo chain, the identical clients of a hub)
+// collapse into one representative. The identity is always included;
+// enumeration is factorial but P ≤ 5 keeps it trivial.
+func (sys *System) Automorphisms() [][]int {
+	perm := make([]int, sys.P)
+	for i := range perm {
+		perm[i] = i
+	}
+	var out [][]int
+	var rec func(k int)
+	rec = func(k int) {
+		if k == sys.P {
+			if sys.invariantUnder(perm) {
+				out = append(out, append([]int(nil), perm...))
+			}
+			return
+		}
+		for i := k; i < sys.P; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			rec(k + 1)
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0)
+	sort.Slice(out, func(i, j int) bool {
+		for k := range out[i] {
+			if out[i][k] != out[j][k] {
+				return out[i][k] < out[j][k]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+// invariantUnder reports whether renaming ranks by perm maps the system
+// onto itself.
+func (sys *System) invariantUnder(perm []int) bool {
+	for r, prog := range sys.Progs {
+		image := sys.Progs[perm[r]]
+		if len(image) != len(prog) {
+			return false
+		}
+		for i, in := range prog {
+			want := in
+			if (in.Op == ISend || in.Op == IRecv) && in.Peer >= 0 && in.Peer < len(perm) {
+				want.Peer = perm[in.Peer]
+			}
+			got := image[i]
+			// Src anchors differ between symmetric ranks only for builder
+			// programs; ignore them for the structural comparison.
+			want.Src, got.Src = "", ""
+			if got != want {
+				return false
+			}
+		}
+	}
+	return true
+}

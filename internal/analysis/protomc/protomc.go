@@ -1,0 +1,381 @@
+// Package protomc is netpartverify's bounded explicit-state model checker
+// for the repository's lockstep communication protocols: the stencil halo
+// exchange, the repartitioning decision round and row migration, and the
+// fault-tolerant recovery barrier.
+//
+// msgproto (internal/analysis) checks send/recv pairing syntactically; it
+// cannot decide whether a *reachable interleaving* of the ranks deadlocks,
+// loses a message, or mismatches a wire format. protomc closes that gap
+// with the classic three-stage pipeline of explicit-state protocol
+// verification:
+//
+//  1. A protocol is a per-rank program over a symbolic world size P: sends
+//     and receives whose peers are affine expressions in (rank, P, loop
+//     variables), guarded by comparisons over the same expressions, inside
+//     loops whose bounds are affine in P. Programs come from two sources:
+//     extracted from //netpart:lockstep source code (extract.go), or built
+//     programmatically for protocols whose communication structure is
+//     data-dependent (the Migrator's set-difference spans, the FT recovery
+//     barrier) — in which case the very runtime functions that compute the
+//     real traffic (repart.Owners et al.) compute the model's.
+//  2. Instantiate fixes a concrete P (the checker's bound, P ≤ 5 by
+//     default) and flattens each rank's program into a finite instruction
+//     DAG: guards evaluate concretely, P-bounded loops unroll exactly, and
+//     data-dependent branches or unknown-bound loops become bounded
+//     nondeterministic choices.
+//  3. Check exhaustively explores every interleaving of the rank programs
+//     under a chosen transport semantics — rendezvous (a send blocks until
+//     its receiver is at the matching receive) or bounded-buffer (the mmps
+//     contract: per-(src,dst) FIFO channels of capacity K; sends block
+//     only when the channel is full) — with breadth-first search, canonical
+//     state hashing, and symmetry reduction over ranks. Violations come
+//     back as minimal concrete schedules, replayable through the simnet
+//     discrete-event simulator (replay.go).
+//
+// Checked properties: deadlock freedom (some transition is enabled until
+// every rank terminates), message conservation (every channel empty when
+// all ranks terminate), wire-group agreement (a receive that decodes group
+// g never consumes a message of group h ≠ g), peer validity (no send to
+// self or outside [0,P)), and buffer sufficiency (the maximum in-flight
+// message count per channel over all reachable states, which is the
+// capacity a bounded transport needs to never backpressure this protocol).
+// Termination of a round is structural: instantiated programs are acyclic,
+// so with deadlock freedom every schedule reaches the all-done state.
+package protomc
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// RankExpr is an affine integer expression over the executing rank, the
+// world size P, and enclosing loop variables: Rank·rank + P·p + Σ Vars[v]·v
+// + C. The zero value is the constant 0.
+type RankExpr struct {
+	Rank int // coefficient of the executing rank
+	P    int // coefficient of the world size
+	C    int // constant term
+	Vars map[string]int
+}
+
+// Konst returns the constant expression c.
+func Konst(c int) RankExpr { return RankExpr{C: c} }
+
+// Self returns the expression rank+c.
+func Self(c int) RankExpr { return RankExpr{Rank: 1, C: c} }
+
+// World returns the expression P+c.
+func World(c int) RankExpr { return RankExpr{P: 1, C: c} }
+
+// Var returns the expression v+c for a loop variable v.
+func Var(v string, c int) RankExpr { return RankExpr{C: c, Vars: map[string]int{v: 1}} }
+
+// Add returns e+o.
+func (e RankExpr) Add(o RankExpr) RankExpr {
+	out := RankExpr{Rank: e.Rank + o.Rank, P: e.P + o.P, C: e.C + o.C}
+	for v, k := range e.Vars {
+		out.addVar(v, k)
+	}
+	for v, k := range o.Vars {
+		out.addVar(v, k)
+	}
+	return out
+}
+
+// Neg returns -e.
+func (e RankExpr) Neg() RankExpr {
+	out := RankExpr{Rank: -e.Rank, P: -e.P, C: -e.C}
+	for v, k := range e.Vars {
+		out.addVar(v, -k)
+	}
+	return out
+}
+
+func (e *RankExpr) addVar(v string, k int) {
+	if k == 0 {
+		return
+	}
+	if e.Vars == nil {
+		e.Vars = map[string]int{}
+	}
+	if e.Vars[v] += k; e.Vars[v] == 0 {
+		delete(e.Vars, v)
+	}
+}
+
+// Eval resolves the expression at a concrete rank, world size, and loop
+// environment. ok is false when a loop variable is unbound.
+func (e RankExpr) Eval(rank, p int, env map[string]int) (int, bool) {
+	v := e.Rank*rank + e.P*p + e.C
+	for name, k := range e.Vars {
+		val, ok := env[name]
+		if !ok {
+			return 0, false
+		}
+		v += k * val
+	}
+	return v, true
+}
+
+// String renders the expression for diagnostics ("rank+1", "P-1", "2").
+func (e RankExpr) String() string {
+	var b strings.Builder
+	term := func(k int, name string) {
+		if k == 0 {
+			return
+		}
+		switch {
+		case b.Len() == 0 && k == 1:
+			b.WriteString(name)
+		case b.Len() == 0 && k == -1:
+			b.WriteString("-" + name)
+		case b.Len() == 0:
+			fmt.Fprintf(&b, "%d%s", k, name)
+		case k == 1:
+			b.WriteString("+" + name)
+		case k == -1:
+			b.WriteString("-" + name)
+		case k > 0:
+			fmt.Fprintf(&b, "+%d%s", k, name)
+		default:
+			fmt.Fprintf(&b, "%d%s", k, name)
+		}
+	}
+	term(e.Rank, "rank")
+	term(e.P, "P")
+	vars := make([]string, 0, len(e.Vars))
+	for v := range e.Vars {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	for _, v := range vars {
+		term(e.Vars[v], v)
+	}
+	switch {
+	case b.Len() == 0:
+		return fmt.Sprint(e.C)
+	case e.C > 0:
+		fmt.Fprintf(&b, "+%d", e.C)
+	case e.C < 0:
+		fmt.Fprintf(&b, "%d", e.C)
+	}
+	return b.String()
+}
+
+// CmpOp is a comparison operator in a guard.
+type CmpOp int
+
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+func (op CmpOp) String() string {
+	return [...]string{"==", "!=", "<", "<=", ">", ">="}[op]
+}
+
+// GuardKind discriminates Guard nodes.
+type GuardKind int
+
+const (
+	// GTrue always holds (the zero value's kind is GTrue so the zero Guard
+	// is "unguarded").
+	GTrue GuardKind = iota
+	// GCmp compares L op R.
+	GCmp
+	// GAnd holds when every subguard holds.
+	GAnd
+	// GOr holds when any subguard holds.
+	GOr
+	// GNot inverts its single subguard.
+	GNot
+	// GUnknown is a data-dependent condition the extractor could not fold:
+	// instantiation explores both branches.
+	GUnknown
+	// GMod holds when L mod M == R (M a positive constant) — the parity
+	// tests of odd/even-ordered exchanges.
+	GMod
+)
+
+// Guard is a boolean condition over rank expressions.
+type Guard struct {
+	Kind GuardKind
+	Op   CmpOp
+	L, R RankExpr
+	M    int // GMod modulus
+	Subs []Guard
+}
+
+// Cmp builds the comparison guard l op r.
+func Cmp(l RankExpr, op CmpOp, r RankExpr) Guard { return Guard{Kind: GCmp, Op: op, L: l, R: r} }
+
+// Unknown is the nondeterministic guard.
+func Unknown() Guard { return Guard{Kind: GUnknown} }
+
+// Mod builds the guard l mod m == r.
+func Mod(l RankExpr, m int, r RankExpr) Guard { return Guard{Kind: GMod, L: l, M: m, R: r} }
+
+// Eval resolves the guard at a concrete rank and world size. unknown is
+// true when any reachable leaf is GUnknown or references an unbound
+// variable, in which case the caller must explore both outcomes.
+func (g Guard) Eval(rank, p int, env map[string]int) (val, unknown bool) {
+	switch g.Kind {
+	case GTrue:
+		return true, false
+	case GCmp:
+		l, okL := g.L.Eval(rank, p, env)
+		r, okR := g.R.Eval(rank, p, env)
+		if !okL || !okR {
+			return false, true
+		}
+		switch g.Op {
+		case EQ:
+			return l == r, false
+		case NE:
+			return l != r, false
+		case LT:
+			return l < r, false
+		case LE:
+			return l <= r, false
+		case GT:
+			return l > r, false
+		default:
+			return l >= r, false
+		}
+	case GAnd:
+		for _, s := range g.Subs {
+			v, unk := s.Eval(rank, p, env)
+			if unk {
+				return false, true
+			}
+			if !v {
+				return false, false
+			}
+		}
+		return true, false
+	case GOr:
+		for _, s := range g.Subs {
+			v, unk := s.Eval(rank, p, env)
+			if unk {
+				return false, true
+			}
+			if v {
+				return true, false
+			}
+		}
+		return false, false
+	case GNot:
+		v, unk := g.Subs[0].Eval(rank, p, env)
+		return !v, unk
+	case GMod:
+		l, okL := g.L.Eval(rank, p, env)
+		r, okR := g.R.Eval(rank, p, env)
+		if !okL || !okR || g.M <= 0 {
+			return false, true
+		}
+		return ((l%g.M)+g.M)%g.M == r, false
+	default: // GUnknown
+		return false, true
+	}
+}
+
+// String renders the guard for diagnostics.
+func (g Guard) String() string {
+	switch g.Kind {
+	case GTrue:
+		return "true"
+	case GCmp:
+		return fmt.Sprintf("%s %s %s", g.L, g.Op, g.R)
+	case GAnd, GOr:
+		sep := " && "
+		if g.Kind == GOr {
+			sep = " || "
+		}
+		parts := make([]string, len(g.Subs))
+		for i, s := range g.Subs {
+			parts[i] = s.String()
+		}
+		return "(" + strings.Join(parts, sep) + ")"
+	case GNot:
+		return "!(" + g.Subs[0].String() + ")"
+	case GMod:
+		return fmt.Sprintf("%s%%%d == %s", g.L, g.M, g.R)
+	default:
+		return "<data-dependent>"
+	}
+}
+
+// OpKind discriminates protocol operations.
+type OpKind int
+
+const (
+	// OpSend transmits one message of wire group Group to rank Peer.
+	OpSend OpKind = iota
+	// OpRecv consumes one message from rank Peer, expecting wire group
+	// Group ("?" accepts any).
+	OpRecv
+	// OpRecvAny consumes one message from whichever rank has one pending —
+	// the pump-based receive of the FT runtime. Group is the expected
+	// group ("?" accepts any).
+	OpRecvAny
+	// OpIf runs Then when Cond holds, Else otherwise; an unknown Cond
+	// explores both.
+	OpIf
+	// OpLoop runs Body with LoopVar bound over [From, To); a Bounded > 0
+	// loop instead models an unknown trip count as "at most Bounded
+	// iterations", each entered nondeterministically.
+	OpLoop
+)
+
+// Op is one node of a symbolic per-rank protocol program.
+type Op struct {
+	Kind  OpKind
+	Peer  RankExpr // OpSend, OpRecv
+	Group string   // OpSend, OpRecv, OpRecvAny; "?" = unknown/any
+	Src   string   // source anchor for diagnostics ("live.go:184" or a model label)
+
+	Cond       Guard // OpIf
+	Then, Else []Op  // OpIf
+
+	LoopVar  string   // OpLoop
+	From, To RankExpr // OpLoop; To is exclusive
+	Bounded  int      // OpLoop: >0 = unknown bound unrolled this many times
+	Body     []Op     // OpLoop
+}
+
+// Param is a shared nondeterministic parameter: a value in [0, Values)
+// chosen identically for every rank. This is how SPMD-uniform unknowns —
+// an iteration count every rank receives from the same caller, a variant
+// selector — are modeled without letting ranks diverge on them, which
+// would fabricate deadlocks no real schedule can reach. InstantiateAll
+// enumerates every assignment.
+type Param struct {
+	// Name is the variable the program references (RankExpr.Vars / loop
+	// bounds / guard operands).
+	Name string
+	// Values is the exclusive upper bound of the parameter's range.
+	Values int
+	// Src anchors the parameter to the source construct it abstracts.
+	Src string
+}
+
+// Proto is one protocol: a single program every rank executes (SPMD), made
+// concrete per rank at instantiation. Rank-dependent behavior lives in the
+// guards.
+type Proto struct {
+	// Name identifies the protocol in reports ("stencil.runLiveTask").
+	Name string
+	// Ops is the symbolic program.
+	Ops []Op
+	// Params are the shared SPMD-uniform unknowns; InstantiateAll explores
+	// their cross product.
+	Params []Param
+	// Unrolled notes loops whose trip counts are not functions of P; the
+	// verification is bounded in their iteration depth.
+	Unrolled []string
+}

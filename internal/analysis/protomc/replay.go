@@ -1,0 +1,293 @@
+package protomc
+
+import (
+	"fmt"
+	"strings"
+
+	"netpart/internal/model"
+	"netpart/internal/simnet"
+)
+
+// Replay executes a counterexample schedule through the simnet discrete-
+// event simulator, demonstrating the violation on an executable transport
+// rather than only in the checker's abstraction. Two layers of validation
+// happen:
+//
+//  1. Concretization re-runs the schedule against the instantiated rank
+//     programs, resolving which branch each "branch" step took (the step
+//     list does not record it; a bounded backtracking search does) and
+//     checking every step is enabled in order. A schedule that fails here
+//     is not a real run of the programs — a checker bug, surfaced as an
+//     error.
+//  2. The per-rank projections of the concretized schedule run as simnet
+//     tasks: sends become Proc.Send, receives become Proc.Recv, and ranks
+//     the model leaves blocked in a receive issue one more Recv that can
+//     never be satisfied. simnet's own deadlock detector must then name
+//     exactly those ranks.
+//
+// simnet is an unbounded buffered transport, so send-side blocking
+// (rendezvous pairing, bounded-buffer backpressure) has no executable
+// equivalent: a counterexample whose only blocked ranks are senders
+// replays as a completed run, and the report says so instead of claiming
+// confirmation. Recv-blocked deadlocks, leftover messages, and wire-group
+// skew are all confirmed by execution.
+type ReplayReport struct {
+	// Steps is the schedule length replayed.
+	Steps int `json:"steps"`
+	// BlockedRecvs are ranks the model leaves blocked in a receive.
+	BlockedRecvs []int `json:"blocked_recvs,omitempty"`
+	// BlockedSends are ranks the model leaves blocked in a send; not
+	// observable on simnet's unbounded transport.
+	BlockedSends []int `json:"blocked_sends,omitempty"`
+	// Confirmed is true when simnet's execution exhibits the violation.
+	Confirmed bool `json:"confirmed"`
+	// Detail explains what the execution showed.
+	Detail string `json:"detail"`
+}
+
+// replayAction is one rank-local operation of the concretized schedule.
+type replayAction struct {
+	send    bool
+	peer    int
+	group   string // sent group
+	expect  string // receive: group the instruction decodes
+	blocked bool   // receive issued only to demonstrate the block
+}
+
+// Replay validates v's schedule against sys and executes it through
+// simnet. An error means the schedule is not a feasible run of sys.
+func Replay(sys *System, v *Violation) (*ReplayReport, error) {
+	if v == nil {
+		return nil, fmt.Errorf("protomc: no violation to replay")
+	}
+	acts, pcs, truncated, err := concretize(sys, v)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ReplayReport{Steps: len(v.Steps)}
+	for r := 0; r < sys.P; r++ {
+		switch sys.Progs[r][pcs[r]].Op {
+		case IRecv:
+			if v.Kind == "deadlock" {
+				rep.BlockedRecvs = append(rep.BlockedRecvs, r)
+				acts[r] = append(acts[r], replayAction{peer: sys.Progs[r][pcs[r]].Peer, blocked: true})
+			}
+		case IRecvAny:
+			if v.Kind == "deadlock" {
+				rep.BlockedRecvs = append(rep.BlockedRecvs, r)
+				acts[r] = append(acts[r], replayAction{peer: (r + 1) % sys.P, blocked: true})
+			}
+		case ISend:
+			if v.Kind == "deadlock" {
+				rep.BlockedSends = append(rep.BlockedSends, r)
+			}
+		}
+	}
+
+	sim, err := simnet.New(model.PaperTestbed())
+	if err != nil {
+		return nil, err
+	}
+	procs := make([]*simnet.Proc, sys.P)
+	skews := make([]string, sys.P)
+	for r := 0; r < sys.P; r++ {
+		r := r
+		procs[r] = sim.Spawn(fmt.Sprintf("rank%d", r), model.Sparc2Cluster, func(p *simnet.Proc) {
+			for _, a := range acts[r] {
+				if a.send {
+					p.Send(procs[a.peer], len(a.group), a.group)
+					continue
+				}
+				m := p.Recv(procs[a.peer])
+				got, _ := m.Payload.(string)
+				if sk := groupSkew(got, a.expect); sk != "" && skews[r] == "" {
+					skews[r] = sk
+				}
+			}
+		})
+	}
+	runErr := sim.Run()
+
+	switch v.Kind {
+	case "deadlock":
+		if len(rep.BlockedRecvs) > 0 {
+			if runErr == nil {
+				rep.Detail = "model predicts blocked receivers but the simnet run completed"
+				return rep, nil
+			}
+			missing := []int{}
+			for _, r := range rep.BlockedRecvs {
+				if !strings.Contains(runErr.Error(), fmt.Sprintf("rank%d ", r)) {
+					missing = append(missing, r)
+				}
+			}
+			if len(missing) > 0 {
+				rep.Detail = fmt.Sprintf("simnet deadlock report misses ranks %v: %v", missing, runErr)
+				return rep, nil
+			}
+			rep.Confirmed = true
+			rep.Detail = fmt.Sprintf("simnet confirms the deadlock: %v", runErr)
+			return rep, nil
+		}
+		if runErr != nil {
+			rep.Detail = fmt.Sprintf("unexpected simnet failure: %v", runErr)
+			return rep, nil
+		}
+		rep.Confirmed = true
+		rep.Detail = fmt.Sprintf("schedule prefix executes; ranks %v block in sends, which an unbounded transport cannot exhibit (rendezvous/capacity deadlock)", rep.BlockedSends)
+		return rep, nil
+	case "leftover":
+		if runErr != nil {
+			rep.Detail = fmt.Sprintf("unexpected simnet failure: %v", runErr)
+			return rep, nil
+		}
+		var sent, recvd int64
+		for _, ps := range sim.ProcStats() {
+			sent += ps.Sent
+			recvd += ps.Received
+		}
+		if sent > recvd {
+			rep.Confirmed = true
+			rep.Detail = fmt.Sprintf("simnet confirms conservation failure: %d sent, %d received", sent, recvd)
+		} else {
+			rep.Detail = fmt.Sprintf("model predicts unconsumed messages but simnet delivered all %d", sent)
+		}
+		return rep, nil
+	case "skew":
+		for r, sk := range skews {
+			if sk != "" {
+				rep.Confirmed = true
+				rep.Detail = fmt.Sprintf("simnet confirms wire-group skew at rank %d: %s", r, sk)
+				return rep, nil
+			}
+		}
+		rep.Detail = "model predicts a wire-group mismatch but every replayed receive matched"
+		return rep, nil
+	case "bad-peer":
+		if truncated && runErr == nil {
+			rep.Confirmed = true
+			rep.Detail = "schedule prefix executes; the final operation addresses a rank outside the world and is not executable"
+		} else if runErr != nil {
+			rep.Detail = fmt.Sprintf("unexpected simnet failure: %v", runErr)
+		} else {
+			rep.Detail = "schedule executed fully; no out-of-world operation found"
+		}
+		return rep, nil
+	}
+	rep.Detail = fmt.Sprintf("unknown violation kind %q", v.Kind)
+	return rep, nil
+}
+
+// replayState is the concretization walk's mutable state.
+type replayState struct {
+	pcs    []int
+	queues [][]string
+	acts   [][]replayAction
+}
+
+func (s *replayState) clone(p int) *replayState {
+	out := &replayState{
+		pcs:    append([]int{}, s.pcs...),
+		queues: make([][]string, p*p),
+		acts:   make([][]replayAction, p),
+	}
+	for i, q := range s.queues {
+		out.queues[i] = append([]string{}, q...)
+	}
+	for i, a := range s.acts {
+		out.acts[i] = append([]replayAction{}, a...)
+	}
+	return out
+}
+
+// concretize re-runs the schedule over the rank programs, resolving branch
+// alternatives by backtracking. truncated reports that the final step was
+// an out-of-world operation recorded but not executable.
+func concretize(sys *System, v *Violation) (acts [][]replayAction, pcs []int, truncated bool, err error) {
+	p := sys.P
+	init := &replayState{pcs: make([]int, p), queues: make([][]string, p*p), acts: make([][]replayAction, p)}
+	var walk func(s *replayState, i int) *replayState
+	walk = func(s *replayState, i int) *replayState {
+		if i == len(v.Steps) {
+			return s
+		}
+		stp := v.Steps[i]
+		r := stp.Rank
+		if r < 0 || r >= p {
+			return nil
+		}
+		in := sys.Progs[r][s.pcs[r]]
+		last := i == len(v.Steps)-1
+		outOfWorld := stp.Peer < 0 || stp.Peer >= p || stp.Peer == r
+		switch stp.Action {
+		case "branch":
+			if in.Op != IChoice {
+				return nil
+			}
+			for _, nxt := range []int{in.Next, in.Alt} {
+				c := s.clone(p)
+				c.pcs[r] = nxt
+				if out := walk(c, i+1); out != nil {
+					return out
+				}
+				if in.Alt == in.Next {
+					break
+				}
+			}
+			return nil
+		case "send", "xfer":
+			if in.Op != ISend || in.Peer != stp.Peer {
+				return nil
+			}
+			if outOfWorld {
+				if !last {
+					return nil
+				}
+				truncated = true
+				return s
+			}
+			d := stp.Peer
+			if stp.Action == "xfer" {
+				// Rendezvous handoff: the receiver's step is implicit.
+				din := sys.Progs[d][s.pcs[d]]
+				if !((din.Op == IRecv && din.Peer == r) || din.Op == IRecvAny) {
+					return nil
+				}
+				s.acts[r] = append(s.acts[r], replayAction{send: true, peer: d, group: in.Group})
+				s.acts[d] = append(s.acts[d], replayAction{peer: r, expect: din.Group})
+				s.pcs[r], s.pcs[d] = in.Next, din.Next
+				return walk(s, i+1)
+			}
+			s.queues[r*p+d] = append(s.queues[r*p+d], in.Group)
+			s.acts[r] = append(s.acts[r], replayAction{send: true, peer: d, group: in.Group})
+			s.pcs[r] = in.Next
+			return walk(s, i+1)
+		case "recv":
+			if !((in.Op == IRecv && in.Peer == stp.Peer) || in.Op == IRecvAny) {
+				return nil
+			}
+			if outOfWorld {
+				if !last {
+					return nil
+				}
+				truncated = true
+				return s
+			}
+			src := stp.Peer
+			q := s.queues[src*p+r]
+			if len(q) == 0 {
+				return nil
+			}
+			s.acts[r] = append(s.acts[r], replayAction{peer: src, expect: in.Group})
+			s.queues[src*p+r] = q[1:]
+			s.pcs[r] = in.Next
+			return walk(s, i+1)
+		}
+		return nil
+	}
+	final := walk(init, 0)
+	if final == nil {
+		return nil, nil, false, fmt.Errorf("protomc: schedule of %d steps is not a feasible run of %s at P=%d", len(v.Steps), sys.Name, p)
+	}
+	return final.acts, final.pcs, truncated, nil
+}

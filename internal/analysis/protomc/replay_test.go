@@ -1,0 +1,157 @@
+package protomc
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkViolating checks the proto and requires a violation of the given
+// kind, returning system and violation for replay.
+func checkViolating(t *testing.T, proto *Proto, p int, cfg Config, kind string) (*System, *Violation) {
+	t.Helper()
+	sys, err := Instantiate(proto, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Check(sys, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatalf("%s at P=%d under %s: expected a %s violation, got none", proto.Name, p, cfg.Sem, kind)
+	}
+	if res.Violation.Kind != kind {
+		t.Fatalf("violation kind = %s, want %s: %s", res.Violation.Kind, kind, res.Violation)
+	}
+	return sys, res.Violation
+}
+
+// TestReplayRecvCycleDeadlock replays a receive-receive cycle: simnet's
+// own deadlock detector must name both blocked ranks.
+func TestReplayRecvCycleDeadlock(t *testing.T) {
+	proto := &Proto{
+		Name: "recv-cycle",
+		Ops: []Op{
+			{Kind: OpIf, Cond: Cmp(Self(0), EQ, Konst(0)),
+				Then: []Op{{Kind: OpRecv, Peer: Konst(1), Group: "?", Src: "fixture"}},
+				Else: []Op{{Kind: OpRecv, Peer: Konst(0), Group: "?", Src: "fixture"}},
+				Src:  "fixture"},
+		},
+	}
+	sys, v := checkViolating(t, proto, 2, Config{Sem: Buffered}, "deadlock")
+	rep, err := Replay(sys, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Confirmed {
+		t.Fatalf("replay did not confirm: %s", rep.Detail)
+	}
+	if len(rep.BlockedRecvs) != 2 {
+		t.Errorf("blocked recvs = %v, want both ranks", rep.BlockedRecvs)
+	}
+	if !strings.Contains(rep.Detail, "simnet confirms") {
+		t.Errorf("detail = %s", rep.Detail)
+	}
+}
+
+// TestReplaySendCycleRendezvous replays a send-send cycle, which only
+// blocks under rendezvous pairing: the report must say the block is not
+// observable on an unbounded transport rather than claim execution.
+func TestReplaySendCycleRendezvous(t *testing.T) {
+	proto := &Proto{
+		Name: "send-cycle",
+		Ops: []Op{
+			{Kind: OpIf, Cond: Cmp(Self(0), EQ, Konst(0)),
+				Then: []Op{
+					{Kind: OpSend, Peer: Konst(1), Group: "g", Src: "fixture"},
+					{Kind: OpRecv, Peer: Konst(1), Group: "g", Src: "fixture"},
+				},
+				Else: []Op{
+					{Kind: OpSend, Peer: Konst(0), Group: "g", Src: "fixture"},
+					{Kind: OpRecv, Peer: Konst(0), Group: "g", Src: "fixture"},
+				},
+				Src: "fixture"},
+		},
+	}
+	sys, v := checkViolating(t, proto, 2, Config{Sem: Rendezvous}, "deadlock")
+	rep, err := Replay(sys, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Confirmed {
+		t.Fatalf("replay did not confirm: %s", rep.Detail)
+	}
+	if len(rep.BlockedSends) != 2 || len(rep.BlockedRecvs) != 0 {
+		t.Errorf("blocked sends %v recvs %v, want two send-blocked ranks", rep.BlockedSends, rep.BlockedRecvs)
+	}
+}
+
+// TestReplayLeftover replays a conservation failure: the simnet run
+// completes with more messages sent than received.
+func TestReplayLeftover(t *testing.T) {
+	proto := &Proto{
+		Name: "leftover",
+		Ops: []Op{
+			{Kind: OpIf, Cond: Cmp(Self(0), EQ, Konst(0)),
+				Then: []Op{{Kind: OpSend, Peer: Konst(1), Group: "g", Src: "fixture"}},
+				Src:  "fixture"},
+		},
+	}
+	sys, v := checkViolating(t, proto, 2, Config{Sem: Buffered}, "leftover")
+	rep, err := Replay(sys, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Confirmed {
+		t.Fatalf("replay did not confirm: %s", rep.Detail)
+	}
+}
+
+// TestReplaySkew replays a wire-group mismatch: the delivered payload's
+// group must disagree with what the receiver decodes.
+func TestReplaySkew(t *testing.T) {
+	proto := &Proto{
+		Name: "skew",
+		Ops: []Op{
+			{Kind: OpIf, Cond: Cmp(Self(0), EQ, Konst(0)),
+				Then: []Op{{Kind: OpSend, Peer: Konst(1), Group: "measurement", Src: "fixture"}},
+				Else: []Op{{Kind: OpRecv, Peer: Konst(0), Group: "vectorpair", Src: "fixture"}},
+				Src:  "fixture"},
+		},
+	}
+	sys, v := checkViolating(t, proto, 2, Config{Sem: Buffered}, "skew")
+	rep, err := Replay(sys, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Confirmed {
+		t.Fatalf("replay did not confirm: %s", rep.Detail)
+	}
+	if !strings.Contains(rep.Detail, "skew") {
+		t.Errorf("detail = %s", rep.Detail)
+	}
+}
+
+// TestReplayInfeasibleSchedule rejects a forged schedule that is not a run
+// of the programs.
+func TestReplayInfeasibleSchedule(t *testing.T) {
+	proto := &Proto{
+		Name: "pair",
+		Ops: []Op{
+			{Kind: OpIf, Cond: Cmp(Self(0), EQ, Konst(0)),
+				Then: []Op{{Kind: OpSend, Peer: Konst(1), Group: "g", Src: "fixture"}},
+				Else: []Op{{Kind: OpRecv, Peer: Konst(0), Group: "g", Src: "fixture"}},
+				Src:  "fixture"},
+		},
+	}
+	sys, err := Instantiate(proto, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := &Violation{Kind: "deadlock", Steps: []Step{
+		{Rank: 1, Action: "send", Peer: 0, Group: "g", Src: "forged"},
+	}}
+	if _, err := Replay(sys, forged); err == nil {
+		t.Fatal("forged schedule replayed without error")
+	}
+}

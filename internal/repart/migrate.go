@@ -33,6 +33,13 @@ type Migrator struct {
 // under new. get reads the old storage and set writes the new one, so the
 // two must not alias. sent and received count rows this rank moved on the
 // wire.
+//
+// The traffic pattern is data-dependent (each rank sends exactly the span
+// overlaps Owners computes between the old and new vectors), so the
+// protocol checker verifies it through a builtin model that the same
+// Owners/ForEachSpan/Overlap functions generate per plan instance.
+//
+//netpart:lockstep model=migration
 func (m Migrator) Migrate(lk Link, old, new core.Vector, get func(g int) []float64, set func(g int, row []float64)) (sent, received int, err error) {
 	rank, size := lk.Rank(), lk.Size()
 	if len(old) != size || len(new) != size {

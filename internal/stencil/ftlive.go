@@ -860,6 +860,13 @@ func (t *ftTask) latestWard() (int, int) {
 // recover drives the failure-agreement barrier, rollback, repartition,
 // migration, and re-checkpointing. On success the task state is ready to
 // resume computing at the rollback cycle under the new vector.
+//
+// The barrier's traffic depends on which ranks died and on pump timing
+// (RecvAny-driven), so the protocol checker verifies it through the
+// builtin ft-recovery model over each survivor set rather than by
+// extraction.
+//
+//netpart:lockstep model=ft-recovery
 func (t *ftTask) recover() error {
 	started := time.Now()
 	preIter := t.iter

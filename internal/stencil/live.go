@@ -170,21 +170,6 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial [][]float64, res *res
 	// Delivered buffers go back to the transport's free list (Recycle).
 	sendBuf := make([]byte, 0, haloHeaderLen+8*n)
 	ghostVals := make([]float64, 0, n)
-	sendBorders := func(it int) error {
-		if hasNorth {
-			sendBuf = appendHaloFrame(sendBuf[:0], off, it, cur.row(1))
-			if err := tr.Send(north, sendBuf); err != nil {
-				return err
-			}
-		}
-		if hasSouth {
-			sendBuf = appendHaloFrame(sendBuf[:0], off+rows-1, it, cur.row(rows))
-			if err := tr.Send(south, sendBuf); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
 	recvGhost := func(from, wantRow, it int, into []float64) error {
 		buf, err := tr.Recv(from)
 		if err != nil {
@@ -203,14 +188,33 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial [][]float64, res *res
 		mmps.Recycle(tr, buf)
 		return nil
 	}
-	recvGhosts := func(it int) error {
-		if hasNorth {
-			if err := recvGhost(north, off-1, it, cur.row(0)); err != nil {
+	// exchangePhase runs one phase of the odd-even pairwise border
+	// exchange. The neighbor pair (a, a+1) is active in phase a%2; within
+	// the pair the lower rank initiates (send south, then receive south's
+	// border) while the upper rank mirrors the order (receive north, then
+	// send north). Every send faces a partner already committed to the
+	// matching receive, so the exchange is deadlock-free even on a
+	// rendezvous transport — the old send-both-then-receive-both order
+	// relied on transport buffering and netpartverify finds the send-send
+	// cycle it forms at every P ≥ 2 under rendezvous semantics. Payloads
+	// are unaffected: sends read border rows and receives write ghost
+	// rows, so the grid results are bit-identical to the buffered order.
+	exchangePhase := func(phase, it int) error {
+		if rank%2 == phase && hasSouth {
+			sendBuf = appendHaloFrame(sendBuf[:0], off+rows-1, it, cur.row(rows))
+			if err := tr.Send(south, sendBuf); err != nil {
+				return err
+			}
+			if err := recvGhost(south, off+rows, it, cur.row(rows+1)); err != nil {
 				return err
 			}
 		}
-		if hasSouth {
-			if err := recvGhost(south, off+rows, it, cur.row(rows+1)); err != nil {
+		if rank%2 != phase && hasNorth {
+			if err := recvGhost(north, off-1, it, cur.row(0)); err != nil {
+				return err
+			}
+			sendBuf = appendHaloFrame(sendBuf[:0], off, it, cur.row(1))
+			if err := tr.Send(north, sendBuf); err != nil {
 				return err
 			}
 		}
@@ -222,10 +226,10 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial [][]float64, res *res
 		switch v {
 		case STEN1:
 			exchStart := lo.sinceMs()
-			if err := sendBorders(it); err != nil {
+			if err := exchangePhase(0, it); err != nil {
 				return err
 			}
-			if err := recvGhosts(it); err != nil {
+			if err := exchangePhase(1, it); err != nil {
 				return err
 			}
 			exchMs := lo.sinceMs() - exchStart
@@ -235,14 +239,17 @@ func runLiveTask(tr mmps.Transport, rows, off int, initial [][]float64, res *res
 			}
 			computeRows(1, rows)
 		case STEN2:
+			// Overlap: the second exchange phase is deferred until after the
+			// interior update, which touches neither the border rows the
+			// phase sends nor the ghost rows it fills.
 			exchStart := lo.sinceMs()
-			if err := sendBorders(it); err != nil {
+			if err := exchangePhase(0, it); err != nil {
 				return err
 			}
 			if rows > 2 {
 				computeRows(2, rows-1)
 			}
-			if err := recvGhosts(it); err != nil {
+			if err := exchangePhase(1, it); err != nil {
 				return err
 			}
 			exchMs := lo.sinceMs() - exchStart
